@@ -1,0 +1,209 @@
+// Ablation bench for the design choices called out in DESIGN.md:
+//  1. JL family (Gaussian vs Rademacher vs sparse Achlioptas) — same
+//     accuracy, different device cost;
+//  2. sensitivity sampling vs uniform sampling inside the coreset step;
+//  3. exact vs randomized SVD inside FSS's PCA stage (the paper charges
+//     FSS with exact-SVD complexity; randomized SVD is the obvious
+//     engineering escape hatch and this quantifies what it buys);
+//  4. with vs without the bicriteria-center weight top-up in sensitivity
+//     sampling (the [4] variant the QT analysis relies on).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "common/timer.hpp"
+#include "cr/fss.hpp"
+#include "cr/sensitivity.hpp"
+#include "core/experiment.hpp"
+#include "dr/jl.hpp"
+#include "kmeans/cost.hpp"
+#include "kmeans/elkan.hpp"
+#include "kmeans/lloyd.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/svd.hpp"
+#include "qt/quantizer.hpp"
+#include "qt/vq.hpp"
+
+using namespace ekm;
+using namespace ekm::bench;
+
+namespace {
+
+void ablate_jl_family(const Dataset& data, std::uint64_t seed) {
+  std::printf("# Ablation 1 — JL family (d=%zu -> 96)\n", data.dim());
+  KMeansOptions kopts;
+  kopts.k = 2;
+  kopts.seed = seed;
+  const double base = kmeans(data, kopts).cost;
+  for (auto [family, name] :
+       {std::pair{JlFamily::kGaussian, "gaussian"},
+        std::pair{JlFamily::kRademacher, "rademacher"},
+        std::pair{JlFamily::kSparse, "sparse"}}) {
+    Timer gen;
+    const LinearMap map = make_jl_projection(data.dim(), 96, seed, family);
+    const double gen_s = gen.seconds();
+    Timer apply;
+    const Dataset proj = map.apply(data);
+    const double apply_s = apply.seconds();
+    const KMeansResult res = kmeans(proj, kopts);
+    const Matrix lifted = map.lift(res.centers);
+    std::printf("%-12s gen=%.4fs apply=%.4fs lifted-cost=%.4f\n", name, gen_s,
+                apply_s, kmeans_cost(data, lifted) / base);
+  }
+}
+
+void ablate_sampling(const Dataset& data, std::uint64_t seed) {
+  std::printf("# Ablation 2 — sensitivity vs uniform coreset (|S|=200)\n");
+  KMeansOptions kopts;
+  kopts.k = 2;
+  kopts.seed = seed;
+  const double base = kmeans(data, kopts).cost;
+  for (int variant = 0; variant < 2; ++variant) {
+    double worst_cost = 0.0;
+    for (std::uint64_t r = 0; r < 5; ++r) {
+      Rng rng = make_rng(seed, 10 + r);
+      Coreset cs;
+      if (variant == 0) {
+        SensitivitySampleOptions opts;
+        opts.k = 2;
+        opts.sample_size = 200;
+        cs = sensitivity_sample(data, opts, rng);
+      } else {
+        cs = uniform_sample_coreset(data, 200, rng);
+      }
+      const KMeansResult res = kmeans(cs.points, kopts);
+      worst_cost = std::max(worst_cost, kmeans_cost(data, res.centers) / base);
+    }
+    std::printf("%-12s worst normalized cost over 5 runs = %.4f\n",
+                variant == 0 ? "sensitivity" : "uniform", worst_cost);
+  }
+}
+
+void ablate_svd(const Dataset& data, std::uint64_t seed) {
+  std::printf("# Ablation 3 — exact vs randomized SVD for the PCA stage\n");
+  Timer exact_t;
+  const Svd exact = truncated_svd(data.points(), 16);
+  const double exact_s = exact_t.seconds();
+  Timer rand_t;
+  Rng rng = make_rng(seed);
+  const Svd approx = randomized_svd(data.points(), 16, rng);
+  const double rand_s = rand_t.seconds();
+  double exact_energy = 0.0;
+  double approx_energy = 0.0;
+  for (std::size_t j = 0; j < 16; ++j) {
+    exact_energy += exact.sigma[j] * exact.sigma[j];
+    approx_energy += approx.sigma[j] * approx.sigma[j];
+  }
+  std::printf("exact      %.4fs  captured-energy=%.6g\n", exact_s, exact_energy);
+  std::printf("randomized %.4fs  captured-energy=%.6g (%.4f of exact)\n",
+              rand_s, approx_energy, approx_energy / exact_energy);
+}
+
+void ablate_topup(const Dataset& data, std::uint64_t seed) {
+  std::printf("# Ablation 4 — bicriteria-center weight top-up\n");
+  for (bool topup : {true, false}) {
+    double worst_weight_err = 0.0;
+    for (std::uint64_t r = 0; r < 5; ++r) {
+      Rng rng = make_rng(seed, 20 + r);
+      SensitivitySampleOptions opts;
+      opts.k = 2;
+      opts.sample_size = 150;
+      opts.include_bicriteria_centers = topup;
+      const Coreset cs = sensitivity_sample(data, opts, rng);
+      const double err =
+          std::abs(cs.points.total_weight() - static_cast<double>(data.size())) /
+          static_cast<double>(data.size());
+      worst_weight_err = std::max(worst_weight_err, err);
+    }
+    std::printf("top-up=%-5s worst |sum(w) - n|/n over 5 runs = %.4f\n",
+                topup ? "on" : "off", worst_weight_err);
+  }
+}
+
+void ablate_sparse_jl(const BenchArgs& args) {
+  std::printf("# Ablation 5 — sparse vs dense JL application (NeurIPS-like)\n");
+  Rng rng = make_rng(args.seed, 0x51ULL);
+  NeuripsLikeSpec spec;
+  spec.n = 3000;
+  spec.dim = 1500;
+  // Measure on the RAW counts (pre-normalization zeros intact): build the
+  // counts, sparsify, then compare kernel times.
+  spec.density = 0.04;
+  const Dataset d = make_neurips_like(spec, rng);
+  // Normalization densifies; recover the sparse structure against the
+  // per-column shift by thresholding deviations from the column mode.
+  const SparseMatrix sparse = SparseMatrix::from_dense(d.points(), 1e-12);
+  const LinearMap jl = make_jl_projection(spec.dim, 96, args.seed);
+
+  Timer dense_t;
+  const Matrix dense_out = jl.apply(d.points());
+  const double dense_s = dense_t.seconds();
+  Timer sparse_t;
+  const Matrix sparse_out = sparse.multiply_dense(jl.projection());
+  const double sparse_s = sparse_t.seconds();
+  std::printf("density=%.3f  dense=%.4fs  sparse=%.4fs  speedup=%.2fx  "
+              "(results equal: %s)\n",
+              sparse.density(), dense_s, sparse_s, dense_s / sparse_s,
+              subtract(dense_out, sparse_out).frobenius_norm() < 1e-9 ? "yes"
+                                                                      : "NO");
+}
+
+void ablate_elkan(const Dataset& data, std::uint64_t seed) {
+  std::printf("# Ablation 6 — plain Lloyd vs Elkan (server-side solve)\n");
+  for (std::size_t k : {2, 8, 16}) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.max_iters = 60;
+    opts.restarts = 1;
+    opts.seed = seed;
+    Rng rng = make_rng(seed, k);
+    const Matrix seeds = kmeanspp_seed(data, k, rng);
+    Timer lt;
+    const KMeansResult l = lloyd(data, seeds, opts);
+    const double lloyd_s = lt.seconds();
+    std::uint64_t evals = 0;
+    Timer et;
+    const KMeansResult e = elkan(data, seeds, opts, &evals);
+    const double elkan_s = et.seconds();
+    std::printf("k=%-3zu lloyd=%.4fs elkan=%.4fs (%.2fx) cost-delta=%.2e\n", k,
+                lloyd_s, elkan_s, lloyd_s / std::max(elkan_s, 1e-9),
+                std::fabs(l.cost - e.cost) / l.cost);
+  }
+}
+
+void ablate_quantizers(const Dataset& data, std::uint64_t seed) {
+  std::printf("# Ablation 7 — rounding (§6.1) vs trained Lloyd–Max "
+              "quantizer [13]\n");
+  const Matrix& pts = data.points();
+  for (int bits : {2, 4, 6}) {
+    const RoundingQuantizer rounding(bits);
+    const ScalarLloydMaxQuantizer trained(pts, std::size_t{1} << bits, 4096,
+                                          seed);
+    double r_mse = 0.0;
+    double t_mse = 0.0;
+    for (double v : pts.flat()) {
+      r_mse += std::pow(v - rounding.quantize(v), 2);
+      t_mse += std::pow(v - trained.quantize(v), 2);
+    }
+    const auto n = static_cast<double>(pts.size());
+    std::printf("bits=%d rounding-mse=%.3e trained-mse=%.3e "
+                "(codebook %zu doubles of side info)\n",
+                bits, r_mse / n, t_mse / n, trained.codebook_scalars());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Dataset data = mnist_dataset(args, /*n_fast=*/3000);
+  std::printf("== Ablations on MNIST-scale data: n=%zu d=%zu ==\n", data.size(),
+              data.dim());
+  ablate_jl_family(data, args.seed);
+  ablate_sampling(data, args.seed);
+  ablate_svd(data, args.seed);
+  ablate_topup(data, args.seed);
+  ablate_sparse_jl(args);
+  ablate_elkan(data, args.seed);
+  ablate_quantizers(data, args.seed);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 2 (multi-source CDFs of normalized k-means cost and
+// running time) and Table 4 (multi-source normalized communication cost).
+//
+// Paper protocol (§7.2): m = 10 data sources holding a random partition,
+// k = 2, algorithms BKLW and JL+BKLW (Alg 4), baseline NR.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+
+using namespace ekm;
+using namespace ekm::bench;
+
+namespace {
+
+void run_dataset(const char* label, const Dataset& data, int mc,
+                 std::uint64_t seed) {
+  std::printf("== %s: n=%zu d=%zu k=2 m=10, %d Monte-Carlo runs ==\n", label,
+              data.size(), data.dim(), mc);
+  ExperimentContext ctx(data, /*k=*/2, seed, /*num_sources=*/10);
+
+  PipelineConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.seed = seed;
+  cfg.coreset_size = std::max<std::size_t>(250, data.size() / 16);
+  cfg.jl_dim = 96;
+  cfg.jl_dim2 = 48;
+  cfg.pca_dim = 20;
+
+  std::vector<ExperimentSeries> all;
+  all.push_back(ctx.run(PipelineKind::kNoReduction, cfg, 1));
+  all.push_back(ctx.run(PipelineKind::kBklw, cfg, mc));
+  all.push_back(ctx.run(PipelineKind::kJlBklw, cfg, mc));
+
+  for (const ExperimentSeries& s : all) {
+    if (s.name == "NR") continue;
+    print_cdf(std::string("Fig2 ") + label + " normalized-cost", s.name,
+              s.costs());
+  }
+  for (const ExperimentSeries& s : all) {
+    if (s.name == "NR") continue;
+    print_cdf(std::string("Fig2 ") + label + " running-time(s)", s.name,
+              s.device_times());
+  }
+
+  std::printf("# Table 4 — %s normalized communication cost\n", label);
+  for (const ExperimentSeries& s : all) {
+    std::printf("%-12s %.3e\n", s.name.c_str(), summarize(s.comm_bits()).mean);
+  }
+  std::printf("# summary\n%s\n", format_series_table(all).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const int mc = args.monte_carlo > 0 ? args.monte_carlo : (args.full ? 10 : 5);
+
+  run_dataset("MNIST", mnist_dataset(args), mc, args.seed);
+  run_dataset("NeurIPS", neurips_dataset(args), mc, args.seed + 1);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Figure 3: single-source joint DR+CR+QT on the MNIST-scale
+// dataset. Panels: (a) normalized k-means cost, (b) normalized
+// communication cost, (c) running time — each vs the number of retained
+// significand bits s, for FSS+QT, JL+FSS+QT (Alg 1), FSS+JL+QT (Alg 2),
+// JL+FSS+JL+QT (Alg 3).
+#include "bench/bench_qt_common.hpp"
+
+using namespace ekm;
+using namespace ekm::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const int mc = args.monte_carlo > 0 ? args.monte_carlo : (args.full ? 10 : 3);
+
+  // Smaller n than Fig 1 keeps the full-SVD algorithms tractable across
+  // the whole s grid; the QT effect is independent of n.
+  const Dataset data = mnist_dataset(args, /*n_fast=*/2500);
+  ExperimentContext ctx(data, 2, args.seed);
+
+  PipelineConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.seed = args.seed;
+  cfg.coreset_size = std::max<std::size_t>(150, data.size() / 20);
+  cfg.jl_dim = 96;
+  cfg.jl_dim2 = 48;
+  cfg.pca_dim = 24;
+
+  run_qt_sweep("Fig3", "MNIST", ctx,
+               {PipelineKind::kFss, PipelineKind::kJlFss, PipelineKind::kFssJl,
+                PipelineKind::kJlFssJl},
+               cfg, qt_sweep_grid(args.full), mc);
+  return 0;
+}

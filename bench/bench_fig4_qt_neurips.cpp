@@ -1,0 +1,30 @@
+// Reproduces Figure 4: single-source joint DR+CR+QT on the NeurIPS-scale
+// dataset (same panels as Figure 3). The high-dimensional regime
+// (d = Θ(n)) is where the four-step JL+FSS+JL+QT is predicted to win
+// (§7.3.2 observation (iii)).
+#include "bench/bench_qt_common.hpp"
+
+using namespace ekm;
+using namespace ekm::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const int mc = args.monte_carlo > 0 ? args.monte_carlo : (args.full ? 10 : 3);
+
+  const Dataset data = neurips_dataset(args, /*n_fast=*/2000, /*d_fast=*/1000);
+  ExperimentContext ctx(data, 2, args.seed);
+
+  PipelineConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.seed = args.seed;
+  cfg.coreset_size = std::max<std::size_t>(150, data.size() / 20);
+  cfg.jl_dim = 96;
+  cfg.jl_dim2 = 48;
+  cfg.pca_dim = 24;
+
+  run_qt_sweep("Fig4", "NeurIPS", ctx,
+               {PipelineKind::kFss, PipelineKind::kJlFss, PipelineKind::kFssJl,
+                PipelineKind::kJlFssJl},
+               cfg, qt_sweep_grid(args.full), mc);
+  return 0;
+}

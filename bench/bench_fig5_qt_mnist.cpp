@@ -1,0 +1,28 @@
+// Reproduces Figure 5: multi-source joint DR+CR+QT on the MNIST-scale
+// dataset with m = 10 sources. Panels (a)–(c) as in Figure 3, algorithms
+// BKLW+QT and JL+BKLW+QT (Alg 4).
+#include "bench/bench_qt_common.hpp"
+
+using namespace ekm;
+using namespace ekm::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const int mc = args.monte_carlo > 0 ? args.monte_carlo : (args.full ? 10 : 3);
+
+  const Dataset data = mnist_dataset(args, /*n_fast=*/2500);
+  ExperimentContext ctx(data, 2, args.seed, /*num_sources=*/10);
+
+  PipelineConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.seed = args.seed;
+  cfg.coreset_size = std::max<std::size_t>(250, data.size() / 16);
+  cfg.jl_dim = 96;
+  cfg.jl_dim2 = 48;
+  cfg.pca_dim = 20;
+
+  run_qt_sweep("Fig5", "MNIST", ctx,
+               {PipelineKind::kBklw, PipelineKind::kJlBklw}, cfg,
+               qt_sweep_grid(args.full), mc);
+  return 0;
+}

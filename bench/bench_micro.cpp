@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks for the substrates: SVD, JL apply,
+// PCA, sensitivity sampling, FSS, quantizer, k-means, codec. These guard
+// the complexity claims of Table 2 at the kernel level (e.g. thin SVD
+// scaling with d vs JL apply scaling with d').
+#include <benchmark/benchmark.h>
+
+#include "cr/fss.hpp"
+#include "cr/sensitivity.hpp"
+#include "data/generators.hpp"
+#include "dr/jl.hpp"
+#include "dr/pca.hpp"
+#include "kmeans/lloyd.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/svd.hpp"
+#include "net/summary_codec.hpp"
+#include "qt/quantizer.hpp"
+
+namespace {
+
+using namespace ekm;
+
+Dataset bench_data(std::size_t n, std::size_t d) {
+  Rng rng = make_rng(1234, n * 31 + d);
+  MnistLikeSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.latent_dim = 12;
+  return make_mnist_like(spec, rng);
+}
+
+void BM_ThinSvd(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Dataset data = bench_data(1024, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thin_svd(data.points()));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_ThinSvd)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Dataset data = bench_data(1024, d);
+  Rng rng = make_rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(randomized_svd(data.points(), 16, rng));
+  }
+}
+BENCHMARK(BM_RandomizedSvd)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_JlApply(benchmark::State& state) {
+  const auto d_out = static_cast<std::size_t>(state.range(0));
+  const Dataset data = bench_data(1024, 512);
+  const LinearMap map = make_jl_projection(512, d_out, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.apply(data.points()));
+  }
+}
+BENCHMARK(BM_JlApply)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_JlGenerate(benchmark::State& state) {
+  const auto family = static_cast<JlFamily>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_jl_projection(1024, 96, 11, family));
+  }
+}
+BENCHMARK(BM_JlGenerate)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SparseJlApply(benchmark::State& state) {
+  Rng rng = make_rng(21);
+  NeuripsLikeSpec spec;
+  spec.n = 1024;
+  spec.dim = 1024;
+  spec.density = 0.05;
+  const Dataset d = make_neurips_like(spec, rng);
+  const SparseMatrix sparse = SparseMatrix::from_dense(d.points(), 1e-12);
+  const LinearMap jl = make_jl_projection(1024, 64, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse.multiply_dense(jl.projection()));
+  }
+}
+BENCHMARK(BM_SparseJlApply);
+
+void BM_PcaProject(benchmark::State& state) {
+  const Dataset data = bench_data(1024, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pca_project(data, 16));
+  }
+}
+BENCHMARK(BM_PcaProject);
+
+void BM_SensitivitySample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Dataset data = bench_data(n, 64);
+  SensitivitySampleOptions opts;
+  opts.k = 2;
+  opts.sample_size = 200;
+  for (auto _ : state) {
+    Rng rng = make_rng(9);
+    benchmark::DoNotOptimize(sensitivity_sample(data, opts, rng));
+  }
+}
+BENCHMARK(BM_SensitivitySample)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FssCoreset(benchmark::State& state) {
+  const Dataset data = bench_data(2048, static_cast<std::size_t>(state.range(0)));
+  FssOptions opts;
+  opts.k = 2;
+  opts.sample_size = 200;
+  opts.intrinsic_dim = 16;
+  for (auto _ : state) {
+    Rng rng = make_rng(10);
+    benchmark::DoNotOptimize(fss_coreset(data, opts, rng));
+  }
+}
+BENCHMARK(BM_FssCoreset)->Arg(64)->Arg(192)->Arg(384);
+
+void BM_Quantizer(benchmark::State& state) {
+  const Dataset data = bench_data(1024, 256);
+  const RoundingQuantizer q(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.quantize(data.points()));
+  }
+}
+BENCHMARK(BM_Quantizer)->Arg(4)->Arg(23)->Arg(52);
+
+void BM_WeightedKMeans(benchmark::State& state) {
+  const Dataset data = bench_data(static_cast<std::size_t>(state.range(0)), 32);
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.restarts = 2;
+  opts.seed = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kmeans(data, opts));
+  }
+}
+BENCHMARK(BM_WeightedKMeans)->Arg(512)->Arg(2048);
+
+void BM_CoresetCodec(benchmark::State& state) {
+  Coreset cs;
+  Rng rng = make_rng(12);
+  cs.points = Dataset(Matrix::gaussian(256, 64, rng),
+                      std::vector<double>(256, 1.0));
+  cs.basis = Matrix::gaussian(64, 512, rng);
+  for (auto _ : state) {
+    const Message msg = encode_coreset(cs);
+    benchmark::DoNotOptimize(decode_coreset(msg));
+  }
+}
+BENCHMARK(BM_CoresetCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Shared sweep for the quantization figures (Figures 3–6): run each
+// (algorithm + QT) pipeline across a grid of significand-bit settings s
+// and print three series per algorithm — normalized k-means cost,
+// normalized communication cost, running time — exactly the three panels
+// of each figure. s = 52 is the right-most "no quantization" point the
+// paper highlights.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+
+namespace ekm::bench {
+
+inline std::vector<int> qt_sweep_grid(bool full) {
+  if (full) {
+    std::vector<int> s;
+    for (int i = 1; i <= 52; ++i) s.push_back(i);  // paper: s = 1..53
+    return s;
+  }
+  return {1, 2, 3, 4, 6, 8, 10, 14, 20, 28, 38, 52};
+}
+
+struct QtSweepPoint {
+  int s = 52;
+  double cost = 0.0;
+  double comm = 0.0;
+  double time = 0.0;
+};
+
+inline void run_qt_sweep(const char* figure, const char* label,
+                         const ExperimentContext& ctx,
+                         const std::vector<PipelineKind>& kinds,
+                         PipelineConfig cfg, const std::vector<int>& grid,
+                         int mc) {
+  std::printf("== %s %s: n=%zu d=%zu k=%zu, %d MC runs per point ==\n", figure,
+              label, ctx.data().size(), ctx.data().dim(), ctx.k(), mc);
+  for (PipelineKind kind : kinds) {
+    std::vector<QtSweepPoint> points;
+    for (int s : grid) {
+      PipelineConfig c = cfg;
+      c.significant_bits = s;
+      const ExperimentSeries series = ctx.run(kind, c, mc);
+      QtSweepPoint p;
+      p.s = s;
+      p.cost = summarize(series.costs()).mean;
+      p.comm = summarize(series.comm_bits()).mean;
+      p.time = summarize(series.device_times()).mean;
+      points.push_back(p);
+    }
+    const std::string name = std::string(pipeline_name(kind)) + "+QT";
+    std::printf("# %s(a) %s normalized k-means cost vs s — %s\n", figure,
+                label, name.c_str());
+    for (const QtSweepPoint& p : points) std::printf("%d\t%.4f\n", p.s, p.cost);
+    std::printf("# %s(b) %s normalized communication cost vs s — %s\n", figure,
+                label, name.c_str());
+    for (const QtSweepPoint& p : points) std::printf("%d\t%.4e\n", p.s, p.comm);
+    std::printf("# %s(c) %s running time (s) vs s — %s\n", figure, label,
+                name.c_str());
+    for (const QtSweepPoint& p : points) std::printf("%d\t%.4f\n", p.s, p.time);
+  }
+}
+
+}  // namespace ekm::bench

@@ -1,0 +1,76 @@
+// Exercises the §6.3 joint DR/CR/QT configuration optimizer on a real
+// dataset: estimates the lower bound E on the optimal cost via adaptive
+// sampling (§6.3.1), enumerates the feasible quantizer settings, prints
+// the modeled communication cost X (eq. (24)) per s, and runs the chosen
+// JL+FSS+JL+QT configuration end to end to compare the model's pick with
+// the measured sweep.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "kmeans/bicriteria.hpp"
+#include "qt/config.hpp"
+
+using namespace ekm;
+using namespace ekm::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Dataset data = mnist_dataset(args, /*n_fast=*/2500);
+  ExperimentContext ctx(data, 2, args.seed);
+
+  // §6.3.1: E = best-of-log(1/δ) bicriteria cost / 20.
+  Rng rng = make_rng(args.seed, 0xe57ULL);
+  const double e_lower = estimate_opt_cost_lower_bound(data, 2, 4, rng);
+
+  double max_norm = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    max_norm = std::max(max_norm, norm2(data.point(i)));
+  }
+
+  QtConfigProblem problem;
+  problem.y0 = 2.0;
+  problem.delta0 = 0.1;
+  problem.k = 2;
+  problem.n = data.size();
+  problem.d = data.dim();
+  problem.diameter = 2.0 * std::sqrt(static_cast<double>(data.dim()));
+  problem.max_point_norm = max_norm;
+  problem.opt_cost_lower_bound = e_lower;
+
+  std::printf("# QT config optimizer: n=%zu d=%zu E=%.4g max||p||=%.3f Y0=%.2f\n",
+              problem.n, problem.d, e_lower, max_norm, problem.y0);
+  std::printf("%-4s %-10s %-12s %-14s %-10s\n", "s", "epsilon", "eps_QT",
+              "modeled-X(bits)", "Y-bound");
+  for (const QtConfig& c : enumerate_qt_configs(problem)) {
+    std::printf("%-4d %-10.4f %-12.4g %-14.4g %-10.4f\n", c.significant_bits,
+                c.epsilon, c.epsilon_qt, c.modeled_cost_bits, c.error_bound);
+  }
+  const auto best = optimize_qt_config(problem);
+  if (!best) {
+    std::printf("no feasible configuration for Y0=%.2f\n", problem.y0);
+    return 0;
+  }
+  std::printf("# optimizer pick: s=%d epsilon=%.4f modeled X=%.4g bits\n",
+              best->significant_bits, best->epsilon, best->modeled_cost_bits);
+
+  // Measured cross-check: run JL+FSS+JL+QT at the picked s and at the
+  // extremes the paper calls suboptimal (§7.3.2 observation (ii)).
+  PipelineConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.seed = args.seed;
+  cfg.coreset_size = 200;
+  cfg.jl_dim = 96;
+  cfg.pca_dim = 24;
+  const int mc = args.monte_carlo > 0 ? args.monte_carlo : 3;
+  for (int s : {2, best->significant_bits, 52}) {
+    PipelineConfig c = cfg;
+    c.significant_bits = s;
+    const ExperimentSeries series = ctx.run(PipelineKind::kJlFssJl, c, mc);
+    std::printf("measured s=%-3d cost=%.4f comm=%.4e\n", s,
+                summarize(series.costs()).mean,
+                summarize(series.comm_bits()).mean);
+  }
+  return 0;
+}

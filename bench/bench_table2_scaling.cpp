@@ -1,0 +1,91 @@
+// Empirically validates Table 2 — the communication-cost / complexity
+// scaling summary. The theory says, as functions of (n, d):
+//   FSS        comm O(kd/ε²)      time O(nd·min(n,d))
+//   JL+FSS     comm O(k logn/ε⁴)  time ˜O(nd/ε²)
+//   FSS+JL     comm ˜O(k³/ε⁶)     time O(nd·min(n,d))
+//   JL+FSS+JL  comm ˜O(k³/ε⁶)     time ˜O(nd/ε²)
+//   BKLW       comm O(mkd/ε²)     time O(nd·min(n,d))
+//   JL+BKLW    comm O(mk logn/ε⁴) time ˜O(nd/ε⁴)
+// This bench sweeps d at fixed n and n at fixed d and prints measured
+// uplink scalars + device seconds so the scaling shape can be read off:
+// with growing d, FSS/BKLW communication grows linearly while the JL-first
+// variants stay flat; device time grows superlinearly in d only for the
+// full-SVD algorithms.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "data/generators.hpp"
+
+using namespace ekm;
+using namespace ekm::bench;
+
+namespace {
+
+Dataset mixture(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng = make_rng(seed);
+  MnistLikeSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.latent_dim = 12;
+  return make_mnist_like(spec, rng);
+}
+
+void sweep(const char* what, const std::vector<std::pair<std::size_t, std::size_t>>& sizes,
+           std::uint64_t seed) {
+  const std::vector<PipelineKind> single{
+      PipelineKind::kFss, PipelineKind::kJlFss, PipelineKind::kFssJl,
+      PipelineKind::kJlFssJl};
+  std::printf("# Table 2 scaling — sweep over %s\n", what);
+  std::printf("%-8s %-8s %-12s %14s %12s\n", "n", "d", "algorithm",
+              "uplink-scalars", "device-s");
+  for (auto [n, d] : sizes) {
+    const Dataset data = mixture(n, d, seed);
+    PipelineConfig cfg;
+    cfg.k = 2;
+    cfg.epsilon = 0.3;
+    cfg.seed = seed;
+    cfg.coreset_size = 200;
+    cfg.jl_dim = 64;
+    cfg.pca_dim = 16;
+    for (PipelineKind kind : single) {
+      const PipelineResult res = run_pipeline(kind, data, cfg);
+      std::printf("%-8zu %-8zu %-12s %14llu %12.4f\n", n, d,
+                  pipeline_name(kind),
+                  static_cast<unsigned long long>(res.uplink.scalars),
+                  res.device_seconds);
+    }
+    // Distributed pair at m = 10.
+    Rng prng = make_rng(seed, 1);
+    const std::vector<Dataset> parts = partition_random(data, 10, prng);
+    for (PipelineKind kind : {PipelineKind::kBklw, PipelineKind::kJlBklw}) {
+      const PipelineResult res = run_distributed_pipeline(kind, parts, cfg);
+      std::printf("%-8zu %-8zu %-12s %14llu %12.4f\n", n, d,
+                  pipeline_name(kind),
+                  static_cast<unsigned long long>(res.uplink.scalars),
+                  res.device_seconds);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const std::size_t base_n = args.full ? 16000 : 3000;
+  const std::size_t base_d = args.full ? 1024 : 384;
+
+  std::vector<std::pair<std::size_t, std::size_t>> d_sweep;
+  for (std::size_t d : {128, 256, 512, 1024}) {
+    d_sweep.emplace_back(base_n, args.full ? d * 2 : d);
+  }
+  sweep("d (fixed n)", d_sweep, args.seed);
+
+  std::vector<std::pair<std::size_t, std::size_t>> n_sweep;
+  for (std::size_t n : {1000, 2000, 4000, 8000}) {
+    n_sweep.emplace_back(args.full ? n * 4 : n, base_d);
+  }
+  sweep("n (fixed d)", n_sweep, args.seed + 1);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the reproduction benches: dataset construction at
+// bench scale, flag parsing, and figure-style output formatting.
+//
+// Every bench accepts:
+//   --full        paper-scale parameters (slow; default is laptop scale)
+//   --mc N        Monte-Carlo repetitions (default depends on the bench)
+//   --seed S      master seed
+// The benches print the same rows/series as the paper's tables/figures;
+// EXPERIMENTS.md records the expected shapes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+#include "data/loaders.hpp"
+
+namespace ekm::bench {
+
+struct BenchArgs {
+  bool full = false;
+  int monte_carlo = 0;  // 0 = bench default
+  std::uint64_t seed = 2024;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        args.full = true;
+      } else if (std::strcmp(argv[i], "--mc") == 0 && i + 1 < argc) {
+        args.monte_carlo = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      }
+    }
+    return args;
+  }
+};
+
+/// MNIST-stand-in at bench scale (real IDX file used if present in
+/// ./data). Paper scale: 60000 x 784; laptop scale trims n only — the
+/// dimension is the structurally important part.
+inline Dataset mnist_dataset(const BenchArgs& args, std::size_t n_fast = 4000) {
+  Rng rng = make_rng(args.seed, 0x0a71ULL);
+  const std::size_t n = args.full ? 60000 : n_fast;
+  return load_or_generate_mnist("data", n, rng);
+}
+
+/// NeurIPS-corpus stand-in: d = Θ(n) sparse counts. Paper scale:
+/// 11463 x 5812.
+inline Dataset neurips_dataset(const BenchArgs& args, std::size_t n_fast = 3000,
+                               std::size_t d_fast = 1500) {
+  Rng rng = make_rng(args.seed, 0x0a72ULL);
+  const std::size_t n = args.full ? 11463 : n_fast;
+  const std::size_t d = args.full ? 5812 : d_fast;
+  return load_or_generate_neurips("data", n, d, rng);
+}
+
+/// Prints one figure panel: the empirical CDF of `values` labelled as the
+/// paper's plots are (e.g. "Fig1a MNIST normalized-cost JL+FSS").
+inline void print_cdf(const std::string& panel, const std::string& series,
+                      std::span<const double> values) {
+  const EmpiricalCdf cdf = empirical_cdf(values);
+  std::printf("# %s — CDF for %s (x p)\n", panel.c_str(), series.c_str());
+  std::fputs(format_cdf(cdf, 16).c_str(), stdout);
+}
+
+/// Prints a paper-style summary row.
+inline void print_row(const std::string& name, const ExperimentSeries& s) {
+  const Summary cost = summarize(s.costs());
+  const Summary comm = summarize(s.comm_bits());
+  const Summary time = summarize(s.device_times());
+  std::printf("%-14s cost=%.4f (sd %.4f)  comm=%.3e  time=%.3fs\n",
+              name.c_str(), cost.mean, cost.stddev, comm.mean, time.mean);
+}
+
+}  // namespace ekm::bench

@@ -1,0 +1,61 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations throw so tests can assert on
+// them; they are never compiled out because the library is used in a
+// simulation harness where silent corruption would invalidate results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ekm {
+
+/// Thrown when a precondition (EKM_EXPECTS) is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or internal invariant (EKM_ENSURES) fails.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_expects(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  throw precondition_error(std::string("precondition failed: ") + cond +
+                           " at " + file + ":" + std::to_string(line) +
+                           (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void fail_ensures(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  throw invariant_error(std::string("invariant failed: ") + cond + " at " +
+                        file + ":" + std::to_string(line) +
+                        (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace detail
+}  // namespace ekm
+
+#define EKM_EXPECTS(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::ekm::detail::fail_expects(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define EKM_EXPECTS_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) ::ekm::detail::fail_expects(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define EKM_ENSURES(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::ekm::detail::fail_ensures(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define EKM_ENSURES_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) ::ekm::detail::fail_ensures(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

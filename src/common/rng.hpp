@@ -1,0 +1,38 @@
+// Seed management for reproducible experiments.
+//
+// Every randomized component in the library takes an explicit `Rng&` or a
+// seed; nothing reads global entropy. The paper's JL projections rely on
+// the projection matrix being reproducible from a shared seed so that the
+// server and data sources agree on the map without transmitting it
+// (§4.1.2 "data-oblivious"); `derive_seed` gives each component an
+// independent stream from one master seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ekm {
+
+using Rng = std::mt19937_64;
+
+/// SplitMix64 finalizer — decorrelates sequential seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the seed of an independent stream identified by `stream` from a
+/// master seed. Same (seed, stream) always yields the same generator.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                                  std::uint64_t stream) noexcept {
+  return splitmix64(master ^ splitmix64(stream));
+}
+
+/// Convenience: a generator positioned at the derived stream.
+[[nodiscard]] inline Rng make_rng(std::uint64_t master, std::uint64_t stream = 0) {
+  return Rng(derive_seed(master, stream));
+}
+
+}  // namespace ekm

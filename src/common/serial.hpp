@@ -1,0 +1,106 @@
+// Binary (de)serialization used by the simulated edge network.
+//
+// The communication-cost metric of the paper is "number of scalars" /
+// "number of bits" sent by data sources; we measure it by actually
+// serializing every summary into a ByteWriter and counting bytes plus the
+// sub-byte bit budget reported by the quantizer. Little-endian, fixed
+// width, no padding — the format is part of the experiment, not just a
+// transport detail.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace ekm {
+
+/// Append-only binary writer.
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &value, sizeof(T));
+  }
+
+  void put_u32(std::uint32_t v) { put(v); }
+  void put_u64(std::uint64_t v) { put(v); }
+  void put_f64(double v) { put(v); }
+
+  void put_doubles(std::span<const double> vals) {
+    put_u64(vals.size());
+    const auto old = buf_.size();
+    buf_.resize(old + vals.size_bytes());
+    std::memcpy(buf_.data() + old, vals.data(), vals.size_bytes());
+  }
+
+  void put_string(const std::string& s) {
+    put_u64(s.size());
+    const auto old = buf_.size();
+    buf_.resize(old + s.size());
+    std::memcpy(buf_.data() + old, s.data(), s.size());
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential binary reader over a byte span. Throws on overrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    EKM_EXPECTS_MSG(pos_ + sizeof(T) <= data_.size(), "ByteReader overrun");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] std::uint32_t get_u32() { return get<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t get_u64() { return get<std::uint64_t>(); }
+  [[nodiscard]] double get_f64() { return get<double>(); }
+
+  [[nodiscard]] std::vector<double> get_doubles() {
+    const auto n = get_u64();
+    // Divide instead of multiply: n * sizeof(double) could wrap for a
+    // hostile length field and sneak past the bound.
+    EKM_EXPECTS_MSG(n <= (data_.size() - pos_) / sizeof(double),
+                    "ByteReader overrun (doubles)");
+    std::vector<double> vals(n);
+    std::memcpy(vals.data(), data_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return vals;
+  }
+
+  [[nodiscard]] std::string get_string() {
+    const auto n = get_u64();
+    EKM_EXPECTS_MSG(n <= data_.size() - pos_, "ByteReader overrun (string)");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ekm

@@ -1,0 +1,43 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+
+#include "common/expects.hpp"
+
+namespace ekm {
+
+double solve_internal_epsilon(double target, double a, double b) {
+  EKM_EXPECTS(target > 0.0);
+  EKM_EXPECTS(a >= 0.0 && b >= 0.0 && a + b > 0.0);
+  const double goal = 1.0 + target;
+  double lo = 0.0;
+  double hi = 1.0 - 1e-12;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double value =
+        std::pow(1.0 + mid, a) / std::pow(1.0 - mid, b);
+    (value < goal ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double epsilon_for_fss(double target) {
+  return solve_internal_epsilon(target, 1.0, 1.0);
+}
+double epsilon_for_alg1(double target) {
+  return solve_internal_epsilon(target, 5.0, 1.0);
+}
+double epsilon_for_alg2(double target) {
+  return solve_internal_epsilon(target, 5.0, 1.0);
+}
+double epsilon_for_alg3(double target) {
+  return solve_internal_epsilon(target, 9.0, 1.0);
+}
+double epsilon_for_bklw(double target) {
+  return solve_internal_epsilon(target, 2.0, 2.0);
+}
+double epsilon_for_alg4(double target) {
+  return solve_internal_epsilon(target, 6.0, 2.0);
+}
+
+}  // namespace ekm

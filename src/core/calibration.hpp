@@ -1,0 +1,24 @@
+// Error-parameter calibration (§5.3 / Table 2 of the paper).
+//
+// Each algorithm reaches a different power of (1+ε)/(1-ε) in its
+// approximation guarantee, so comparing them at equal error requires
+// solving (1+x)^a / (1-x)^b = 1 + ε for the internal parameter x:
+//   FSS          a=1, b=1        Alg 1 (JL+FSS)      a=5, b=1
+//   Alg 2 (FSS+JL) a=5, b=1      Alg 3 (JL+FSS+JL)   a=9, b=1
+//   BKLW         a=2, b=2        Alg 4 (JL+BKLW)     a=6, b=2
+#pragma once
+
+namespace ekm {
+
+/// Solves (1+x)^a / (1-x)^b = 1 + target for x in (0, 1) by bisection
+/// (the left side is strictly increasing). Requires target > 0.
+[[nodiscard]] double solve_internal_epsilon(double target, double a, double b);
+
+[[nodiscard]] double epsilon_for_fss(double target);      // (1+x)/(1-x)
+[[nodiscard]] double epsilon_for_alg1(double target);     // (1+x)^5/(1-x)
+[[nodiscard]] double epsilon_for_alg2(double target);     // (1+x)^5/(1-x)
+[[nodiscard]] double epsilon_for_alg3(double target);     // (1+x)^9/(1-x)
+[[nodiscard]] double epsilon_for_bklw(double target);     // (1+x)^2/(1-x)^2
+[[nodiscard]] double epsilon_for_alg4(double target);     // (1+x)^6/(1-x)^2
+
+}  // namespace ekm

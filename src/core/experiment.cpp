@@ -1,0 +1,110 @@
+#include "core/experiment.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "kmeans/cost.hpp"
+#include "kmeans/lloyd.hpp"
+
+namespace ekm {
+
+std::vector<double> ExperimentSeries::costs() const {
+  std::vector<double> v;
+  v.reserve(runs.size());
+  for (const RunMetrics& r : runs) v.push_back(r.normalized_cost);
+  return v;
+}
+
+std::vector<double> ExperimentSeries::comm_bits() const {
+  std::vector<double> v;
+  v.reserve(runs.size());
+  for (const RunMetrics& r : runs) v.push_back(r.normalized_comm_bits);
+  return v;
+}
+
+std::vector<double> ExperimentSeries::device_times() const {
+  std::vector<double> v;
+  v.reserve(runs.size());
+  for (const RunMetrics& r : runs) v.push_back(r.device_seconds);
+  return v;
+}
+
+ExperimentContext::ExperimentContext(Dataset data, std::size_t k,
+                                     std::uint64_t seed,
+                                     std::size_t num_sources)
+    : data_(std::move(data)), k_(k) {
+  EKM_EXPECTS(!data_.empty());
+  EKM_EXPECTS(k_ >= 1);
+
+  // X*: the best solution the solver finds on the full dataset — the
+  // paper's denominator "centers computed from P".
+  KMeansOptions opts;
+  opts.k = k_;
+  opts.restarts = 10;
+  opts.max_iters = 200;
+  opts.seed = derive_seed(seed, 0xba5eULL);
+  KMeansResult baseline = kmeans(data_, opts);
+  baseline_centers_ = std::move(baseline.centers);
+  baseline_cost_ = baseline.cost;
+
+  if (num_sources > 1) {
+    Rng rng = make_rng(seed, 0x9a87ULL);
+    parts_ = partition_random(data_, num_sources, rng);
+  }
+}
+
+ExperimentSeries ExperimentContext::run(PipelineKind kind,
+                                        PipelineConfig config,
+                                        int monte_carlo_runs) const {
+  EKM_EXPECTS(monte_carlo_runs >= 1);
+  const double raw_bits =
+      static_cast<double>(data_.scalar_count()) * 64.0;
+  const double raw_scalars = static_cast<double>(data_.scalar_count());
+
+  ExperimentSeries series;
+  series.name = pipeline_name(kind);
+  config.k = k_;
+
+  for (int r = 0; r < monte_carlo_runs; ++r) {
+    PipelineConfig run_cfg = config;
+    run_cfg.seed = derive_seed(config.seed, static_cast<std::uint64_t>(r));
+    const PipelineResult res =
+        pipeline_is_distributed(kind)
+            ? run_distributed_pipeline(kind, parts(), run_cfg)
+            : run_pipeline(kind, data_, run_cfg);
+
+    RunMetrics m;
+    m.normalized_cost =
+        baseline_cost_ > 0.0
+            ? kmeans_cost(data_, res.centers) / baseline_cost_
+            : 1.0;
+    m.normalized_comm_bits = static_cast<double>(res.uplink.bits) / raw_bits;
+    m.normalized_comm_scalars =
+        static_cast<double>(res.uplink.scalars) / raw_scalars;
+    m.device_seconds = res.device_seconds;
+    m.summary_points = res.summary_points;
+    m.uplink_bits = res.uplink.bits;
+    series.runs.push_back(m);
+  }
+  return series;
+}
+
+std::string format_series_table(const std::vector<ExperimentSeries>& series) {
+  std::ostringstream out;
+  out << std::left << std::setw(14) << "algorithm" << std::right
+      << std::setw(12) << "cost(mean)" << std::setw(11) << "cost(max)"
+      << std::setw(14) << "comm(bits)" << std::setw(13) << "time(s)" << '\n';
+  for (const ExperimentSeries& s : series) {
+    const Summary cost = summarize(s.costs());
+    const Summary comm = summarize(s.comm_bits());
+    const Summary time = summarize(s.device_times());
+    out << std::left << std::setw(14) << s.name << std::right << std::fixed
+        << std::setprecision(4) << std::setw(12) << cost.mean << std::setw(11)
+        << cost.max << std::scientific << std::setprecision(2) << std::setw(14)
+        << comm.mean << std::fixed << std::setprecision(4) << std::setw(13)
+        << time.mean << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ekm

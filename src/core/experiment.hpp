@@ -1,0 +1,74 @@
+// Experiment harness reproducing the §7 evaluation protocol.
+//
+// Metrics per run (§7.1):
+//  * normalized k-means cost  = cost(P, X) / cost(P, X*), X* solved on P;
+//  * normalized communication = bits on the uplink / bits of the raw
+//    dataset (n·d·64), and the scalar-count variant;
+//  * running time at the data source(s) = measured seconds of the DR/CR/QT
+//    computation (server solve excluded).
+// Each algorithm is repeated for `monte_carlo_runs` independent seeds,
+// as the paper repeats 10 Monte-Carlo runs, and the harness exposes the
+// raw per-run samples so benches can print the Figure 1/2 CDFs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+
+namespace ekm {
+
+struct RunMetrics {
+  double normalized_cost = 0.0;
+  double normalized_comm_bits = 0.0;
+  double normalized_comm_scalars = 0.0;
+  double device_seconds = 0.0;
+  std::size_t summary_points = 0;
+  std::uint64_t uplink_bits = 0;
+};
+
+struct ExperimentSeries {
+  std::string name;
+  std::vector<RunMetrics> runs;
+
+  [[nodiscard]] std::vector<double> costs() const;
+  [[nodiscard]] std::vector<double> comm_bits() const;
+  [[nodiscard]] std::vector<double> device_times() const;
+};
+
+/// Owns a dataset, its multi-source partition, and the X* baseline, so
+/// several algorithm series can be evaluated against the same ground
+/// truth (exactly how Figures 1–6 share their denominators).
+class ExperimentContext {
+ public:
+  /// `num_sources` > 1 additionally prepares a random partition for the
+  /// distributed pipelines (the paper uses m = 10).
+  ExperimentContext(Dataset data, std::size_t k, std::uint64_t seed,
+                    std::size_t num_sources = 1);
+
+  [[nodiscard]] const Dataset& data() const { return data_; }
+  [[nodiscard]] std::span<const Dataset> parts() const { return parts_; }
+  [[nodiscard]] double baseline_cost() const { return baseline_cost_; }
+  [[nodiscard]] const Matrix& baseline_centers() const { return baseline_centers_; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+  /// Runs `monte_carlo_runs` independent repetitions of one pipeline;
+  /// run r uses master seed derive_seed(config.seed, r).
+  [[nodiscard]] ExperimentSeries run(PipelineKind kind, PipelineConfig config,
+                                     int monte_carlo_runs) const;
+
+ private:
+  Dataset data_;
+  std::vector<Dataset> parts_;
+  std::size_t k_;
+  Matrix baseline_centers_;
+  double baseline_cost_ = 0.0;
+};
+
+/// Formats "name  mean±sd(cost)  mean(comm)  mean(time)" rows for logs.
+[[nodiscard]] std::string format_series_table(
+    const std::vector<ExperimentSeries>& series);
+
+}  // namespace ekm

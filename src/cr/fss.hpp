@@ -1,0 +1,39 @@
+// FSS coreset construction [Feldman–Schmidt–Sohler, Theorem 36 of ref.
+// [11]; Theorem 3.2 of the paper].
+//
+// FSS = exact PCA to the intrinsic dimension t = O(k/ε²), then
+// sensitivity sampling on the projected dataset. The discarded spectral
+// energy ||A - A V_t V_t^T||_F² becomes the coreset's Δ constant, which is
+// what lets the cardinality be independent of n and d.
+//
+// The returned coreset stores subspace *coordinates* plus the basis V_t:
+// transmitting it costs |S|·t + t·d + |S| + 1 scalars, reproducing the
+// O(kd/ε²) communication cost of Theorem 4.1 — unless the caller strips
+// the basis because the receiver already knows the subspace (as in
+// Algorithm 1, where FSS runs after a JL projection whose seed is shared).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "cr/sensitivity.hpp"
+#include "data/dataset.hpp"
+
+namespace ekm {
+
+struct FssOptions {
+  std::size_t k = 2;
+  double epsilon = 0.3;   ///< coreset accuracy target; drives t and |S|
+  double delta = 0.1;     ///< failure probability
+  std::size_t sample_size = 0;  ///< 0 => fss_coreset_size(k, ε, δ, n)
+  std::size_t intrinsic_dim = 0;  ///< 0 => fss_intrinsic_dim(k, ε, n, d)
+  bool include_bicriteria_centers = true;
+};
+
+/// Runs FSS on `data`. The result has `basis` set (t x d) and Δ equal to
+/// the PCA residual energy. Complexity O(nd·min(n,d)) — dominated by the
+/// exact SVD, exactly the cost profile Table 2 charges FSS with.
+[[nodiscard]] Coreset fss_coreset(const Dataset& data, const FssOptions& opts,
+                                  Rng& rng);
+
+}  // namespace ekm

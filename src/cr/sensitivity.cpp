@@ -1,0 +1,154 @@
+#include "cr/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/sampling.hpp"
+#include "kmeans/cost.hpp"
+
+namespace ekm {
+namespace {
+
+Coreset passthrough_coreset(const Dataset& data) {
+  Coreset cs;
+  std::vector<double> w(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) w[i] = data.weight(i);
+  cs.points = Dataset(data.points(), std::move(w));
+  return cs;
+}
+
+}  // namespace
+
+Coreset sensitivity_sample(const Dataset& data,
+                           const SensitivitySampleOptions& opts, Rng& rng) {
+  EKM_EXPECTS(!data.empty());
+  EKM_EXPECTS(opts.sample_size >= 1);
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  if (opts.sample_size >= n) return passthrough_coreset(data);
+
+  // 1) Rough solution B and the induced clustering.
+  BicriteriaOptions bopts = opts.bicriteria;
+  bopts.k = opts.k;
+  const Matrix b_centers = bicriteria_centers(data, bopts, rng);
+  const std::size_t b = b_centers.rows();
+
+  std::vector<std::size_t> assign(n);
+  std::vector<double> dist2(n);
+  double cost_b = 0.0;
+  std::vector<double> cluster_weight(b, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NearestCenter nc = nearest_center(data.point(i), b_centers);
+    assign[i] = nc.index;
+    dist2[i] = nc.sq_dist;
+    cost_b += data.weight(i) * nc.sq_dist;
+    cluster_weight[nc.index] += data.weight(i);
+  }
+
+  // 2) Sensitivity upper bounds: s(p) = w(p) d²(p,B)/cost(B) + w(p)/W(b(p)).
+  //    (Feldman–Langberg; the additive term guards points in small
+  //    clusters whose cost can spike under adversarial centers.)
+  std::vector<double> sens(n);
+  double total_sens = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = data.weight(i);
+    const double cost_term = cost_b > 0.0 ? w * dist2[i] / cost_b : 0.0;
+    const double cluster_term =
+        cluster_weight[assign[i]] > 0.0 ? w / cluster_weight[assign[i]] : 0.0;
+    sens[i] = cost_term + cluster_term;
+    total_sens += sens[i];
+  }
+  EKM_ENSURES_MSG(total_sens > 0.0, "degenerate sensitivities");
+
+  // 3) Draw sample_size i.i.d. points ∝ sensitivity; weight t/(N s(q)) w(q).
+  //    Alias table: O(n) setup + O(1) per draw keeps the device budget
+  //    at ˜O(n) regardless of |S|.
+  const std::size_t N = opts.sample_size;
+  const AliasTable table(sens);
+  std::vector<std::size_t> picks(N);
+  for (std::size_t s = 0; s < N; ++s) picks[s] = table.sample(rng);
+
+  std::vector<double> sample_weight(N);
+  for (std::size_t s = 0; s < N; ++s) {
+    sample_weight[s] = total_sens / (static_cast<double>(N) * sens[picks[s]]) *
+                       data.weight(picks[s]);
+  }
+
+  // 4) Optionally add the bicriteria centers so cluster masses — and
+  //    hence the total weight — are matched deterministically ([4]).
+  std::size_t extra = opts.include_bicriteria_centers ? b : 0;
+  Matrix pts(N + extra, d);
+  std::vector<double> weights(N + extra, 0.0);
+  for (std::size_t s = 0; s < N; ++s) {
+    auto src = data.point(picks[s]);
+    std::copy(src.begin(), src.end(), pts.row(s).begin());
+    weights[s] = sample_weight[s];
+  }
+  if (opts.include_bicriteria_centers) {
+    // "Weights set to match the number of points per cluster" ([4]): if a
+    // cluster's sampled mass overshoots its true mass, rescale the samples
+    // in that cluster; otherwise the center carries the residual. Either
+    // way the total coreset weight equals the input weight exactly.
+    std::vector<double> sampled_mass(b, 0.0);
+    for (std::size_t s = 0; s < N; ++s) {
+      sampled_mass[assign[picks[s]]] += weights[s];
+    }
+    std::vector<double> cluster_scale(b, 1.0);
+    for (std::size_t c = 0; c < b; ++c) {
+      if (sampled_mass[c] > cluster_weight[c] && sampled_mass[c] > 0.0) {
+        cluster_scale[c] = cluster_weight[c] / sampled_mass[c];
+      }
+    }
+    for (std::size_t s = 0; s < N; ++s) {
+      weights[s] *= cluster_scale[assign[picks[s]]];
+    }
+    for (std::size_t c = 0; c < b; ++c) {
+      auto src = b_centers.row(c);
+      std::copy(src.begin(), src.end(), pts.row(N + c).begin());
+      weights[N + c] =
+          std::max(0.0, cluster_weight[c] -
+                            std::min(sampled_mass[c], cluster_weight[c]));
+    }
+  }
+
+  Coreset cs;
+  cs.points = Dataset(std::move(pts), std::move(weights));
+  return cs;
+}
+
+Coreset uniform_sample_coreset(const Dataset& data, std::size_t sample_size,
+                               Rng& rng) {
+  EKM_EXPECTS(!data.empty() && sample_size >= 1);
+  const std::size_t n = data.size();
+  if (sample_size >= n) return passthrough_coreset(data);
+
+  const double total_w = data.total_weight();
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  Matrix pts(sample_size, data.dim());
+  std::vector<double> weights(sample_size,
+                              total_w / static_cast<double>(sample_size));
+  for (std::size_t s = 0; s < sample_size; ++s) {
+    auto src = data.point(pick(rng));
+    std::copy(src.begin(), src.end(), pts.row(s).begin());
+  }
+  Coreset cs;
+  cs.points = Dataset(std::move(pts), std::move(weights));
+  return cs;
+}
+
+std::size_t fss_coreset_size(std::size_t k, double epsilon, double delta,
+                             std::size_t n) {
+  EKM_EXPECTS(epsilon > 0.0 && delta > 0.0 && delta < 1.0 && k >= 1);
+  const double kd = static_cast<double>(k);
+  const double lg = std::log2(kd + 1.0);
+  // ˜O(k³ log²k ε⁻⁴ log(1/δ)) with a laptop-scale constant: the theory
+  // constant (~5e4, §6.3.2) would exceed n for every feasible experiment.
+  const double raw = kd * kd * kd * lg * lg * std::log(1.0 / delta) /
+                     (epsilon * epsilon * epsilon * epsilon) * 0.05;
+  const double lo = 4.0 * kd;
+  return static_cast<std::size_t>(
+      std::clamp(raw, lo, static_cast<double>(n)));
+}
+
+}  // namespace ekm

@@ -1,0 +1,52 @@
+// Sensitivity (importance) sampling coreset construction
+// [Langberg–Schulman '10; Feldman–Langberg '11 — the framework behind
+// FSS and disSS in the paper].
+//
+// Given a rough bicriteria solution B, the sensitivity of a point bounds
+// its worst-case share of the k-means cost over all center sets; sampling
+// proportionally to (an upper bound on) sensitivity and reweighting
+// inversely yields an unbiased cost estimator with ε-coreset
+// concentration once the sample is large enough (Theorem 3.2).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "cr/coreset.hpp"
+#include "data/dataset.hpp"
+#include "kmeans/bicriteria.hpp"
+
+namespace ekm {
+
+struct SensitivitySampleOptions {
+  std::size_t k = 2;
+  std::size_t sample_size = 100;
+  /// If true (the [4] variant the paper leans on in Theorem 6.1's proof),
+  /// the bicriteria centers join the coreset with weights that top the
+  /// cluster masses up so that the total coreset weight equals the total
+  /// input weight deterministically.
+  bool include_bicriteria_centers = true;
+  BicriteriaOptions bicriteria{};
+};
+
+/// Sensitivity-sampling ε-coreset of `data` (no Δ, no basis — callers
+/// like FSS attach those). Requires sample_size >= 1 and a non-empty
+/// input. If sample_size >= n the input is returned verbatim as a
+/// trivially exact coreset.
+[[nodiscard]] Coreset sensitivity_sample(const Dataset& data,
+                                         const SensitivitySampleOptions& opts,
+                                         Rng& rng);
+
+/// Uniform-sampling baseline coreset (same reweighting, no sensitivities).
+/// Used by tests and the ablation bench to show why sensitivity sampling
+/// is needed for heavy-tailed cost distributions.
+[[nodiscard]] Coreset uniform_sample_coreset(const Dataset& data,
+                                             std::size_t sample_size, Rng& rng);
+
+/// The FSS-paper default coreset cardinality ˜O(k³ ε⁻⁴ log² k log(1/δ)),
+/// with the constant chosen so laptop-scale experiments stay in the
+/// sublinear regime; clamped to [4k, n].
+[[nodiscard]] std::size_t fss_coreset_size(std::size_t k, double epsilon,
+                                           double delta, std::size_t n);
+
+}  // namespace ekm

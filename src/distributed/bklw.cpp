@@ -1,0 +1,64 @@
+#include "distributed/bklw.hpp"
+
+#include <algorithm>
+
+#include "distributed/dispca.hpp"
+#include "distributed/disss.hpp"
+#include "dr/pca.hpp"
+#include "net/summary_codec.hpp"
+
+namespace ekm {
+
+Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
+                     Network& net, Stopwatch& device_work, std::uint64_t seed) {
+  EKM_EXPECTS(!parts.empty());
+  std::size_t n_total = 0;
+  std::size_t d = 0;
+  for (const Dataset& p : parts) {
+    n_total += p.size();
+    if (p.size() > 0) d = p.dim();
+  }
+  EKM_EXPECTS_MSG(n_total > 0, "all sources empty");
+
+  // --- disPCA: merge the global principal subspace. ---
+  DisPcaOptions popts;
+  const std::size_t t = opts.intrinsic_dim > 0
+                            ? opts.intrinsic_dim
+                            : fss_intrinsic_dim(opts.k, opts.epsilon, n_total, d);
+  popts.t1 = t;
+  popts.t2 = t;
+  const DisPcaResult pca = dispca(parts, popts, net, device_work);
+
+  // --- each source projects locally: coords_i = A_i V (n_i x t2). ---
+  // (The ambient projected set of Theorem 5.1 is coords · V^T; working in
+  // coordinates is equivalent for sampling and k-means since V is
+  // orthonormal, and it is what keeps the disSS uplink at t2 scalars per
+  // point.)
+  std::vector<Dataset> projected(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].empty()) continue;
+    auto scope = device_work.measure();
+    const Matrix v = decode_matrix(net.downlink(i).receive());
+    Matrix coords = matmul(parts[i].points(), v);
+    projected[i] = parts[i].is_weighted()
+                       ? Dataset(std::move(coords), *parts[i].weights())
+                       : Dataset(std::move(coords));
+  }
+
+  // --- disSS on the projected data. ---
+  DisSsOptions sopts;
+  sopts.k = opts.k;
+  sopts.total_samples =
+      opts.total_samples > 0
+          ? opts.total_samples
+          : disss_sample_size(opts.k, opts.epsilon, opts.delta, parts.size(),
+                              n_total);
+  sopts.significant_bits = opts.significant_bits;
+  Coreset coreset = disss(projected, sopts, net, device_work, seed);
+
+  coreset.delta = 0.0;
+  coreset.basis = pca.v.transposed();  // t2 x d
+  return coreset;
+}
+
+}  // namespace ekm

@@ -1,0 +1,78 @@
+#include "distributed/dispca.hpp"
+
+#include <algorithm>
+
+#include "linalg/svd.hpp"
+#include "net/summary_codec.hpp"
+
+namespace ekm {
+
+DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
+                    Network& net, Stopwatch& device_work) {
+  EKM_EXPECTS(!parts.empty());
+  EKM_EXPECTS(parts.size() == net.num_sources());
+  std::size_t d = 0;
+  for (const Dataset& p : parts) {
+    if (!p.empty()) {
+      d = p.dim();
+      break;
+    }
+  }
+  EKM_EXPECTS_MSG(d > 0, "all sources empty");
+
+  // --- data sources: local SVD, uplink (Σ^(t1), V^(t1)). ---
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EKM_EXPECTS_MSG(parts[i].empty() || parts[i].dim() == d,
+                    "sources disagree on dimension");
+    if (parts[i].empty()) {
+      net.uplink(i).send(encode_matrix(Matrix(0, 0)));
+      net.uplink(i).send(encode_matrix(Matrix(0, 0)));
+      continue;
+    }
+    Matrix sigma_row;  // 1 x t1
+    Matrix v_t1;       // d x t1
+    {
+      auto scope = device_work.measure();
+      const std::size_t t1 =
+          std::min({opts.t1, parts[i].size(), parts[i].dim()});
+      Svd svd = truncated_svd(parts[i].points(), t1);
+      sigma_row = Matrix(1, svd.rank());
+      for (std::size_t j = 0; j < svd.rank(); ++j) sigma_row(0, j) = svd.sigma[j];
+      v_t1 = svd.v;
+    }
+    net.uplink(i).send(encode_matrix(sigma_row));
+    net.uplink(i).send(encode_matrix(v_t1));
+  }
+
+  // --- server: stack Y_i = Σ_i^(t1) V_i^(t1)^T, global SVD. ---
+  Matrix y;  // (Σ_i t1_i) x d
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Matrix sigma_row = decode_matrix(net.uplink(i).receive());
+    const Matrix v_t1 = decode_matrix(net.uplink(i).receive());
+    if (sigma_row.size() == 0) continue;
+    // Y_i rows: sigma_j * (column j of V)^T.
+    Matrix yi(sigma_row.cols(), d);
+    for (std::size_t j = 0; j < sigma_row.cols(); ++j) {
+      for (std::size_t c = 0; c < d; ++c) {
+        yi(j, c) = sigma_row(0, j) * v_t1(c, j);
+      }
+    }
+    y.append_rows(yi);
+  }
+  EKM_ENSURES_MSG(y.rows() > 0, "all sources empty");
+
+  const std::size_t t2 = std::min({opts.t2, y.rows(), d});
+  Svd global = truncated_svd(y, t2);
+
+  DisPcaResult result;
+  result.v = global.v;  // d x t2
+
+  // --- server -> sources: broadcast the merged basis (downlink, not
+  // counted by the paper's metric but measured by the ledger). ---
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    net.downlink(i).send(encode_matrix(result.v));
+  }
+  return result;
+}
+
+}  // namespace ekm

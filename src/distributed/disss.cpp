@@ -1,0 +1,159 @@
+#include "distributed/disss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "kmeans/cost.hpp"
+#include "net/summary_codec.hpp"
+#include "qt/quantizer.hpp"
+
+namespace ekm {
+
+Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
+              Network& net, Stopwatch& device_work, std::uint64_t seed) {
+  EKM_EXPECTS(!parts.empty());
+  EKM_EXPECTS(parts.size() == net.num_sources());
+  EKM_EXPECTS(opts.total_samples >= parts.size());
+  const std::size_t m = parts.size();
+
+  // --- step 1: local bicriteria solutions, uplink local costs. ---
+  std::vector<Matrix> local_centers(m);
+  std::vector<double> local_cost(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (parts[i].empty()) {
+      net.uplink(i).send(encode_scalar(0.0));
+      continue;
+    }
+    Rng rng = make_rng(seed, 2 * i);
+    {
+      auto scope = device_work.measure();
+      BicriteriaOptions bopts = opts.bicriteria;
+      bopts.k = opts.k;
+      local_centers[i] = bicriteria_centers(parts[i], bopts, rng);
+      local_cost[i] = kmeans_cost(parts[i], local_centers[i]);
+    }
+    net.uplink(i).send(encode_scalar(local_cost[i]));
+  }
+
+  // --- step 2: server allocates the sample budget ∝ cost. ---
+  double total_cost = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    total_cost += decode_scalar(net.uplink(i).receive());
+  }
+  std::vector<std::size_t> alloc(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    alloc[i] = total_cost > 0.0
+                   ? static_cast<std::size_t>(std::llround(
+                         static_cast<double>(opts.total_samples) *
+                         local_cost[i] / total_cost))
+                   : opts.total_samples / m;
+    net.downlink(i).send(encode_scalar(static_cast<double>(alloc[i])));
+  }
+
+  // --- step 3: sources sample ∝ cost({p}, X_i), uplink S_i ∪ X_i. ---
+  for (std::size_t i = 0; i < m; ++i) {
+    if (parts[i].empty()) {
+      net.uplink(i).send(encode_coreset(Coreset{}, opts.significant_bits));
+      continue;
+    }
+    const auto si = static_cast<std::size_t>(
+        decode_scalar(net.downlink(i).receive()));
+    Coreset local;
+    {
+      auto scope = device_work.measure();
+      Rng rng = make_rng(seed, 2 * i + 1);
+      const Dataset& p = parts[i];
+      const std::size_t n = p.size();
+      const Matrix& xi = local_centers[i];
+      const std::size_t b = xi.rows();
+
+      std::vector<std::size_t> assign(n);
+      std::vector<double> contrib(n);
+      std::vector<double> cluster_weight(b, 0.0);
+      double cost_i = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const NearestCenter nc = nearest_center(p.point(j), xi);
+        assign[j] = nc.index;
+        contrib[j] = p.weight(j) * nc.sq_dist;
+        cost_i += contrib[j];
+        cluster_weight[nc.index] += p.weight(j);
+      }
+
+      const std::size_t rows = std::min(si, n);
+      Matrix pts(rows + b, p.dim());
+      std::vector<double> weights(rows + b, 0.0);
+      std::vector<double> sampled_mass(b, 0.0);
+      std::vector<std::size_t> assign_of_pick(rows, 0);
+      if (rows > 0 && cost_i > 0.0) {
+        std::uniform_real_distribution<double> unif(0.0, cost_i);
+        for (std::size_t s = 0; s < rows; ++s) {
+          double r = unif(rng);
+          std::size_t pick = n - 1;
+          for (std::size_t j = 0; j < n; ++j) {
+            r -= contrib[j];
+            if (r <= 0.0) {
+              pick = j;
+              break;
+            }
+          }
+          auto src = p.point(pick);
+          std::copy(src.begin(), src.end(), pts.row(s).begin());
+          // Reweighting of [4]: across sources the union is a
+          // cost-proportional sample of size `total_samples`, so the
+          // unbiased weight is w(p) · total_cost / (total_samples ·
+          // contrib(p)) with contrib(p) = w(p) d²(p, X_i).
+          weights[s] = p.weight(pick) * total_cost /
+                       (static_cast<double>(opts.total_samples) * contrib[pick]);
+          assign_of_pick[s] = assign[pick];
+          sampled_mass[assign[pick]] += weights[s];
+        }
+      }
+      // Step 3's "weights set to match the number of points per cluster":
+      // rescale overshooting clusters, then top residual mass up via the
+      // bicriteria centers, keeping the total weight exact.
+      for (std::size_t c = 0; c < b; ++c) {
+        if (sampled_mass[c] > cluster_weight[c] && sampled_mass[c] > 0.0) {
+          const double scale = cluster_weight[c] / sampled_mass[c];
+          for (std::size_t s = 0; s < rows; ++s) {
+            if (assign_of_pick[s] == c) weights[s] *= scale;
+          }
+          sampled_mass[c] = cluster_weight[c];
+        }
+      }
+      for (std::size_t c = 0; c < b; ++c) {
+        auto src = xi.row(c);
+        std::copy(src.begin(), src.end(), pts.row(rows + c).begin());
+        weights[rows + c] = std::max(0.0, cluster_weight[c] - sampled_mass[c]);
+      }
+      local.points = Dataset(std::move(pts), std::move(weights));
+    }
+    net.uplink(i).send(encode_coreset(local, opts.significant_bits));
+  }
+
+  // --- step 4: server unions the local coresets. ---
+  Coreset merged;
+  std::vector<Dataset> pieces;
+  for (std::size_t i = 0; i < m; ++i) {
+    Coreset local = decode_coreset(net.uplink(i).receive());
+    if (local.size() > 0) pieces.push_back(std::move(local.points));
+  }
+  EKM_ENSURES_MSG(!pieces.empty(), "disSS produced an empty coreset");
+  merged.points = concatenate(pieces);
+  return merged;
+}
+
+std::size_t disss_sample_size(std::size_t k, double epsilon, double delta,
+                              std::size_t m, std::size_t n) {
+  EKM_EXPECTS(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+  const double kd = static_cast<double>(k);
+  const double md = static_cast<double>(m);
+  const double e2 = epsilon * epsilon;
+  // ε⁻⁴(k²/ε² + log 1/δ) + mk log(mk/δ), scaled to laptop constants.
+  const double raw = (kd * kd / e2 + std::log(1.0 / delta)) / (e2 * e2) * 0.02 +
+                     md * kd * std::log(md * kd / delta);
+  return static_cast<std::size_t>(
+      std::clamp(raw, 2.0 * md * kd, static_cast<double>(n)));
+}
+
+}  // namespace ekm

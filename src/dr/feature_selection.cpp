@@ -1,0 +1,73 @@
+#include "dr/feature_selection.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "linalg/svd.hpp"
+
+namespace ekm {
+namespace {
+
+FeatureSelection build_selection(std::span<const double> probs, std::size_t d,
+                                 std::size_t t, Rng& rng) {
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EKM_EXPECTS_MSG(total > 0.0, "degenerate feature probabilities");
+
+  FeatureSelection sel;
+  sel.indices.reserve(t);
+  sel.scales.reserve(t);
+  std::uniform_real_distribution<double> unif(0.0, total);
+  for (std::size_t s = 0; s < t; ++s) {
+    double r = unif(rng);
+    std::size_t pick = d - 1;
+    for (std::size_t j = 0; j < d; ++j) {
+      r -= probs[j];
+      if (r <= 0.0) {
+        pick = j;
+        break;
+      }
+    }
+    sel.indices.push_back(pick);
+    const double p = probs[pick] / total;
+    sel.scales.push_back(1.0 / std::sqrt(static_cast<double>(t) * p));
+  }
+
+  Matrix pi(d, t);
+  for (std::size_t s = 0; s < t; ++s) pi(sel.indices[s], s) = sel.scales[s];
+  sel.map = LinearMap(std::move(pi));
+  return sel;
+}
+
+}  // namespace
+
+FeatureSelection select_features_norm(const Dataset& data, std::size_t t,
+                                      Rng& rng) {
+  EKM_EXPECTS(!data.empty());
+  EKM_EXPECTS(t >= 1);
+  const std::size_t d = data.dim();
+  std::vector<double> col_norm_sq(d, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto row = data.point(i);
+    for (std::size_t j = 0; j < d; ++j) col_norm_sq[j] += row[j] * row[j];
+  }
+  return build_selection(col_norm_sq, d, t, rng);
+}
+
+FeatureSelection select_features_leverage(const Dataset& data, std::size_t t,
+                                          std::size_t k, Rng& rng) {
+  EKM_EXPECTS(!data.empty());
+  EKM_EXPECTS(t >= 1 && k >= 1);
+  const std::size_t d = data.dim();
+  const Svd svd = truncated_svd(data.points(), k);
+  // Leverage score of column j: squared norm of the j-th row of V_k.
+  std::vector<double> leverage(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t c = 0; c < svd.rank(); ++c) {
+      leverage[j] += svd.v(j, c) * svd.v(j, c);
+    }
+  }
+  return build_selection(leverage, d, t, rng);
+}
+
+}  // namespace ekm

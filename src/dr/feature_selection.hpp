@@ -1,0 +1,53 @@
+// Feature-selection dimensionality reduction (§2 of the paper, "feature
+// selection" branch; refs [15] Cohen et al.).
+//
+// Instead of projecting onto new features (JL/PCA), pick a weighted
+// subset of the ORIGINAL coordinates. Communication-wise a selection map
+// is free to describe (t column indices + t scales instead of a d x t
+// matrix), and the summary keeps interpretable attributes — the reason
+// feature selection stays attractive despite needing more features than
+// extraction for the same ε (O(k log k/ε²) vs O(log(k/ε)/ε²)).
+//
+// Two samplers are provided:
+//  * norm sampling    — columns ∝ squared column norm (cheap, one pass);
+//  * leverage sampling— columns ∝ rank-k leverage scores from a truncated
+//                       SVD (the [15]-style importance, costlier).
+// Both rescale selected columns by 1/sqrt(t p_j) so inner products are
+// unbiased, and both return an ordinary LinearMap (a scaled selection
+// matrix), so they compose with the pipelines like any other DR method.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "dr/linear_map.hpp"
+
+namespace ekm {
+
+struct FeatureSelection {
+  std::vector<std::size_t> indices;  ///< selected original coordinates
+  std::vector<double> scales;        ///< 1/sqrt(t p_j) per selected column
+  LinearMap map;                     ///< d x t scaled selection matrix
+
+  /// Scalars needed to describe the map on the wire: t indices + t
+  /// scales (vs d*t for a dense projection) — the communication edge of
+  /// selection over extraction.
+  [[nodiscard]] std::size_t description_scalars() const {
+    return indices.size() * 2;
+  }
+};
+
+/// Samples `t` features with probability proportional to squared column
+/// norm. Duplicates allowed (as in the sampling analyses).
+[[nodiscard]] FeatureSelection select_features_norm(const Dataset& data,
+                                                    std::size_t t, Rng& rng);
+
+/// Samples `t` features with probability proportional to their rank-k
+/// leverage scores (row norms of the top-k right singular vectors).
+[[nodiscard]] FeatureSelection select_features_leverage(const Dataset& data,
+                                                        std::size_t t,
+                                                        std::size_t k, Rng& rng);
+
+}  // namespace ekm

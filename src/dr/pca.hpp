@@ -1,0 +1,42 @@
+// PCA-based dimensionality reduction (§2 "feature extraction", and the
+// intrinsic-dimension reduction step of FSS / disPCA).
+//
+// Two flavours are needed by the paper's algorithms:
+//  * `pca_map` — a LinearMap onto the top-t right singular vectors
+//    (coordinates in R^t); transmitting its output requires also
+//    transmitting the basis, which is what makes FSS's communication cost
+//    linear in d (Theorem 4.1).
+//  * `pca_project_within` — Ā = A V_t V_t^T: points stay in R^d but lie
+//    in the t-dimensional principal subspace (the form used in Theorem
+//    5.1 and in FSS's intrinsic-dimension reduction), together with the
+//    squared projection residual that becomes the coreset's Δ term.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "dr/linear_map.hpp"
+#include "linalg/svd.hpp"
+
+namespace ekm {
+
+/// Result of projecting a dataset onto its top-t principal subspace.
+struct PcaProjection {
+  LinearMap map;          ///< Π = V_t (d x t); coords = A V_t
+  Dataset coords;         ///< points in R^t (weights preserved)
+  double residual_sq = 0; ///< ||A - A V_t V_t^T||_F^2 = Σ_{j>t} σ_j² — the Δ
+                          ///< constant of Definition 3.2 / Theorem 5.1
+};
+
+/// Exact PCA via thin SVD. `t` is clamped to min(n, d). O(nd min(n, d)).
+[[nodiscard]] PcaProjection pca_project(const Dataset& data, std::size_t t);
+
+/// Ā = A V_t V_t^T in the ambient space (rows still d-dimensional).
+[[nodiscard]] Dataset pca_project_within(const PcaProjection& pca);
+
+/// FSS/disPCA intrinsic dimension t1 = t2 = k + ceil(4k/ε²) - 1
+/// (Theorem 5.1), clamped to the data's rank bound.
+[[nodiscard]] std::size_t fss_intrinsic_dim(std::size_t k, double epsilon,
+                                            std::size_t n, std::size_t d);
+
+}  // namespace ekm

@@ -1,0 +1,72 @@
+#include "kmeans/bicriteria.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "kmeans/cost.hpp"
+
+namespace ekm {
+
+Matrix bicriteria_centers(const Dataset& data, const BicriteriaOptions& opts,
+                          Rng& rng) {
+  EKM_EXPECTS(opts.k >= 1 && opts.rounds >= 1 && !data.empty());
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  const auto per_round = static_cast<std::size_t>(
+      std::ceil(opts.beta * static_cast<double>(opts.k)));
+
+  Matrix centers;
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  std::vector<double> probs(n);
+  std::uniform_real_distribution<double> unif;
+
+  for (int round = 0; round < opts.rounds; ++round) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      probs[i] = data.weight(i) * (round == 0 ? 1.0 : d2[i]);
+      total += probs[i];
+    }
+    if (total <= 0.0) break;  // every point already has a zero-cost center
+
+    Matrix round_centers(std::min(per_round, n), d);
+    for (std::size_t c = 0; c < round_centers.rows(); ++c) {
+      double r = unif(rng) * total;
+      std::size_t pick = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        r -= probs[i];
+        if (r <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+      std::copy(data.point(pick).begin(), data.point(pick).end(),
+                round_centers.row(c).begin());
+    }
+    centers.append_rows(round_centers);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const double nd = nearest_center(data.point(i), round_centers).sq_dist;
+      d2[i] = std::min(d2[i], nd);
+    }
+  }
+  EKM_ENSURES(centers.rows() >= 1);
+  return centers;
+}
+
+double estimate_opt_cost_lower_bound(const Dataset& data, std::size_t k,
+                                     int repeats, Rng& rng) {
+  EKM_EXPECTS(repeats >= 1);
+  BicriteriaOptions opts;
+  opts.k = k;
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const Matrix centers = bicriteria_centers(data, opts, rng);
+    best = std::min(best, kmeans_cost(data, centers));
+  }
+  // cost(P, X) <= 20 * OPT with high probability => OPT >= cost/20.
+  return best / 20.0;
+}
+
+}  // namespace ekm

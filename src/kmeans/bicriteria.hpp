@@ -1,0 +1,42 @@
+// Bicriteria k-means approximation by adaptive (D^2) sampling
+// [Aggarwal–Deshpande–Kannan, APPROX'09 — refs [36]/[42] of the paper].
+//
+// Returns O(beta * k) centers whose cost is, with constant probability, a
+// constant-factor approximation of the optimal k-means cost. Used in two
+// places:
+//  * sensitivity sampling (CR) needs a rough solution to compute
+//    sensitivities against;
+//  * disSS step 1 has every data source compute a local bicriteria
+//    solution and report its cost for proportional sample allocation;
+//  * §6.3.1 estimates the lower bound E = cost(P, X)/20 on the optimal
+//    cost from the best of log(1/δ) repetitions.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ekm {
+
+struct BicriteriaOptions {
+  std::size_t k = 2;
+  double beta = 3.0;   ///< centers per round = ceil(beta * k)
+  int rounds = 4;      ///< adaptive sampling rounds
+};
+
+/// One adaptive-sampling run: in each round, draws ceil(beta*k) points
+/// with probability proportional to weight x squared distance to the
+/// centers chosen so far (first round: proportional to weight).
+[[nodiscard]] Matrix bicriteria_centers(const Dataset& data,
+                                        const BicriteriaOptions& opts, Rng& rng);
+
+/// Best-of-`repeats` bicriteria cost, divided by 20: a probabilistic
+/// lower bound on cost(P, X*) per [36] (§6.3.1 of the paper). `repeats`
+/// plays the role of log(1/δ).
+[[nodiscard]] double estimate_opt_cost_lower_bound(const Dataset& data,
+                                                   std::size_t k, int repeats,
+                                                   Rng& rng);
+
+}  // namespace ekm

@@ -1,0 +1,56 @@
+#include "kmeans/cost.hpp"
+
+namespace ekm {
+
+NearestCenter nearest_center(std::span<const double> p, const Matrix& centers) {
+  EKM_EXPECTS_MSG(centers.rows() > 0, "no centers");
+  NearestCenter best{0, squared_distance(p, centers.row(0))};
+  for (std::size_t c = 1; c < centers.rows(); ++c) {
+    const double d2 = squared_distance(p, centers.row(c));
+    if (d2 < best.sq_dist) best = {c, d2};
+  }
+  return best;
+}
+
+double kmeans_cost(const Dataset& data, const Matrix& centers) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cost += data.weight(i) * nearest_center(data.point(i), centers).sq_dist;
+  }
+  return cost;
+}
+
+std::vector<std::size_t> assign_to_centers(const Dataset& data,
+                                           const Matrix& centers) {
+  std::vector<std::size_t> assign(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    assign[i] = nearest_center(data.point(i), centers).index;
+  }
+  return assign;
+}
+
+std::vector<double> weighted_mean(const Dataset& data) {
+  EKM_EXPECTS(!data.empty());
+  std::vector<double> mean(data.dim(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double w = data.weight(i);
+    total += w;
+    auto p = data.point(i);
+    for (std::size_t j = 0; j < data.dim(); ++j) mean[j] += w * p[j];
+  }
+  EKM_EXPECTS_MSG(total > 0.0, "total weight must be positive");
+  for (double& v : mean) v /= total;
+  return mean;
+}
+
+double one_means_cost(const Dataset& data) {
+  const std::vector<double> mu = weighted_mean(data);
+  double cost = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cost += data.weight(i) * squared_distance(data.point(i), mu);
+  }
+  return cost;
+}
+
+}  // namespace ekm

@@ -1,0 +1,181 @@
+#include "kmeans/elkan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ekm {
+namespace {
+
+double distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace
+
+KMeansResult elkan(const Dataset& data, Matrix initial_centers,
+                   const KMeansOptions& opts, std::uint64_t* distance_evals) {
+  EKM_EXPECTS(!data.empty());
+  EKM_EXPECTS(initial_centers.rows() >= 1);
+  EKM_EXPECTS(initial_centers.cols() == data.dim());
+  const std::size_t n = data.size();
+  const std::size_t k = initial_centers.rows();
+  const std::size_t d = data.dim();
+  std::uint64_t evals = 0;
+
+  KMeansResult res;
+  res.centers = std::move(initial_centers);
+  res.assignment.assign(n, 0);
+
+  // Bounds: upper[i] >= d(x_i, c_{a(i)}); lower[i][c] <= d(x_i, c).
+  std::vector<double> upper(n);
+  Matrix lower(n, k);
+
+  // Initial exact assignment.
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double dist = distance(data.point(i), res.centers.row(c));
+      ++evals;
+      lower(i, c) = dist;
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    res.assignment[i] = best_c;
+    upper[i] = best;
+  }
+
+  Matrix half_cc(k, k);           // 0.5 * d(c, c')
+  std::vector<double> s(k);       // 0.5 * min_{c' != c} d(c, c')
+  Matrix sums(k, d);
+  std::vector<double> mass(k);
+  std::vector<double> shift(k);
+  Matrix new_centers(k, d);
+
+  double prev_cost = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < opts.max_iters; ++it) {
+    // Inter-center distances.
+    for (std::size_t c = 0; c < k; ++c) {
+      s[c] = std::numeric_limits<double>::infinity();
+      for (std::size_t c2 = 0; c2 < k; ++c2) {
+        if (c2 == c) continue;
+        const double dist =
+            0.5 * distance(res.centers.row(c), res.centers.row(c2));
+        half_cc(c, c2) = dist;
+        s[c] = std::min(s[c], dist);
+      }
+    }
+
+    // Assignment with pruning.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (upper[i] <= s[res.assignment[i]]) continue;  // whole point pruned
+      bool tight = false;  // is upper[i] the exact distance?
+      for (std::size_t c = 0; c < k; ++c) {
+        if (c == res.assignment[i]) continue;
+        if (upper[i] <= lower(i, c)) continue;
+        if (upper[i] <= half_cc(res.assignment[i], c)) continue;
+        if (!tight) {
+          upper[i] = distance(data.point(i), res.centers.row(res.assignment[i]));
+          ++evals;
+          lower(i, res.assignment[i]) = upper[i];
+          tight = true;
+          if (upper[i] <= lower(i, c) ||
+              upper[i] <= half_cc(res.assignment[i], c)) {
+            continue;
+          }
+        }
+        const double dist = distance(data.point(i), res.centers.row(c));
+        ++evals;
+        lower(i, c) = dist;
+        if (dist < upper[i]) {
+          res.assignment[i] = c;
+          upper[i] = dist;
+          // tight stays true: upper is exact for the new assignee.
+        }
+      }
+    }
+
+    // Weighted centroid update.
+    std::fill(sums.flat().begin(), sums.flat().end(), 0.0);
+    std::fill(mass.begin(), mass.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = data.weight(i);
+      if (w == 0.0) continue;
+      auto p = data.point(i);
+      auto row = sums.row(res.assignment[i]);
+      for (std::size_t j = 0; j < d; ++j) row[j] += w * p[j];
+      mass[res.assignment[i]] += w;
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      auto dst = new_centers.row(c);
+      if (mass[c] > 0.0) {
+        auto src = sums.row(c);
+        for (std::size_t j = 0; j < d; ++j) dst[j] = src[j] / mass[c];
+      } else {
+        // Empty cluster: keep the stale center (the plain-Lloyd reseat
+        // heuristic would invalidate all bounds; staying put preserves
+        // Elkan's invariants and matches the classic formulation).
+        auto src = res.centers.row(c);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      shift[c] = distance(res.centers.row(c), new_centers.row(c));
+    }
+
+    // Update bounds by center drift.
+    for (std::size_t i = 0; i < n; ++i) {
+      upper[i] += shift[res.assignment[i]];
+      for (std::size_t c = 0; c < k; ++c) {
+        lower(i, c) = std::max(0.0, lower(i, c) - shift[c]);
+      }
+    }
+    res.centers = new_centers;
+    res.iterations = it + 1;
+
+    double max_shift = 0.0;
+    for (double sh : shift) max_shift = std::max(max_shift, sh);
+    if (max_shift == 0.0) break;
+
+    // Cheap convergence check on the (upper-bound) cost.
+    double ub_cost = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ub_cost += data.weight(i) * upper[i] * upper[i];
+    }
+    if (std::isfinite(prev_cost) &&
+        std::fabs(prev_cost - ub_cost) <=
+            opts.rel_tol * std::max(prev_cost, 1e-300)) {
+      break;
+    }
+    prev_cost = ub_cost;
+  }
+
+  // Exact final assignment & cost.
+  double cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NearestCenter nc = nearest_center(data.point(i), res.centers);
+    res.assignment[i] = nc.index;
+    cost += data.weight(i) * nc.sq_dist;
+    evals += k;
+  }
+  res.cost = cost;
+  if (distance_evals != nullptr) *distance_evals = evals;
+  return res;
+}
+
+KMeansResult kmeans_elkan(const Dataset& data, const KMeansOptions& opts) {
+  EKM_EXPECTS(opts.k >= 1 && !data.empty());
+  KMeansResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, opts.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    Rng rng = make_rng(opts.seed, static_cast<std::uint64_t>(r));
+    Matrix seeds = kmeanspp_seed(data, opts.k, rng);
+    KMeansResult res = elkan(data, std::move(seeds), opts, nullptr);
+    if (res.cost < best.cost) best = std::move(res);
+  }
+  return best;
+}
+
+}  // namespace ekm

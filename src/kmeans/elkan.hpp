@@ -1,0 +1,28 @@
+// Elkan's accelerated exact Lloyd iteration (triangle-inequality
+// pruning). Produces the same fixed points as plain Lloyd but skips most
+// point-center distance evaluations once clusters stabilize — the
+// standard production solver for the server-side `kmeans(S', w, k)` call
+// when summaries are large or k is big.
+//
+// References: Elkan, "Using the triangle inequality to accelerate
+// k-means", ICML 2003. This implementation keeps the lower-bound matrix
+// and per-point upper bounds, with the usual weighted-centroid update.
+#pragma once
+
+#include "kmeans/lloyd.hpp"
+
+namespace ekm {
+
+/// Drop-in replacement for `lloyd`: same contract, same result semantics
+/// (deterministic given the initial centers), fewer distance evaluations.
+/// `stats_out`, if non-null, receives the number of exact distance
+/// computations performed (for the acceleration tests/bench).
+[[nodiscard]] KMeansResult elkan(const Dataset& data, Matrix initial_centers,
+                                 const KMeansOptions& opts,
+                                 std::uint64_t* distance_evals = nullptr);
+
+/// Full solver: k-means++ restarts with the Elkan iteration.
+[[nodiscard]] KMeansResult kmeans_elkan(const Dataset& data,
+                                        const KMeansOptions& opts);
+
+}  // namespace ekm

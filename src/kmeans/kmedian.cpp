@@ -1,0 +1,171 @@
+#include "kmeans/kmedian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "common/sampling.hpp"
+#include "kmeans/cost.hpp"
+
+namespace ekm {
+namespace {
+
+double nearest_distance(std::span<const double> p, const Matrix& centers,
+                        std::size_t* index_out = nullptr) {
+  const NearestCenter nc = nearest_center(p, centers);
+  if (index_out != nullptr) *index_out = nc.index;
+  return std::sqrt(nc.sq_dist);
+}
+
+// D-sampling (first power) seeding: the k-median analogue of k-means++.
+Matrix kmedianpp_seed(const Dataset& data, std::size_t k, Rng& rng) {
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  Matrix centers(std::min(k, n), d);
+
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = data.weight(i);
+  const AliasTable first(w);
+  const std::size_t f = first.sample(rng);
+  std::copy(data.point(f).begin(), data.point(f).end(),
+            centers.row(0).begin());
+
+  std::vector<double> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i] = std::sqrt(
+        squared_distance(data.point(i), centers.row(0)));
+  }
+  for (std::size_t c = 1; c < centers.rows(); ++c) {
+    std::vector<double> probs(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      probs[i] = data.weight(i) * dist[i];
+      total += probs[i];
+    }
+    std::size_t next;
+    if (total <= 0.0) {
+      std::uniform_int_distribution<std::size_t> unif(0, n - 1);
+      next = unif(rng);
+    } else {
+      next = AliasTable(probs).sample(rng);
+    }
+    std::copy(data.point(next).begin(), data.point(next).end(),
+              centers.row(c).begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      dist[i] = std::min(
+          dist[i], std::sqrt(squared_distance(data.point(i), centers.row(c))));
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+double kmedian_cost(const Dataset& data, const Matrix& centers) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    cost += data.weight(i) * nearest_distance(data.point(i), centers);
+  }
+  return cost;
+}
+
+std::vector<double> geometric_median(const Dataset& data, int max_iters,
+                                     double tol) {
+  EKM_EXPECTS(!data.empty());
+  const std::size_t d = data.dim();
+  // Start from the weighted mean.
+  std::vector<double> y = weighted_mean(data);
+
+  for (int it = 0; it < max_iters; ++it) {
+    double denom = 0.0;
+    std::vector<double> num(d, 0.0);
+    bool on_point = false;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double dist = std::sqrt(squared_distance(data.point(i), y));
+      if (dist < 1e-12) {
+        on_point = true;
+        continue;  // Weiszfeld guard: skip coincident points this step
+      }
+      const double w = data.weight(i) / dist;
+      denom += w;
+      auto p = data.point(i);
+      for (std::size_t j = 0; j < d; ++j) num[j] += w * p[j];
+    }
+    if (denom <= 0.0) break;  // all mass sits exactly on y
+    double shift = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double next = num[j] / denom;
+      shift += (next - y[j]) * (next - y[j]);
+      y[j] = next;
+    }
+    if (std::sqrt(shift) < tol && !on_point) break;
+  }
+  return y;
+}
+
+KMedianResult kmedian(const Dataset& data, const KMedianOptions& opts) {
+  EKM_EXPECTS(!data.empty());
+  EKM_EXPECTS(opts.k >= 1);
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+
+  KMedianResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, opts.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    Rng rng = make_rng(opts.seed, 0x3edULL + static_cast<std::uint64_t>(r));
+    Matrix centers = kmedianpp_seed(data, opts.k, rng);
+    std::vector<std::size_t> assign(n, 0);
+
+    double prev = std::numeric_limits<double>::infinity();
+    int iters = 0;
+    for (int it = 0; it < opts.max_iters; ++it) {
+      iters = it + 1;
+      // Assignment.
+      double cost = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        cost += data.weight(i) *
+                nearest_distance(data.point(i), centers, &assign[i]);
+      }
+      if (std::isfinite(prev) && prev - cost <= 1e-9 * std::max(prev, 1e-300)) {
+        break;
+      }
+      prev = cost;
+
+      // Per-cluster Weiszfeld re-centering.
+      for (std::size_t c = 0; c < centers.rows(); ++c) {
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (assign[i] == c && data.weight(i) > 0.0) members.push_back(i);
+        }
+        if (members.empty()) continue;
+        Matrix pts(members.size(), d);
+        std::vector<double> w(members.size());
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          auto src = data.point(members[m]);
+          std::copy(src.begin(), src.end(), pts.row(m).begin());
+          w[m] = data.weight(members[m]);
+        }
+        const std::vector<double> median = geometric_median(
+            Dataset(std::move(pts), std::move(w)), opts.weiszfeld_iters);
+        std::copy(median.begin(), median.end(), centers.row(c).begin());
+      }
+    }
+
+    const double final_cost = kmedian_cost(data, centers);
+    if (final_cost < best.cost) {
+      best.cost = final_cost;
+      best.centers = std::move(centers);
+      best.assignment = std::move(assign);
+      best.iterations = iters;
+    }
+  }
+  // Refresh the assignment for the winning centers.
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)nearest_distance(data.point(i), best.centers, &best.assignment[i]);
+  }
+  return best;
+}
+
+}  // namespace ekm

@@ -1,0 +1,47 @@
+// k-Median clustering — the companion objective of the paper's coreset
+// machinery (ref [4] is "distributed k-means and k-median clustering";
+// the JL guarantee of ref [10] covers k-medians as well).
+//
+// cost_med(P, X) = Σ_p w(p) · min_x ||p - x||  (distances, not squares).
+// The alternating solver uses Weiszfeld's algorithm for the geometric
+// median inside each cluster, and the same D-sampling seeding with
+// first-power distances. Included so summaries built by this library can
+// back both objectives, as the coreset literature intends.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "kmeans/lloyd.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ekm {
+
+/// Σ w(p) min_x ||p - x|| over the rows of `centers`.
+[[nodiscard]] double kmedian_cost(const Dataset& data, const Matrix& centers);
+
+/// Weighted geometric median by Weiszfeld iteration (with the standard
+/// perturbation guard when an iterate lands on a data point).
+[[nodiscard]] std::vector<double> geometric_median(const Dataset& data,
+                                                   int max_iters = 100,
+                                                   double tol = 1e-9);
+
+struct KMedianOptions {
+  std::size_t k = 2;
+  int max_iters = 60;        ///< outer assignment/re-center rounds
+  int weiszfeld_iters = 30;  ///< inner geometric-median iterations
+  int restarts = 5;
+  std::uint64_t seed = 42;
+};
+
+struct KMedianResult {
+  Matrix centers;
+  double cost = 0.0;
+  std::vector<std::size_t> assignment;
+  int iterations = 0;
+};
+
+/// Alternating k-median: D-sampled seeding, nearest-center assignment,
+/// per-cluster Weiszfeld re-centering; best of `restarts`.
+[[nodiscard]] KMedianResult kmedian(const Dataset& data,
+                                    const KMedianOptions& opts);
+
+}  // namespace ekm

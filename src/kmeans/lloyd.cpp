@@ -1,0 +1,240 @@
+#include "kmeans/lloyd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace ekm {
+namespace {
+
+// Draws an index with probability proportional to probs[i] (need not be
+// normalized; total > 0 required).
+std::size_t sample_proportional(std::span<const double> probs, double total,
+                                Rng& rng) {
+  std::uniform_real_distribution<double> unif(0.0, total);
+  double r = unif(rng);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    r -= probs[i];
+    if (r <= 0.0) return i;
+  }
+  return probs.size() - 1;  // numeric slack lands on the last index
+}
+
+}  // namespace
+
+Matrix kmeanspp_seed(const Dataset& data, std::size_t k, Rng& rng) {
+  EKM_EXPECTS(k >= 1 && !data.empty());
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  Matrix centers(std::min(k, n), d);
+
+  // First center ∝ weight.
+  std::vector<double> probs(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    probs[i] = data.weight(i);
+    total += probs[i];
+  }
+  EKM_EXPECTS_MSG(total > 0.0, "all weights are zero");
+  std::size_t first = sample_proportional(probs, total, rng);
+  std::copy(data.point(first).begin(), data.point(first).end(),
+            centers.row(0).begin());
+
+  // Maintain squared distance to the nearest chosen center.
+  std::vector<double> d2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d2[i] = squared_distance(data.point(i), centers.row(0));
+  }
+
+  for (std::size_t c = 1; c < centers.rows(); ++c) {
+    total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      probs[i] = data.weight(i) * d2[i];
+      total += probs[i];
+    }
+    std::size_t next;
+    if (total <= 0.0) {
+      // All mass already covered (duplicate points): any point works.
+      std::uniform_int_distribution<std::size_t> unif(0, n - 1);
+      next = unif(rng);
+    } else {
+      next = sample_proportional(probs, total, rng);
+    }
+    std::copy(data.point(next).begin(), data.point(next).end(),
+              centers.row(c).begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], squared_distance(data.point(i), centers.row(c)));
+    }
+  }
+  return centers;
+}
+
+KMeansResult lloyd(const Dataset& data, Matrix initial_centers,
+                   const KMeansOptions& opts) {
+  EKM_EXPECTS(!data.empty());
+  EKM_EXPECTS(initial_centers.cols() == data.dim());
+  const std::size_t n = data.size();
+  const std::size_t k = initial_centers.rows();
+  const std::size_t d = data.dim();
+
+  KMeansResult res;
+  res.centers = std::move(initial_centers);
+  res.assignment.assign(n, 0);
+  double prev_cost = std::numeric_limits<double>::infinity();
+
+  std::vector<double> cluster_weight(k, 0.0);
+  Matrix sums(k, d);
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    // Assignment step.
+    double cost = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NearestCenter nc = nearest_center(data.point(i), res.centers);
+      res.assignment[i] = nc.index;
+      cost += data.weight(i) * nc.sq_dist;
+    }
+    res.cost = cost;
+    res.iterations = it + 1;
+
+    if (std::isfinite(prev_cost) &&
+        prev_cost - cost <= opts.rel_tol * std::max(prev_cost, 1e-300)) {
+      break;
+    }
+    prev_cost = cost;
+
+    // Update step.
+    std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
+    std::fill(sums.flat().begin(), sums.flat().end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = data.weight(i);
+      if (w == 0.0) continue;
+      const std::size_t c = res.assignment[i];
+      cluster_weight[c] += w;
+      auto p = data.point(i);
+      auto s = sums.row(c);
+      for (std::size_t j = 0; j < d; ++j) s[j] += w * p[j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (cluster_weight[c] > 0.0) {
+        auto s = sums.row(c);
+        auto ctr = res.centers.row(c);
+        for (std::size_t j = 0; j < d; ++j) ctr[j] = s[j] / cluster_weight[c];
+      } else {
+        // Empty cluster: reseat the center on the point farthest from its
+        // current center (standard repair, keeps k centers meaningful).
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d2 =
+              squared_distance(data.point(i), res.centers.row(res.assignment[i]));
+          if (data.weight(i) > 0.0 && d2 > worst) {
+            worst = d2;
+            worst_i = i;
+          }
+        }
+        std::copy(data.point(worst_i).begin(), data.point(worst_i).end(),
+                  res.centers.row(c).begin());
+      }
+    }
+  }
+
+  // Refresh cost/assignment for the final centers (the loop may have
+  // updated centers after the last assignment).
+  double cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NearestCenter nc = nearest_center(data.point(i), res.centers);
+    res.assignment[i] = nc.index;
+    cost += data.weight(i) * nc.sq_dist;
+  }
+  res.cost = cost;
+  return res;
+}
+
+KMeansResult kmeans(const Dataset& data, const KMeansOptions& opts) {
+  EKM_EXPECTS(opts.k >= 1);
+  EKM_EXPECTS(!data.empty());
+
+  KMeansResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, opts.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    Rng rng = make_rng(opts.seed, static_cast<std::uint64_t>(r));
+    Matrix seeds = kmeanspp_seed(data, opts.k, rng);
+    KMeansResult res = lloyd(data, std::move(seeds), opts);
+    if (res.cost < best.cost) best = std::move(res);
+  }
+  return best;
+}
+
+KMeansResult kmeans_brute_force(const Dataset& data, std::size_t k) {
+  EKM_EXPECTS(k >= 1 && !data.empty());
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  double combos = std::pow(static_cast<double>(k), static_cast<double>(n));
+  EKM_EXPECTS_MSG(combos <= double(1 << 22), "instance too large for brute force");
+
+  std::vector<std::size_t> assign(n, 0);
+  std::vector<std::size_t> best_assign;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  // Enumerate all k^n assignments via an odometer.
+  while (true) {
+    // Centroids of the current assignment.
+    Matrix centers(k, d);
+    std::vector<double> w(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[assign[i]] += data.weight(i);
+      auto p = data.point(i);
+      auto c = centers.row(assign[i]);
+      for (std::size_t j = 0; j < d; ++j) c[j] += data.weight(i) * p[j];
+    }
+    bool feasible = true;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (w[c] > 0.0) {
+        auto row = centers.row(c);
+        for (std::size_t j = 0; j < d; ++j) row[j] /= w[c];
+      }
+    }
+    if (feasible) {
+      double cost = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        cost +=
+            data.weight(i) * squared_distance(data.point(i), centers.row(assign[i]));
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_assign = assign;
+      }
+    }
+    // Advance odometer.
+    std::size_t pos = 0;
+    while (pos < n && ++assign[pos] == k) {
+      assign[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+
+  // Rebuild the optimal centers from the best assignment.
+  KMeansResult res;
+  res.assignment = best_assign;
+  res.cost = best_cost;
+  res.centers = Matrix(k, d);
+  std::vector<double> w(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[best_assign[i]] += data.weight(i);
+    auto p = data.point(i);
+    auto c = res.centers.row(best_assign[i]);
+    for (std::size_t j = 0; j < d; ++j) c[j] += data.weight(i) * p[j];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (w[c] > 0.0) {
+      auto row = res.centers.row(c);
+      for (std::size_t j = 0; j < d; ++j) row[j] /= w[c];
+    }
+  }
+  return res;
+}
+
+}  // namespace ekm

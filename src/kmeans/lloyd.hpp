@@ -1,0 +1,54 @@
+// Weighted Lloyd's algorithm with k-means++ seeding.
+//
+// This is the `kmeans(S', w, k)` oracle the server runs in Algorithms
+// 1–4 (the paper's theorems assume an optimal solver; in practice — as in
+// the paper's own experiments — a seeded Lloyd with restarts is used, and
+// the approximation guarantees degrade gracefully by the solver's own
+// factor).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "kmeans/cost.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ekm {
+
+struct KMeansOptions {
+  std::size_t k = 2;
+  int max_iters = 100;         ///< Lloyd iterations per restart
+  double rel_tol = 1e-7;       ///< stop when cost improves less than this
+  int restarts = 5;            ///< independent k-means++ seedings
+  std::uint64_t seed = 42;     ///< master seed (restart r uses stream r)
+};
+
+struct KMeansResult {
+  Matrix centers;                    ///< k x d
+  double cost = 0.0;                 ///< weighted cost of the best run
+  std::vector<std::size_t> assignment;
+  int iterations = 0;                ///< Lloyd iterations of the best run
+};
+
+/// k-means++ (D^2) seeding over a weighted dataset: the first center is
+/// drawn with probability ∝ weight, subsequent ones ∝ weight × squared
+/// distance to the nearest chosen center.
+[[nodiscard]] Matrix kmeanspp_seed(const Dataset& data, std::size_t k, Rng& rng);
+
+/// One seeded Lloyd run from the given initial centers.
+[[nodiscard]] KMeansResult lloyd(const Dataset& data, Matrix initial_centers,
+                                 const KMeansOptions& opts);
+
+/// Full solver: `restarts` independent (seed, k-means++) runs, best kept.
+/// Requires 1 <= k; if k >= number of distinct points the result places a
+/// center on every point (zero cost).
+[[nodiscard]] KMeansResult kmeans(const Dataset& data, const KMeansOptions& opts);
+
+/// Exhaustive-search optimum for tiny instances (k^n assignments).
+/// Test oracle only; requires k^n <= 2^22 or so — enforced via EKM_EXPECTS.
+[[nodiscard]] KMeansResult kmeans_brute_force(const Dataset& data, std::size_t k);
+
+}  // namespace ekm

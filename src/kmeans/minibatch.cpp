@@ -1,0 +1,58 @@
+#include "kmeans/minibatch.hpp"
+
+#include <random>
+
+namespace ekm {
+
+KMeansResult kmeans_minibatch(const Dataset& data,
+                              const MiniBatchOptions& opts) {
+  EKM_EXPECTS(!data.empty());
+  EKM_EXPECTS(opts.k >= 1 && opts.batch_size >= 1 && opts.iterations >= 1);
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+
+  Rng rng = make_rng(opts.seed, 0xbacbULL);  // stream tag "batch"
+  Matrix centers = kmeanspp_seed(data, opts.k, rng);
+  const std::size_t k = centers.rows();
+  std::vector<double> center_mass(k, 0.0);
+
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  std::vector<std::size_t> batch(opts.batch_size);
+  std::vector<std::size_t> batch_assign(opts.batch_size);
+
+  for (int it = 0; it < opts.iterations; ++it) {
+    // Sample and assign with the centers frozen (per Sculley).
+    for (std::size_t b = 0; b < opts.batch_size; ++b) {
+      batch[b] = pick(rng);
+      batch_assign[b] = nearest_center(data.point(batch[b]), centers).index;
+    }
+    // Per-center gradient step with counts-based learning rate.
+    for (std::size_t b = 0; b < opts.batch_size; ++b) {
+      const std::size_t c = batch_assign[b];
+      const double w = data.weight(batch[b]);
+      if (w == 0.0) continue;
+      center_mass[c] += w;
+      const double eta = w / center_mass[c];
+      auto ctr = centers.row(c);
+      auto p = data.point(batch[b]);
+      for (std::size_t j = 0; j < d; ++j) {
+        ctr[j] += eta * (p[j] - ctr[j]);
+      }
+    }
+  }
+
+  KMeansResult res;
+  res.centers = std::move(centers);
+  res.iterations = opts.iterations;
+  res.assignment.resize(n);
+  double cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NearestCenter nc = nearest_center(data.point(i), res.centers);
+    res.assignment[i] = nc.index;
+    cost += data.weight(i) * nc.sq_dist;
+  }
+  res.cost = cost;
+  return res;
+}
+
+}  // namespace ekm

@@ -1,0 +1,25 @@
+// Mini-batch k-means (Sculley, WWW 2010) — the low-memory solver an edge
+// device would run if it had to cluster locally, and a useful contrast to
+// the paper's offloading approach (the "solve locally, ship the centers"
+// strawman of §1 that motivates summaries in the first place).
+#pragma once
+
+#include "kmeans/lloyd.hpp"
+
+namespace ekm {
+
+struct MiniBatchOptions {
+  std::size_t k = 2;
+  std::size_t batch_size = 64;
+  int iterations = 200;       ///< number of mini-batch steps
+  std::uint64_t seed = 42;
+};
+
+/// Streams random mini-batches through the per-center learning-rate
+/// update c <- c + (w/W_c)(x - c). Supports weighted datasets (weights
+/// scale both the sampling and the update). Returns the final centers
+/// with exact cost/assignment computed once at the end.
+[[nodiscard]] KMeansResult kmeans_minibatch(const Dataset& data,
+                                            const MiniBatchOptions& opts);
+
+}  // namespace ekm

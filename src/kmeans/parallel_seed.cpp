@@ -1,0 +1,96 @@
+#include "kmeans/parallel_seed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "common/sampling.hpp"
+#include "kmeans/cost.hpp"
+
+namespace ekm {
+
+Matrix kmeans_parallel_seed(const Dataset& data,
+                            const ParallelSeedOptions& opts, Rng& rng) {
+  EKM_EXPECTS(!data.empty());
+  EKM_EXPECTS(opts.k >= 1 && opts.rounds >= 1 && opts.oversampling > 0.0);
+  const std::size_t n = data.size();
+  const std::size_t d = data.dim();
+  const auto l = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             opts.oversampling * static_cast<double>(opts.k))));
+
+  // Round 0: one uniform (weight-proportional) point.
+  std::vector<double> w0(n);
+  for (std::size_t i = 0; i < n; ++i) w0[i] = data.weight(i);
+  const AliasTable first(w0);
+  Matrix candidates(1, d);
+  {
+    auto src = data.point(first.sample(rng));
+    std::copy(src.begin(), src.end(), candidates.row(0).begin());
+  }
+
+  std::vector<double> d2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d2[i] = squared_distance(data.point(i), candidates.row(0));
+  }
+
+  // O(rounds) oversampling passes: add each point with probability
+  // min(1, l * cost(p) / total_cost).
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  for (int round = 0; round < opts.rounds; ++round) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += data.weight(i) * d2[i];
+    if (total <= 0.0) break;
+    Matrix added;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p =
+          std::min(1.0, static_cast<double>(l) * data.weight(i) * d2[i] / total);
+      if (unif(rng) < p) {
+        Matrix row(1, d);
+        auto src = data.point(i);
+        std::copy(src.begin(), src.end(), row.row(0).begin());
+        added.append_rows(row);
+      }
+    }
+    if (added.rows() == 0) continue;
+    candidates.append_rows(added);
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], nearest_center(data.point(i), added).sq_dist);
+    }
+  }
+
+  if (candidates.rows() <= opts.k) return candidates;
+
+  // Reduction: weight each candidate by the mass it attracts, then run
+  // weighted k-means++ & Lloyd on the (small) candidate set.
+  std::vector<double> cand_weight(candidates.rows(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cand_weight[nearest_center(data.point(i), candidates).index] +=
+        data.weight(i);
+  }
+  const Dataset cand_set(candidates, std::move(cand_weight));
+  KMeansOptions reduce;
+  reduce.k = opts.k;
+  reduce.restarts = 3;
+  reduce.max_iters = 50;
+  reduce.seed = rng();
+  return kmeans(cand_set, reduce).centers;
+}
+
+KMeansResult kmeans_scalable(const Dataset& data, const KMeansOptions& opts,
+                             const ParallelSeedOptions& seed_opts) {
+  EKM_EXPECTS(opts.k == seed_opts.k);
+  KMeansResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  const int restarts = std::max(1, opts.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    Rng rng = make_rng(opts.seed, 0x9000ULL + static_cast<std::uint64_t>(r));
+    Matrix seeds = kmeans_parallel_seed(data, seed_opts, rng);
+    KMeansResult res = lloyd(data, std::move(seeds), opts);
+    if (res.cost < best.cost) best = std::move(res);
+  }
+  return best;
+}
+
+}  // namespace ekm

@@ -1,0 +1,33 @@
+// k-means|| — scalable k-means++ [Bahmani–Moseley–Vattani–Kumar–
+// Vassilvitskii, VLDB 2012].
+//
+// k-means++ is inherently sequential: k rounds, each needing a full pass.
+// k-means|| oversamples ~l points per round for only O(log n) rounds,
+// then reduces the O(l log n) candidates to k by weighted clustering of
+// the candidates themselves. In the paper's multi-source setting this is
+// the natural seeding for the server-side solve and a building block a
+// production deployment would want next to disSS.
+#pragma once
+
+#include "kmeans/lloyd.hpp"
+
+namespace ekm {
+
+struct ParallelSeedOptions {
+  std::size_t k = 2;
+  double oversampling = 2.0;  ///< l = oversampling * k candidates per round
+  int rounds = 5;             ///< ~log(n) rounds; 5 suffices in practice
+};
+
+/// Returns exactly k seed centers (fewer only if the data has fewer
+/// distinct points). Deterministic given `rng`.
+[[nodiscard]] Matrix kmeans_parallel_seed(const Dataset& data,
+                                          const ParallelSeedOptions& opts,
+                                          Rng& rng);
+
+/// Full solver: k-means|| seeding followed by weighted Lloyd.
+[[nodiscard]] KMeansResult kmeans_scalable(const Dataset& data,
+                                           const KMeansOptions& opts,
+                                           const ParallelSeedOptions& seed_opts);
+
+}  // namespace ekm

@@ -1,0 +1,38 @@
+// Symmetric eigendecomposition.
+//
+// PCA for FSS (§3.3 / Theorem 3.2) and disPCA (§5.1) reduce to the
+// eigendecomposition of a Gram matrix A^T A (or A A^T, whichever is
+// smaller). We implement the classic dense symmetric pipeline:
+// Householder tridiagonalization followed by implicit-shift QL with
+// eigenvector accumulation (tred2/tql2). O(d^3), deterministic — this is
+// exactly the "exact SVD" cost profile the paper charges FSS and BKLW
+// with (complexity O(nd * min(n, d)) in Table 2).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ekm {
+
+/// Eigendecomposition of a symmetric matrix: A = V diag(values) V^T.
+/// `values` are sorted in DESCENDING order; column j of `vectors` is the
+/// unit eigenvector for values[j].
+struct SymmetricEigen {
+  std::vector<double> values;
+  Matrix vectors;  // d x d, eigenvectors in columns
+};
+
+/// Computes all eigenpairs of a symmetric matrix. The strictly lower
+/// triangle is ignored (the matrix is symmetrized from the upper part).
+/// Throws invariant_error if the QL iteration fails to converge (does not
+/// happen for well-formed symmetric input).
+[[nodiscard]] SymmetricEigen eigen_symmetric(const Matrix& a);
+
+/// Cyclic Jacobi eigensolver — slower (O(d^3) per sweep) but with better
+/// relative accuracy for small matrices; used by the one-sided-Jacobi SVD
+/// verification path and in tests as an independent oracle.
+[[nodiscard]] SymmetricEigen eigen_symmetric_jacobi(const Matrix& a,
+                                                    int max_sweeps = 64);
+
+}  // namespace ekm

@@ -1,0 +1,56 @@
+#include "linalg/frequent_directions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ekm {
+
+FrequentDirections::FrequentDirections(std::size_t sketch_size, std::size_t dim)
+    : buffer_(2 * sketch_size, dim), l_(sketch_size) {
+  EKM_EXPECTS(sketch_size >= 1 && dim >= 1);
+}
+
+void FrequentDirections::insert(std::span<const double> row) {
+  EKM_EXPECTS_MSG(row.size() == buffer_.cols(), "FD row dimension mismatch");
+  if (fill_ == buffer_.rows()) shrink();
+  std::copy(row.begin(), row.end(), buffer_.row(fill_).begin());
+  ++fill_;
+  ++rows_seen_;
+}
+
+void FrequentDirections::shrink() {
+  // SVD of the occupied buffer; subtract sigma_l² from every squared
+  // singular value (Liberty's shrinkage), keep the top l directions.
+  const Matrix occupied = buffer_.row_range(0, fill_);
+  Svd svd = thin_svd(occupied);
+  const std::size_t keep = std::min(l_, svd.rank());
+  const double floor_sq =
+      (svd.rank() > keep - 1) ? svd.sigma[keep - 1] * svd.sigma[keep - 1] : 0.0;
+
+  std::fill(buffer_.flat().begin(), buffer_.flat().end(), 0.0);
+  fill_ = 0;
+  for (std::size_t j = 0; j < keep; ++j) {
+    const double shrunk =
+        std::sqrt(std::max(0.0, svd.sigma[j] * svd.sigma[j] - floor_sq));
+    if (shrunk <= 0.0) continue;
+    auto dst = buffer_.row(fill_);
+    for (std::size_t c = 0; c < buffer_.cols(); ++c) {
+      dst[c] = shrunk * svd.v(c, j);
+    }
+    ++fill_;
+  }
+}
+
+Matrix FrequentDirections::sketch() {
+  if (fill_ > l_) shrink();
+  return buffer_.row_range(0, std::max<std::size_t>(fill_, 1));
+}
+
+Matrix FrequentDirections::principal_basis(std::size_t t) {
+  const Matrix b = sketch();
+  Svd svd = thin_svd(b);
+  svd.truncate(std::min(t, svd.rank()));
+  return svd.v;  // d x t
+}
+
+}  // namespace ekm

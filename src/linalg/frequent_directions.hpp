@@ -1,0 +1,51 @@
+// Frequent Directions matrix sketching [Liberty, KDD 2013; Ghashami et
+// al., SIAM J. Comp. 2016].
+//
+// A deterministic streaming alternative to the exact SVD inside FSS's
+// PCA stage: maintain a 2l x d sketch B such that
+//   0 <= ||A x||² - ||B x||² <= ||A||_F² / l   for every unit x,
+// processing rows one at a time in O(l d) amortized. An edge device that
+// cannot hold A (or afford O(nd·min(n,d))) can run FD and hand the
+// sketch's top right-singular vectors to the coreset step — trading the
+// paper's exact-PCA constant for a streaming-friendly one. The ablation
+// bench quantifies the trade.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace ekm {
+
+class FrequentDirections {
+ public:
+  /// `sketch_size` = l; the sketch holds up to 2l rows of dimension d.
+  FrequentDirections(std::size_t sketch_size, std::size_t dim);
+
+  /// Appends one row of A. Amortized O(l d) (a shrink every l rows).
+  void insert(std::span<const double> row);
+
+  /// Current sketch B (at most 2l x d; rows beyond the fill are zero and
+  /// trimmed). Triggers a final shrink so the result has <= l rows of
+  /// guaranteed quality.
+  [[nodiscard]] Matrix sketch();
+
+  /// Top-t right singular vectors of the sketch (d x t) — the streaming
+  /// stand-in for the PCA basis FSS needs.
+  [[nodiscard]] Matrix principal_basis(std::size_t t);
+
+  [[nodiscard]] std::size_t rows_seen() const { return rows_seen_; }
+  [[nodiscard]] std::size_t dim() const { return buffer_.cols(); }
+
+ private:
+  void shrink();
+
+  Matrix buffer_;            // 2l x d workspace
+  std::size_t fill_ = 0;     // occupied rows
+  std::size_t l_;            // sketch parameter
+  std::size_t rows_seen_ = 0;
+};
+
+}  // namespace ekm

@@ -1,0 +1,115 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numeric workhorse of the library: datasets are matrices
+// (one row per point, §3.1 of the paper uses the same convention A_P),
+// projections are matrix products, and PCA/SVD/pinv are built on top.
+// Deliberately minimal — no expression templates; the operations the
+// algorithms need are provided as named functions with obvious cost.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+
+namespace ekm {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Takes ownership of a flat row-major buffer.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    EKM_EXPECTS(data_.size() == rows_ * cols_);
+  }
+
+  /// Row-of-rows literal, for tests: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Entries drawn i.i.d. N(0, stddev^2).
+  [[nodiscard]] static Matrix gaussian(std::size_t rows, std::size_t cols,
+                                       Rng& rng, double stddev = 1.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    EKM_EXPECTS(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    EKM_EXPECTS(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t i) {
+    EKM_EXPECTS(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    EKM_EXPECTS(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> flat() { return data_; }
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Copy of the first `c` columns (c <= cols).
+  [[nodiscard]] Matrix first_cols(std::size_t c) const;
+
+  /// Copy of rows [r0, r1).
+  [[nodiscard]] Matrix row_range(std::size_t r0, std::size_t r1) const;
+
+  /// Appends all rows of `other` (same column count).
+  void append_rows(const Matrix& other);
+
+  void scale(double s);
+
+  [[nodiscard]] double frobenius_norm() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. O(rows_A * cols_A * cols_B), cache-friendly ikj order.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B without materializing A^T.
+[[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without materializing B^T.
+[[nodiscard]] Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+[[nodiscard]] std::vector<double> matvec(const Matrix& a,
+                                         std::span<const double> x);
+
+/// A + B and A - B.
+[[nodiscard]] Matrix add(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix subtract(const Matrix& a, const Matrix& b);
+
+/// Euclidean helpers on raw spans (hot path of k-means).
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double squared_distance(std::span<const double> a,
+                                      std::span<const double> b);
+[[nodiscard]] double norm2(std::span<const double> a);
+
+}  // namespace ekm

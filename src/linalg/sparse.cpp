@@ -1,0 +1,140 @@
+#include "linalg/sparse.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace ekm {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<std::size_t> row_ptr,
+                           std::vector<std::size_t> col_idx,
+                           std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  EKM_EXPECTS_MSG(row_ptr_.size() == rows_ + 1, "row_ptr size mismatch");
+  EKM_EXPECTS_MSG(row_ptr_.front() == 0 && row_ptr_.back() == values_.size(),
+                  "row_ptr endpoints invalid");
+  EKM_EXPECTS_MSG(col_idx_.size() == values_.size(), "cols/values mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    EKM_EXPECTS_MSG(row_ptr_[r] <= row_ptr_[r + 1], "row_ptr not ascending");
+  }
+  for (std::size_t c : col_idx_) {
+    EKM_EXPECTS_MSG(c < cols_, "column index out of range");
+  }
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double tolerance) {
+  std::vector<std::size_t> row_ptr{0};
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  row_ptr.reserve(dense.rows() + 1);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    auto row = dense.row(r);
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      if (std::fabs(row[c]) > tolerance) {
+        col_idx.push_back(c);
+        values.push_back(row[c]);
+      }
+    }
+    row_ptr.push_back(values.size());
+  }
+  return SparseMatrix(dense.rows(), dense.cols(), std::move(row_ptr),
+                      std::move(col_idx), std::move(values));
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix dense(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto row = dense.row(r);
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      row[col_idx_[i]] = values_[i];
+    }
+  }
+  return dense;
+}
+
+std::span<const std::size_t> SparseMatrix::row_cols(std::size_t r) const {
+  EKM_EXPECTS(r < rows_);
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> SparseMatrix::row_values(std::size_t r) const {
+  EKM_EXPECTS(r < rows_);
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+Matrix SparseMatrix::multiply_dense(const Matrix& b) const {
+  EKM_EXPECTS_MSG(cols_ == b.rows(), "sparse multiply shape mismatch");
+  Matrix c(rows_, b.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto out = c.row(r);
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const double v = values_[i];
+      auto brow = b.row(col_idx_[i]);
+      for (std::size_t j = 0; j < b.cols(); ++j) out[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+double SparseMatrix::row_squared_distance(std::size_t r,
+                                          std::span<const double> y,
+                                          double y_norm_sq) const {
+  EKM_EXPECTS(r < rows_);
+  EKM_EXPECTS(y.size() == cols_);
+  double x_norm_sq = 0.0;
+  double xy = 0.0;
+  for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+    const double v = values_[i];
+    x_norm_sq += v * v;
+    xy += v * y[col_idx_[i]];
+  }
+  // Guard tiny negative results from cancellation.
+  return std::max(0.0, x_norm_sq - 2.0 * xy + y_norm_sq);
+}
+
+std::vector<double> SparseMatrix::row_norms_sq() const {
+  std::vector<double> norms(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      norms[r] += values_[i] * values_[i];
+    }
+  }
+  return norms;
+}
+
+SparseAssignment sparse_assign(const SparseMatrix& points, const Matrix& centers,
+                               std::span<const double> weights) {
+  EKM_EXPECTS(centers.rows() >= 1);
+  EKM_EXPECTS(centers.cols() == points.cols());
+  EKM_EXPECTS(weights.empty() || weights.size() == points.rows());
+
+  std::vector<double> center_norms(centers.rows());
+  for (std::size_t c = 0; c < centers.rows(); ++c) {
+    const double nrm = norm2(centers.row(c));
+    center_norms[c] = nrm * nrm;
+  }
+
+  SparseAssignment out;
+  out.assignment.resize(points.rows());
+  for (std::size_t r = 0; r < points.rows(); ++r) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < centers.rows(); ++c) {
+      const double d2 =
+          points.row_squared_distance(r, centers.row(c), center_norms[c]);
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    out.assignment[r] = best_c;
+    out.cost += (weights.empty() ? 1.0 : weights[r]) * best;
+  }
+  return out;
+}
+
+}  // namespace ekm

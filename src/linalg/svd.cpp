@@ -1,0 +1,204 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen_sym.hpp"
+
+namespace ekm {
+namespace {
+
+// Gram–Schmidt re-orthonormalization of column j of `m` against columns
+// [0, j); used to fill in factor columns for (near-)zero singular values.
+void orthonormalize_column(Matrix& m, std::size_t j, Rng& rng) {
+  const std::size_t n = m.rows();
+  std::normal_distribution<double> dist;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (attempt > 0) {
+      for (std::size_t i = 0; i < n; ++i) m(i, j) = dist(rng);
+    }
+    for (std::size_t c = 0; c < j; ++c) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) proj += m(i, c) * m(i, j);
+      for (std::size_t i = 0; i < n; ++i) m(i, j) -= proj * m(i, c);
+    }
+    double nrm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) nrm += m(i, j) * m(i, j);
+    nrm = std::sqrt(nrm);
+    if (nrm > 1e-12) {
+      for (std::size_t i = 0; i < n; ++i) m(i, j) /= nrm;
+      return;
+    }
+  }
+  // Degenerate only if j >= rank of the whole space; leave the column zero.
+}
+
+}  // namespace
+
+Matrix Svd::reconstruct() const {
+  Matrix us = u;  // scale columns of U by sigma
+  for (std::size_t i = 0; i < us.rows(); ++i) {
+    for (std::size_t j = 0; j < us.cols(); ++j) us(i, j) *= sigma[j];
+  }
+  return matmul_a_bt(us, v);
+}
+
+void Svd::truncate(std::size_t t) {
+  EKM_EXPECTS(t <= sigma.size());
+  sigma.resize(t);
+  u = u.first_cols(t);
+  v = v.first_cols(t);
+}
+
+Svd thin_svd(const Matrix& a) {
+  EKM_EXPECTS_MSG(!a.empty(), "thin_svd of empty matrix");
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  const std::size_t r = std::min(n, d);
+  Svd out;
+  Rng rng = make_rng(0x5bdULL, n * 1315423911ULL + d);
+
+  if (d <= n) {
+    // Eigen-decompose A^T A (d x d): V and sigma^2.
+    const Matrix gram = matmul_at_b(a, a);
+    SymmetricEigen eig = eigen_symmetric(gram);
+    out.v = eig.vectors.first_cols(r);
+    out.sigma.resize(r);
+    const double smax2 = std::max(eig.values.empty() ? 0.0 : eig.values[0], 0.0);
+    for (std::size_t j = 0; j < r; ++j) {
+      out.sigma[j] = std::sqrt(std::max(eig.values[j], 0.0));
+    }
+    // U = A V Sigma^{-1}.
+    out.u = matmul(a, out.v);
+    const double tol = 1e-8 * std::sqrt(smax2);
+    for (std::size_t j = 0; j < r; ++j) {
+      if (out.sigma[j] > tol) {
+        const double inv = 1.0 / out.sigma[j];
+        for (std::size_t i = 0; i < n; ++i) out.u(i, j) *= inv;
+      } else {
+        out.sigma[j] = std::max(out.sigma[j], 0.0);
+        orthonormalize_column(out.u, j, rng);
+      }
+    }
+  } else {
+    // n < d: eigen-decompose A A^T (n x n): U and sigma^2, V = A^T U / s.
+    const Matrix gram = matmul_a_bt(a, a);
+    SymmetricEigen eig = eigen_symmetric(gram);
+    out.u = eig.vectors.first_cols(r);
+    out.sigma.resize(r);
+    const double smax2 = std::max(eig.values.empty() ? 0.0 : eig.values[0], 0.0);
+    for (std::size_t j = 0; j < r; ++j) {
+      out.sigma[j] = std::sqrt(std::max(eig.values[j], 0.0));
+    }
+    out.v = matmul_at_b(a, out.u);
+    const double tol = 1e-8 * std::sqrt(smax2);
+    for (std::size_t j = 0; j < r; ++j) {
+      if (out.sigma[j] > tol) {
+        const double inv = 1.0 / out.sigma[j];
+        for (std::size_t i = 0; i < d; ++i) out.v(i, j) *= inv;
+      } else {
+        out.sigma[j] = std::max(out.sigma[j], 0.0);
+        orthonormalize_column(out.v, j, rng);
+      }
+    }
+  }
+  return out;
+}
+
+Svd truncated_svd(const Matrix& a, std::size_t t) {
+  Svd s = thin_svd(a);
+  s.truncate(std::min(t, s.rank()));
+  return s;
+}
+
+Svd randomized_svd(const Matrix& a, std::size_t rank, Rng& rng,
+                   std::size_t oversample, int power_iters) {
+  const std::size_t r = std::min(rank + oversample, std::min(a.rows(), a.cols()));
+  // Range finder: Y = A Omega, Q = orth(Y), with optional power iterations
+  // (A A^T)^q A Omega for spectra with slow decay.
+  Matrix omega = Matrix::gaussian(a.cols(), r, rng);
+  Matrix y = matmul(a, omega);
+  Matrix q = householder_q(y);
+  for (int it = 0; it < power_iters; ++it) {
+    Matrix z = matmul_at_b(a, q);   // d x r
+    Matrix qz = householder_q(z);
+    y = matmul(a, qz);              // n x r
+    q = householder_q(y);
+  }
+  // B = Q^T A is small (r x d): exact thin SVD of B.
+  Matrix b = matmul_at_b(q, a);
+  Svd bs = thin_svd(b);
+  Svd out;
+  out.u = matmul(q, bs.u);
+  out.sigma = std::move(bs.sigma);
+  out.v = std::move(bs.v);
+  out.truncate(std::min(rank, out.rank()));
+  return out;
+}
+
+Matrix pseudoinverse(const Matrix& a, double rcond) {
+  Svd s = thin_svd(a);
+  const double smax = s.sigma.empty() ? 0.0 : s.sigma[0];
+  const double tol = rcond * smax;
+  // A^+ = V diag(1/sigma) U^T, zeroing tiny components.
+  Matrix vs = s.v;  // d x r, scale columns
+  for (std::size_t j = 0; j < s.rank(); ++j) {
+    const double inv = (s.sigma[j] > tol && s.sigma[j] > 0.0)
+                           ? 1.0 / s.sigma[j]
+                           : 0.0;
+    for (std::size_t i = 0; i < vs.rows(); ++i) vs(i, j) *= inv;
+  }
+  return matmul_a_bt(vs, s.u);
+}
+
+Matrix householder_q(const Matrix& a) {
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  const std::size_t r = std::min(n, d);
+
+  // Factorize in place. For each step j the Householder vector is
+  // v = (v0s[j], m(j+1..n-1, j)) and H_j = I - betas[j] * v v^T.
+  Matrix m = a;
+  std::vector<double> betas(r, 0.0);
+  std::vector<double> v0s(r, 0.0);
+  for (std::size_t j = 0; j < r; ++j) {
+    double nrm = 0.0;
+    for (std::size_t i = j; i < n; ++i) nrm += m(i, j) * m(i, j);
+    nrm = std::sqrt(nrm);
+    if (nrm < 1e-300) continue;
+    const double alpha = (m(j, j) >= 0.0) ? -nrm : nrm;
+    const double v0 = m(j, j) - alpha;
+    double vnorm2 = v0 * v0;
+    for (std::size_t i = j + 1; i < n; ++i) vnorm2 += m(i, j) * m(i, j);
+    if (vnorm2 < 1e-300) continue;
+    betas[j] = 2.0 / vnorm2;
+    v0s[j] = v0;
+    m(j, j) = alpha;  // R diagonal; the tail of column j stays as v's tail
+    for (std::size_t c = j + 1; c < d; ++c) {
+      double s = v0 * m(j, c);
+      for (std::size_t i = j + 1; i < n; ++i) s += m(i, j) * m(i, c);
+      s *= betas[j];
+      m(j, c) -= s * v0;
+      for (std::size_t i = j + 1; i < n; ++i) m(i, c) -= s * m(i, j);
+    }
+  }
+
+  // Accumulate Q = H_0 H_1 ... H_{r-1} applied to the first r columns of I
+  // (backward accumulation touches only the trailing block each step).
+  Matrix q(n, r);
+  for (std::size_t j = 0; j < r; ++j) q(j, j) = 1.0;
+  for (std::size_t j = r; j-- > 0;) {
+    if (betas[j] == 0.0) continue;
+    const double v0 = v0s[j];
+    for (std::size_t c = 0; c < r; ++c) {
+      double s = v0 * q(j, c);
+      for (std::size_t i = j + 1; i < n; ++i) s += m(i, j) * q(i, c);
+      s *= betas[j];
+      q(j, c) -= s * v0;
+      for (std::size_t i = j + 1; i < n; ++i) q(i, c) -= s * m(i, j);
+    }
+  }
+  return q;
+}
+
+}  // namespace ekm

@@ -1,0 +1,112 @@
+// Simulated edge-network channels with communication accounting.
+//
+// The paper's communication-cost metric is "number of scalars a data
+// source sends to the server" (§3.4), refined to bits once quantization
+// enters (§6). Every summary in this library crosses a Channel as a real
+// serialized frame; the channel records three ledgers:
+//   * bytes  — the physical frame size (64-bit doubles),
+//   * bits   — the logical wire size, where a scalar quantized to s
+//              significand bits counts 12 + s bits instead of 64,
+//   * scalars — the paper's §3–5 unit.
+// Tables 3–4 and Figures 3–6 read these ledgers; nothing is estimated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace ekm {
+
+/// One framed message in flight.
+struct Message {
+  std::vector<std::byte> payload;
+  std::uint64_t wire_bits = 0;
+  std::size_t scalars = 0;
+};
+
+/// Accumulated traffic totals of a channel.
+struct TrafficLedger {
+  std::uint64_t bytes = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t scalars = 0;
+  std::uint64_t messages = 0;
+
+  TrafficLedger& operator+=(const TrafficLedger& other) {
+    bytes += other.bytes;
+    bits += other.bits;
+    scalars += other.scalars;
+    messages += other.messages;
+    return *this;
+  }
+};
+
+/// Unidirectional FIFO channel. Sending enqueues and bills the ledger;
+/// receiving dequeues.
+class Channel {
+ public:
+  void send(Message msg) {
+    ledger_.bytes += msg.payload.size();
+    ledger_.bits += msg.wire_bits;
+    ledger_.scalars += msg.scalars;
+    ledger_.messages += 1;
+    queue_.push_back(std::move(msg));
+  }
+
+  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+
+  [[nodiscard]] Message receive() {
+    EKM_EXPECTS_MSG(!queue_.empty(), "receive on empty channel");
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+  [[nodiscard]] const TrafficLedger& ledger() const { return ledger_; }
+
+ private:
+  std::deque<Message> queue_;
+  TrafficLedger ledger_;
+};
+
+/// Star topology around one edge server: per-source uplink (counted by
+/// the paper's metric) and downlink (coordination traffic the paper
+/// treats as negligible, e.g. footnote 1; still measured for honesty).
+class Network {
+ public:
+  explicit Network(std::size_t num_sources) : up_(num_sources), down_(num_sources) {
+    EKM_EXPECTS(num_sources >= 1);
+  }
+
+  [[nodiscard]] std::size_t num_sources() const { return up_.size(); }
+
+  [[nodiscard]] Channel& uplink(std::size_t source) {
+    EKM_EXPECTS(source < up_.size());
+    return up_[source];
+  }
+  [[nodiscard]] Channel& downlink(std::size_t source) {
+    EKM_EXPECTS(source < down_.size());
+    return down_[source];
+  }
+
+  /// Total source->server traffic — the paper's communication cost.
+  [[nodiscard]] TrafficLedger total_uplink() const {
+    TrafficLedger t;
+    for (const Channel& c : up_) t += c.ledger();
+    return t;
+  }
+
+  [[nodiscard]] TrafficLedger total_downlink() const {
+    TrafficLedger t;
+    for (const Channel& c : down_) t += c.ledger();
+    return t;
+  }
+
+ private:
+  std::vector<Channel> up_;
+  std::vector<Channel> down_;
+};
+
+}  // namespace ekm

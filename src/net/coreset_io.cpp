@@ -1,0 +1,53 @@
+#include "net/coreset_io.hpp"
+
+#include <fstream>
+
+#include "common/serial.hpp"
+#include "net/summary_codec.hpp"
+
+namespace ekm {
+namespace {
+
+constexpr std::uint32_t kFileMagic = 0x454b4d43;  // "EKMC"
+constexpr std::uint32_t kFileVersion = 1;
+
+}  // namespace
+
+void save_coreset(const Coreset& coreset, const std::filesystem::path& path) {
+  const Message frame = encode_coreset(coreset);
+  ByteWriter header;
+  header.put_u32(kFileMagic);
+  header.put_u32(kFileVersion);
+  header.put_u64(frame.payload.size());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(header.bytes().data()),
+            static_cast<std::streamsize>(header.size_bytes()));
+  out.write(reinterpret_cast<const char*>(frame.payload.data()),
+            static_cast<std::streamsize>(frame.payload.size()));
+  if (!out) throw std::runtime_error("write failed: " + path.string());
+}
+
+Coreset load_coreset(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::vector<std::byte> header_bytes(16);
+  in.read(reinterpret_cast<char*>(header_bytes.data()), 16);
+  if (!in) throw std::runtime_error("truncated header: " + path.string());
+
+  ByteReader header(header_bytes);
+  EKM_EXPECTS_MSG(header.get_u32() == kFileMagic, "not a coreset file");
+  EKM_EXPECTS_MSG(header.get_u32() == kFileVersion,
+                  "unsupported coreset file version");
+  const auto payload_size = header.get_u64();
+
+  Message frame;
+  frame.payload.resize(payload_size);
+  in.read(reinterpret_cast<char*>(frame.payload.data()),
+          static_cast<std::streamsize>(payload_size));
+  if (!in) throw std::runtime_error("truncated payload: " + path.string());
+  return decode_coreset(frame);
+}
+
+}  // namespace ekm

@@ -1,0 +1,26 @@
+// Coreset persistence.
+//
+// An edge device that builds summaries over time (see cr/streaming.hpp)
+// needs to park them on flash between reporting windows, and a server
+// wants to archive received summaries for later re-use — the paper's
+// intro point that one transmitted summary can back many later models
+// ([5][6]). The file format is the wire format of net/summary_codec with
+// a magic/version header, so a stored file is byte-compatible with a
+// received frame.
+#pragma once
+
+#include <filesystem>
+
+#include "cr/coreset.hpp"
+
+namespace ekm {
+
+/// Writes a coreset to `path` (overwrites). Throws std::runtime_error on
+/// I/O failure.
+void save_coreset(const Coreset& coreset, const std::filesystem::path& path);
+
+/// Reads a coreset back. Throws std::runtime_error on I/O failure and
+/// precondition_error on a corrupt or wrong-version file.
+[[nodiscard]] Coreset load_coreset(const std::filesystem::path& path);
+
+}  // namespace ekm

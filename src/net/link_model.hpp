@@ -1,0 +1,52 @@
+// Wireless-link timing model.
+//
+// The paper reports communication in scalars/bits; a deployment engineer
+// budgets in seconds and joules on a concrete radio. This model converts
+// a TrafficLedger into estimated airtime and energy under a simple
+// (bandwidth, per-message latency, energy-per-bit) link abstraction, with
+// presets for the radio classes typical of edge ML (LoRa, BLE, Wi-Fi,
+// 5G). Used by the edge_sensors example and available for custom benches.
+#pragma once
+
+#include <string>
+
+#include "common/expects.hpp"
+#include "net/channel.hpp"
+
+namespace ekm {
+
+struct LinkModel {
+  std::string name = "custom";
+  double bandwidth_bps = 1e6;       ///< sustained uplink goodput
+  double per_message_latency_s = 0; ///< per-frame setup/ack overhead
+  double energy_per_bit_j = 0.0;    ///< transmit energy per payload bit
+
+  /// Estimated transfer time for a ledger's worth of traffic.
+  [[nodiscard]] double transfer_seconds(const TrafficLedger& t) const {
+    EKM_EXPECTS(bandwidth_bps > 0.0);
+    return static_cast<double>(t.bits) / bandwidth_bps +
+           static_cast<double>(t.messages) * per_message_latency_s;
+  }
+
+  /// Estimated transmit energy.
+  [[nodiscard]] double transfer_joules(const TrafficLedger& t) const {
+    return static_cast<double>(t.bits) * energy_per_bit_j;
+  }
+};
+
+/// Radio presets (order-of-magnitude figures from vendor datasheets; the
+/// point is the relative spread, not the third digit).
+[[nodiscard]] inline LinkModel lora_link() {
+  return {"LoRa SF7", 5.5e3, 0.4, 1.2e-6};
+}
+[[nodiscard]] inline LinkModel ble_link() {
+  return {"BLE 1M", 700e3, 0.01, 3.0e-8};
+}
+[[nodiscard]] inline LinkModel wifi_link() {
+  return {"Wi-Fi 802.11n", 50e6, 0.002, 5.0e-9};
+}
+[[nodiscard]] inline LinkModel nr5g_link() {
+  return {"5G sub-6", 100e6, 0.001, 4.0e-9};
+}
+
+}  // namespace ekm

@@ -1,0 +1,108 @@
+#include "net/summary_codec.hpp"
+
+#include "common/serial.hpp"
+
+namespace ekm {
+namespace {
+
+constexpr std::uint32_t kTagCoreset = 0x434f5245;  // "CORE"
+constexpr std::uint32_t kTagMatrix = 0x4d415452;   // "MATR"
+constexpr std::uint32_t kTagScalar = 0x53434c52;   // "SCLR"
+
+void put_matrix(ByteWriter& w, const Matrix& m) {
+  w.put_u64(m.rows());
+  w.put_u64(m.cols());
+  w.put_doubles(m.flat());
+}
+
+Matrix get_matrix(ByteReader& r) {
+  const auto rows = r.get_u64();
+  const auto cols = r.get_u64();
+  std::vector<double> data = r.get_doubles();
+  // Guard the product against wrap-around from hostile headers before
+  // trusting rows x cols as a shape.
+  EKM_EXPECTS_MSG(rows == 0 || cols == data.size() / rows,
+                  "matrix frame corrupt");
+  EKM_EXPECTS_MSG(data.size() == rows * cols, "matrix frame corrupt");
+  return Matrix(rows, cols, std::move(data));
+}
+
+}  // namespace
+
+std::uint64_t wire_bits_per_scalar(int significant_bits) {
+  if (significant_bits >= 52 || significant_bits <= 0) return 64;
+  return 12 + static_cast<std::uint64_t>(significant_bits);
+}
+
+Message encode_coreset(const Coreset& coreset, int significant_bits) {
+  ByteWriter w;
+  w.put_u32(kTagCoreset);
+  put_matrix(w, coreset.points.points());
+  w.put_f64(coreset.delta);
+  const std::size_t n = coreset.points.size();
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) weights[i] = coreset.points.weight(i);
+  w.put_doubles(weights);
+  w.put_u32(coreset.basis ? 1 : 0);
+  if (coreset.basis) put_matrix(w, *coreset.basis);
+
+  Message msg;
+  const std::size_t point_scalars = coreset.points.size() * coreset.points.dim();
+  const std::size_t basis_scalars =
+      coreset.basis ? coreset.basis->rows() * coreset.basis->cols() : 0;
+  msg.scalars = point_scalars + basis_scalars + n /*weights*/ + 1 /*delta*/;
+  msg.wire_bits = point_scalars * wire_bits_per_scalar(significant_bits) +
+                  (basis_scalars + n + 1) * 64;
+  msg.payload = w.take();
+  return msg;
+}
+
+Coreset decode_coreset(const Message& msg) {
+  ByteReader r(msg.payload);
+  EKM_EXPECTS_MSG(r.get_u32() == kTagCoreset, "not a coreset frame");
+  Matrix pts = get_matrix(r);
+  const double delta = r.get_f64();
+  std::vector<double> weights = r.get_doubles();
+  EKM_EXPECTS_MSG(weights.size() == pts.rows(), "coreset frame corrupt");
+  Coreset cs;
+  cs.points = Dataset(std::move(pts), std::move(weights));
+  cs.delta = delta;
+  if (r.get_u32() == 1) cs.basis = get_matrix(r);
+  return cs;
+}
+
+Message encode_matrix(const Matrix& m, int significant_bits) {
+  ByteWriter w;
+  w.put_u32(kTagMatrix);
+  put_matrix(w, m);
+  Message msg;
+  msg.scalars = m.rows() * m.cols();
+  msg.wire_bits = msg.scalars * wire_bits_per_scalar(significant_bits);
+  msg.payload = w.take();
+  return msg;
+}
+
+Matrix decode_matrix(const Message& msg) {
+  ByteReader r(msg.payload);
+  EKM_EXPECTS_MSG(r.get_u32() == kTagMatrix, "not a matrix frame");
+  return get_matrix(r);
+}
+
+Message encode_scalar(double value) {
+  ByteWriter w;
+  w.put_u32(kTagScalar);
+  w.put_f64(value);
+  Message msg;
+  msg.scalars = 1;
+  msg.wire_bits = 64;
+  msg.payload = w.take();
+  return msg;
+}
+
+double decode_scalar(const Message& msg) {
+  ByteReader r(msg.payload);
+  EKM_EXPECTS_MSG(r.get_u32() == kTagScalar, "not a scalar frame");
+  return r.get_f64();
+}
+
+}  // namespace ekm

@@ -1,0 +1,42 @@
+// Wire format for data summaries (coresets, PCA factors, scalars).
+//
+// Encoders produce a `Message` whose `wire_bits` reflects the logical
+// encoding width: coreset/ matrix *data* scalars quantized to s
+// significand bits are billed 12 + s bits each, everything else (weights,
+// Δ, headers, dimensions) at full 64-bit width. Decoders reverse the
+// framing; round-trip tests assert exactness.
+#pragma once
+
+#include <cstdint>
+
+#include "cr/coreset.hpp"
+#include "linalg/matrix.hpp"
+#include "net/channel.hpp"
+
+namespace ekm {
+
+/// Bits billed per data scalar when quantized to `significant_bits`
+/// (52 = unquantized full double).
+[[nodiscard]] std::uint64_t wire_bits_per_scalar(int significant_bits);
+
+/// Encodes a coreset (S, Δ, w) — with optional subspace basis — into a
+/// frame. `significant_bits` affects only the billing of the point
+/// coordinates (the paper quantizes coreset points only; the basis, when
+/// present, is part of the PCA summary and stays full-width).
+[[nodiscard]] Message encode_coreset(const Coreset& coreset,
+                                     int significant_bits = 52);
+
+[[nodiscard]] Coreset decode_coreset(const Message& msg);
+
+/// Encodes a dense matrix (e.g. the Σ_t1, V_t1 factors of disPCA, or raw
+/// data for the NR baseline).
+[[nodiscard]] Message encode_matrix(const Matrix& m, int significant_bits = 52);
+
+[[nodiscard]] Matrix decode_matrix(const Message& msg);
+
+/// Encodes a bare scalar (e.g. a local bicriteria cost in disSS step 1).
+[[nodiscard]] Message encode_scalar(double value);
+
+[[nodiscard]] double decode_scalar(const Message& msg);
+
+}  // namespace ekm

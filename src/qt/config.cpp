@@ -1,0 +1,104 @@
+#include "qt/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/expects.hpp"
+#include "qt/quantizer.hpp"
+
+namespace ekm {
+namespace {
+
+// C1 from §6.3.2: 54912 (1 + log2 3)(1 + log2(26/3)) / 225.
+double paper_c1() {
+  return 54912.0 * (1.0 + std::log2(3.0)) * (1.0 + std::log2(26.0 / 3.0)) /
+         225.0;
+}
+
+constexpr double kPaperC2 = 24.0;
+constexpr double kPaperC3 = 2.0;
+
+}  // namespace
+
+double qt_error_bound(double epsilon, double epsilon_qt) {
+  EKM_EXPECTS(epsilon >= 0.0 && epsilon < 1.0);
+  const double e1 = 1.0 + epsilon;
+  // (21b) with ε1^(1) = ε2 = ε1^(2) = ε:
+  // Y = (1+ε)^2 (1+ε)^2 / (1-ε) * ((1+ε)^2 (1+ε)(1+ε)^2 + ε_QT).
+  return e1 * e1 * e1 * e1 / (1.0 - epsilon) *
+         (e1 * e1 * e1 * e1 * e1 + epsilon_qt);
+}
+
+double qt_modeled_cost_bits(const QtConfigProblem& p, double epsilon,
+                            double epsilon_qt, int significant_bits) {
+  EKM_EXPECTS(epsilon > 0.0 && epsilon < 1.0);
+  const double delta = 1.0 - std::pow(1.0 - p.delta0, 1.0 / 3.0);
+  const double k = static_cast<double>(p.k);
+  const double lg_k = std::max(1.0, std::log2(k));
+  const double e4 = std::pow(epsilon, 4.0);
+
+  // n' — coreset cardinality (C1 k^3 log^2 k log(1/δ) / ε^4).
+  const double n_prime = paper_c1() * k * k * k * lg_k * lg_k *
+                         std::log(1.0 / delta) / e4;
+  // d' — post-JL dimension (C2 log(n'k/δ) / ε²).
+  const double d_prime =
+      kPaperC2 * std::log(n_prime * k / delta) / (epsilon * epsilon);
+  // b' — bits per scalar (C3 log(n sqrt(d) / ε_QT)); the enumerated s is
+  // the realizable value, the model keeps the paper's form.
+  const double b_model =
+      kPaperC3 *
+      std::log2(static_cast<double>(p.n) * std::sqrt(static_cast<double>(p.d)) /
+                std::max(epsilon_qt, 1e-300));
+  const double b_prime =
+      std::min(b_model, static_cast<double>(12 + significant_bits));
+  return n_prime * d_prime * std::max(1.0, b_prime);
+}
+
+std::vector<QtConfig> enumerate_qt_configs(const QtConfigProblem& p) {
+  EKM_EXPECTS(p.y0 > 1.0);
+  EKM_EXPECTS(p.opt_cost_lower_bound > 0.0);
+
+  std::vector<QtConfig> feasible;
+  for (int s = 1; s <= kDoubleSignificandBits; ++s) {
+    const RoundingQuantizer q(s);
+    const double dqt = q.max_error_bound(p.max_point_norm);
+    const double eps_qt = 4.0 * static_cast<double>(p.n) * p.diameter * dqt /
+                          p.opt_cost_lower_bound;
+    // Feasibility at ε→0: Y → 1 + ε_QT.
+    if (1.0 + eps_qt > p.y0) continue;
+
+    // Largest ε with Y(ε, ε_QT) <= y0 — Y is increasing in ε, bisection.
+    double lo = 0.0;
+    double hi = 0.999;
+    if (qt_error_bound(hi, eps_qt) <= p.y0) {
+      lo = hi;
+    } else {
+      for (int it = 0; it < 80; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        (qt_error_bound(mid, eps_qt) <= p.y0 ? lo : hi) = mid;
+      }
+    }
+    if (lo <= 0.0) continue;
+
+    QtConfig cfg;
+    cfg.significant_bits = s;
+    cfg.epsilon = lo;
+    cfg.epsilon_qt = eps_qt;
+    cfg.error_bound = qt_error_bound(lo, eps_qt);
+    cfg.modeled_cost_bits = qt_modeled_cost_bits(p, lo, eps_qt, s);
+    feasible.push_back(cfg);
+  }
+  return feasible;
+}
+
+std::optional<QtConfig> optimize_qt_config(const QtConfigProblem& problem) {
+  const std::vector<QtConfig> all = enumerate_qt_configs(problem);
+  if (all.empty()) return std::nullopt;
+  return *std::min_element(all.begin(), all.end(),
+                           [](const QtConfig& a, const QtConfig& b) {
+                             return a.modeled_cost_bits < b.modeled_cost_bits;
+                           });
+}
+
+}  // namespace ekm

@@ -1,0 +1,61 @@
+// Joint DR/CR/QT configuration (§6.3 of the paper).
+//
+// Given a bound Y0 on the acceptable approximation factor and a
+// confidence 1-δ0, choose the number of significand bits s and the common
+// error parameter ε (the paper's simplification ε1^(1) = ε2 = ε1^(2) = ε)
+// that minimize the modeled communication cost X of eq. (24) subject to
+// the error constraint (21b). The quantizer has finitely many settings,
+// so the paper's procedure — enumerate s, solve for the max feasible ε,
+// evaluate X, take the argmin — is exact.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace ekm {
+
+/// Problem parameters for the §6.3 optimizer (all per the paper).
+struct QtConfigProblem {
+  double y0 = 1.5;       ///< bound on cost(P,X)/cost(P,X*) — eq. (21b)
+  double delta0 = 0.1;   ///< overall failure budget; per-stage δ = 1-(1-δ0)^(1/3)
+  std::size_t k = 2;
+  std::size_t n = 10000;
+  std::size_t d = 784;
+  double diameter = 2.0;        ///< ∆_D — diameter of the (normalized) space
+  double max_point_norm = 1.0;  ///< max_p ||p|| used by the ∆_QT bound (14)
+  double opt_cost_lower_bound = 1.0;  ///< E <= cost(P, X*) (§6.3.1)
+};
+
+/// One feasible configuration: quantizer setting + error split + the
+/// modeled cost X (eq. (24)) and error bound Y (eq. (21b)).
+struct QtConfig {
+  int significant_bits = 52;  ///< 52 = full double precision (QT off)
+  double epsilon = 0.0;       ///< common ε for both JL stages and FSS
+  double epsilon_qt = 0.0;    ///< multiplicative error charged to QT
+  double modeled_cost_bits = 0.0;  ///< X of eq. (24), in bits
+  double error_bound = 0.0;        ///< Y achieved (<= y0)
+};
+
+/// The error bound Y(ε, ε_QT) of eq. (21b) for the JL+FSS+JL+QT pipeline.
+[[nodiscard]] double qt_error_bound(double epsilon, double epsilon_qt);
+
+/// Modeled communication cost X(ε, ε_QT, s) of eqs. (22)–(24), in bits,
+/// using the paper's constants C1 (from [23],[37],[38] via Theorem 36 of
+/// [11]), C2 = 24, C3 = 2.
+[[nodiscard]] double qt_modeled_cost_bits(const QtConfigProblem& p,
+                                          double epsilon, double epsilon_qt,
+                                          int significant_bits);
+
+/// Enumerates s = 1..52, solves (21b) for the largest feasible common ε
+/// by bisection, and returns the cost-minimizing configuration. Returns
+/// nullopt if no s admits a feasible ε (y0 too tight for the given E).
+[[nodiscard]] std::optional<QtConfig> optimize_qt_config(
+    const QtConfigProblem& problem);
+
+/// All feasible configurations (one per s), for the sweep bench — the
+/// paper's Figures 3–6 plot metrics against every s.
+[[nodiscard]] std::vector<QtConfig> enumerate_qt_configs(
+    const QtConfigProblem& problem);
+
+}  // namespace ekm

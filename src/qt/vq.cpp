@@ -1,0 +1,64 @@
+#include "qt/vq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/rng.hpp"
+#include "kmeans/kmeans1d.hpp"
+
+namespace ekm {
+
+ScalarLloydMaxQuantizer::ScalarLloydMaxQuantizer(const Matrix& training,
+                                                 std::size_t levels,
+                                                 std::size_t max_training_values,
+                                                 std::uint64_t seed) {
+  EKM_EXPECTS(levels >= 2 && levels <= 4096);
+  EKM_EXPECTS(!training.empty());
+  EKM_EXPECTS(max_training_values >= levels);
+
+  // Subsample the training values (the DP is O(k n²)).
+  auto flat = training.flat();
+  std::vector<double> sample;
+  if (flat.size() <= max_training_values) {
+    sample.assign(flat.begin(), flat.end());
+  } else {
+    Rng rng = make_rng(seed, 0x10afULL);
+    std::uniform_int_distribution<std::size_t> pick(0, flat.size() - 1);
+    sample.resize(max_training_values);
+    for (double& v : sample) v = flat[pick(rng)];
+  }
+
+  const KMeansResult res = kmeans_1d_exact(sample, levels);
+  codebook_.resize(res.centers.rows());
+  for (std::size_t c = 0; c < codebook_.size(); ++c) {
+    codebook_[c] = res.centers(c, 0);
+  }
+  std::sort(codebook_.begin(), codebook_.end());
+  codebook_.erase(std::unique(codebook_.begin(), codebook_.end()),
+                  codebook_.end());
+  EKM_ENSURES(!codebook_.empty());
+}
+
+double ScalarLloydMaxQuantizer::quantize(double x) const {
+  // Binary search the sorted codebook for the nearest codeword.
+  const auto it = std::lower_bound(codebook_.begin(), codebook_.end(), x);
+  if (it == codebook_.begin()) return codebook_.front();
+  if (it == codebook_.end()) return codebook_.back();
+  const double hi = *it;
+  const double lo = *(it - 1);
+  return (x - lo <= hi - x) ? lo : hi;
+}
+
+Matrix ScalarLloydMaxQuantizer::quantize(const Matrix& m) const {
+  Matrix out = m;
+  for (double& v : out.flat()) v = quantize(v);
+  return out;
+}
+
+std::size_t ScalarLloydMaxQuantizer::bits_per_scalar() const {
+  return static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(2, levels())))));
+}
+
+}  // namespace ekm

@@ -1,0 +1,46 @@
+// Scalar (Lloyd–Max) quantization via exact 1-D k-means — the
+// "k-means-designed quantizer" the paper contrasts against in §1/§2
+// (ref [13], Gersho & Gray).
+//
+// The rounding quantizer of §6.1 is codebook-free; a trained scalar
+// quantizer spends bits where the value distribution has mass, at the
+// price of transmitting the codebook. This module provides the trained
+// alternative so the ablation bench can quantify the trade:
+//   rounding: 12 + s bits/scalar, no side information;
+//   Lloyd–Max: ceil(log2 L) bits/scalar + L codebook doubles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ekm {
+
+class ScalarLloydMaxQuantizer {
+ public:
+  /// Trains an L-level codebook on (a uniform subsample of) the values in
+  /// `training`, using the exact 1-D k-means DP. 2 <= levels <= 4096.
+  ScalarLloydMaxQuantizer(const Matrix& training, std::size_t levels,
+                          std::size_t max_training_values = 4096,
+                          std::uint64_t seed = 42);
+
+  [[nodiscard]] std::size_t levels() const { return codebook_.size(); }
+  [[nodiscard]] const std::vector<double>& codebook() const { return codebook_; }
+
+  /// Nearest-codeword quantization.
+  [[nodiscard]] double quantize(double x) const;
+  [[nodiscard]] Matrix quantize(const Matrix& m) const;
+
+  /// Bits per quantized scalar: ceil(log2 levels).
+  [[nodiscard]] std::size_t bits_per_scalar() const;
+
+  /// Side-information cost: the codebook itself (doubles).
+  [[nodiscard]] std::size_t codebook_scalars() const { return codebook_.size(); }
+
+ private:
+  std::vector<double> codebook_;  // sorted ascending
+};
+
+}  // namespace ekm

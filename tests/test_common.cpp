@@ -1,0 +1,166 @@
+// Tests for src/common: contracts, statistics, serialization, RNG streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/expects.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace ekm {
+namespace {
+
+TEST(Expects, ViolatedPreconditionThrows) {
+  EXPECT_THROW(EKM_EXPECTS(1 == 2), precondition_error);
+  EXPECT_THROW(EKM_EXPECTS_MSG(false, "boom"), precondition_error);
+  EXPECT_NO_THROW(EKM_EXPECTS(2 == 2));
+}
+
+TEST(Expects, ViolatedInvariantThrows) {
+  EXPECT_THROW(EKM_ENSURES(false), invariant_error);
+  EXPECT_NO_THROW(EKM_ENSURES(true));
+}
+
+TEST(Expects, MessageNamesLocation) {
+  try {
+    EKM_EXPECTS_MSG(false, "context info");
+    FAIL() << "should have thrown";
+  } catch (const precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context info"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const std::vector<double> one{7.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), precondition_error);
+  EXPECT_THROW(quantile(xs, 1.5), precondition_error);
+}
+
+TEST(Stats, EmpiricalCdfIsAStaircase) {
+  const std::vector<double> xs{3.0, 1.0, 2.0, 2.0};
+  const EmpiricalCdf cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.x.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(cdf.x.begin(), cdf.x.end()));
+  EXPECT_DOUBLE_EQ(cdf.p.back(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Stats, FormatCdfSubsamples) {
+  std::vector<double> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  const std::string text = format_cdf(empirical_cdf(xs), 10);
+  // At most ~11 rows (10 strided + final).
+  EXPECT_LE(std::count(text.begin(), text.end(), '\n'), 12);
+}
+
+TEST(Serial, RoundTripPrimitives) {
+  ByteWriter w;
+  w.put_u32(42);
+  w.put_u64(1ull << 40);
+  w.put_f64(-3.25);
+  w.put_string("hello");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u32(), 42u);
+  EXPECT_EQ(r.get_u64(), 1ull << 40);
+  EXPECT_DOUBLE_EQ(r.get_f64(), -3.25);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serial, RoundTripDoubleSpan) {
+  const std::vector<double> vals{1.0, -2.5, 1e308, 5e-324, 0.0};
+  ByteWriter w;
+  w.put_doubles(vals);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_doubles(), vals);
+}
+
+TEST(Serial, OverrunThrows) {
+  ByteWriter w;
+  w.put_u32(1);
+  ByteReader r(w.bytes());
+  (void)r.get_u32();
+  EXPECT_THROW((void)r.get_u64(), precondition_error);
+}
+
+TEST(Serial, CorruptLengthThrows) {
+  ByteWriter w;
+  w.put_u64(1000);  // claims 1000 doubles, provides none
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.get_doubles(), precondition_error);
+}
+
+TEST(Rng, DerivedStreamsAreDeterministic) {
+  Rng a = make_rng(123, 5);
+  Rng b = make_rng(123, 5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentStreamsDecorrelate) {
+  Rng a = make_rng(123, 0);
+  Rng b = make_rng(123, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SequentialMasterSeedsDecorrelate) {
+  // splitmix finalization should prevent seed=1/seed=2 correlation.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t s = 0; s < 32; ++s) firsts.insert(make_rng(s)());
+  EXPECT_EQ(firsts.size(), 32u);
+}
+
+TEST(Timer, StopwatchAccumulatesScopes) {
+  Stopwatch sw;
+  {
+    auto scope = sw.measure();
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+  }
+  const double first = sw.total_seconds();
+  EXPECT_GT(first, 0.0);
+  {
+    auto scope = sw.measure();
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+  }
+  EXPECT_GT(sw.total_seconds(), first);
+  sw.reset();
+  EXPECT_DOUBLE_EQ(sw.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ekm

@@ -1,0 +1,184 @@
+// Tests for the remaining extension modules: feature-selection DR, the
+// Lloyd–Max scalar quantizer, and the wireless link model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/generators.hpp"
+#include "dr/feature_selection.hpp"
+#include "kmeans/cost.hpp"
+#include "kmeans/lloyd.hpp"
+#include "net/link_model.hpp"
+#include "qt/quantizer.hpp"
+#include "qt/vq.hpp"
+
+namespace ekm {
+namespace {
+
+TEST(FeatureSelection, NormSamplingPrefersHeavyColumns) {
+  // Column 0 carries almost all energy: it must dominate the selection.
+  Matrix pts(100, 10);
+  Rng rng = make_rng(600);
+  std::normal_distribution<double> big(0.0, 10.0);
+  std::normal_distribution<double> small(0.0, 0.01);
+  for (std::size_t i = 0; i < 100; ++i) {
+    pts(i, 0) = big(rng);
+    for (std::size_t j = 1; j < 10; ++j) pts(i, j) = small(rng);
+  }
+  const Dataset d(std::move(pts));
+  Rng srng = make_rng(601);
+  const FeatureSelection sel = select_features_norm(d, 8, srng);
+  const auto zeros =
+      std::count(sel.indices.begin(), sel.indices.end(), std::size_t{0});
+  EXPECT_GE(zeros, 7);
+}
+
+TEST(FeatureSelection, MapShapeAndDescriptionCost) {
+  Rng rng = make_rng(602);
+  const Dataset d(Matrix::gaussian(50, 30, rng));
+  Rng srng = make_rng(603);
+  const FeatureSelection sel = select_features_norm(d, 12, srng);
+  EXPECT_EQ(sel.map.input_dim(), 30u);
+  EXPECT_EQ(sel.map.output_dim(), 12u);
+  EXPECT_EQ(sel.indices.size(), 12u);
+  EXPECT_EQ(sel.description_scalars(), 24u);  // indices + scales
+  // Applying the map picks the scaled coordinates.
+  const Dataset out = sel.map.apply(d);
+  for (std::size_t s = 0; s < 12; ++s) {
+    EXPECT_NEAR(out.point(0)[s], d.point(0)[sel.indices[s]] * sel.scales[s],
+                1e-12);
+  }
+}
+
+TEST(FeatureSelection, UnbiasedNormsOnAverage) {
+  Rng rng = make_rng(604);
+  const Dataset d(Matrix::gaussian(60, 40, rng));
+  double total_ratio = 0.0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    Rng srng = make_rng(700 + t);
+    const FeatureSelection sel = select_features_norm(d, 20, srng);
+    const Dataset proj = sel.map.apply(d);
+    const double before = d.points().frobenius_norm();
+    const double after = proj.points().frobenius_norm();
+    total_ratio += (after * after) / (before * before);
+  }
+  // E[||sel(x)||²] = ||x||² with the 1/sqrt(t p) scaling.
+  EXPECT_NEAR(total_ratio / trials, 1.0, 0.1);
+}
+
+TEST(FeatureSelection, LeverageSamplingFindsSubspaceColumns) {
+  // Data supported on 3 specific coordinates; leverage sampling (rank 3)
+  // must select (almost) only those.
+  Matrix pts(80, 20);
+  Rng rng = make_rng(605);
+  std::normal_distribution<double> g;
+  for (std::size_t i = 0; i < 80; ++i) {
+    pts(i, 2) = g(rng);
+    pts(i, 7) = g(rng);
+    pts(i, 13) = g(rng);
+  }
+  const Dataset d(std::move(pts));
+  Rng srng = make_rng(606);
+  const FeatureSelection sel = select_features_leverage(d, 10, 3, srng);
+  for (std::size_t idx : sel.indices) {
+    EXPECT_TRUE(idx == 2 || idx == 7 || idx == 13) << idx;
+  }
+}
+
+TEST(FeatureSelection, KMeansThroughSelectionStaysReasonable) {
+  Rng rng = make_rng(607);
+  GaussianMixtureSpec spec;
+  spec.n = 500;
+  spec.dim = 64;
+  spec.k = 3;
+  const Dataset d = make_gaussian_mixture(spec, rng);
+  Rng srng = make_rng(608);
+  const FeatureSelection sel = select_features_norm(d, 32, srng);
+  const Dataset proj = sel.map.apply(d);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 2;
+  const KMeansResult res = kmeans(proj, opts);
+  const Matrix lifted = sel.map.lift(res.centers);
+  const double full = kmeans(d, opts).cost;
+  EXPECT_LT(kmeans_cost(d, lifted), 2.0 * full);
+}
+
+TEST(LloydMax, CodebookHitsBimodalModes) {
+  // Values concentrated near 0 and near 100: a 2-level codebook must put
+  // one codeword near each mode.
+  Matrix training(1, 200);
+  Rng rng = make_rng(609);
+  std::normal_distribution<double> lo(0.0, 0.5);
+  std::normal_distribution<double> hi(100.0, 0.5);
+  for (std::size_t j = 0; j < 200; ++j) {
+    training(0, j) = (j % 2 == 0) ? lo(rng) : hi(rng);
+  }
+  const ScalarLloydMaxQuantizer q(training, 2);
+  ASSERT_EQ(q.levels(), 2u);
+  EXPECT_NEAR(q.codebook()[0], 0.0, 1.0);
+  EXPECT_NEAR(q.codebook()[1], 100.0, 1.0);
+  EXPECT_EQ(q.bits_per_scalar(), 1u);
+}
+
+TEST(LloydMax, QuantizeMapsToNearestCodeword) {
+  Matrix training{{0.0, 1.0, 10.0, 11.0}};
+  const ScalarLloydMaxQuantizer q(training, 2);
+  EXPECT_DOUBLE_EQ(q.quantize(-5.0), 0.5);
+  EXPECT_DOUBLE_EQ(q.quantize(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(q.quantize(7.0), 10.5);
+  EXPECT_DOUBLE_EQ(q.quantize(100.0), 10.5);
+}
+
+TEST(LloydMax, BeatsRoundingAtEqualBitsOnClusteredValues) {
+  // Clustered value distribution: trained codewords beat the uniform-in-
+  // exponent rounding grid at the same bit budget.
+  Matrix values(1, 2000);
+  Rng rng = make_rng(610);
+  std::normal_distribution<double> mode1(0.31, 0.001);
+  std::normal_distribution<double> mode2(0.87, 0.001);
+  for (std::size_t j = 0; j < 2000; ++j) {
+    values(0, j) = (j % 2 == 0) ? mode1(rng) : mode2(rng);
+  }
+  const int bits = 2;
+  const ScalarLloydMaxQuantizer trained(values, std::size_t{1} << bits);
+  const RoundingQuantizer rounding(bits);
+  double trained_mse = 0.0;
+  double rounding_mse = 0.0;
+  for (double v : values.flat()) {
+    trained_mse += std::pow(v - trained.quantize(v), 2);
+    rounding_mse += std::pow(v - rounding.quantize(v), 2);
+  }
+  EXPECT_LT(trained_mse, rounding_mse);
+}
+
+TEST(LloydMax, ValidatesOptions) {
+  Matrix training{{1.0, 2.0}};
+  EXPECT_THROW(ScalarLloydMaxQuantizer(training, 1), precondition_error);
+  EXPECT_THROW(ScalarLloydMaxQuantizer(Matrix(), 4), precondition_error);
+}
+
+TEST(LinkModel, TransferTimeAndEnergy) {
+  TrafficLedger t;
+  t.bits = 1'000'000;
+  t.messages = 10;
+  const LinkModel wifi = wifi_link();
+  // 1 Mbit at 50 Mbps = 0.02 s + 10 * 2 ms latency = 0.04 s.
+  EXPECT_NEAR(wifi.transfer_seconds(t), 0.02 + 0.02, 1e-9);
+  EXPECT_NEAR(wifi.transfer_joules(t), 1e6 * 5e-9, 1e-12);
+}
+
+TEST(LinkModel, RadioClassOrdering) {
+  TrafficLedger t;
+  t.bits = 8'000'000;
+  t.messages = 4;
+  EXPECT_GT(lora_link().transfer_seconds(t), ble_link().transfer_seconds(t));
+  EXPECT_GT(ble_link().transfer_seconds(t), wifi_link().transfer_seconds(t));
+  EXPECT_GT(wifi_link().transfer_seconds(t), nr5g_link().transfer_seconds(t));
+}
+
+}  // namespace
+}  // namespace ekm

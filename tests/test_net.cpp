@@ -1,0 +1,214 @@
+// Tests for src/net: channel FIFO semantics, traffic ledgers, and the
+// summary wire codecs (round-trip exactness + billing).
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "net/summary_codec.hpp"
+#include "net/coreset_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace ekm {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  Channel ch;
+  ch.send(encode_scalar(1.0));
+  ch.send(encode_scalar(2.0));
+  EXPECT_TRUE(ch.has_pending());
+  EXPECT_DOUBLE_EQ(decode_scalar(ch.receive()), 1.0);
+  EXPECT_DOUBLE_EQ(decode_scalar(ch.receive()), 2.0);
+  EXPECT_FALSE(ch.has_pending());
+  EXPECT_THROW((void)ch.receive(), precondition_error);
+}
+
+TEST(Channel, LedgerAccumulates) {
+  Channel ch;
+  ch.send(encode_scalar(1.0));
+  ch.send(encode_scalar(2.0));
+  const TrafficLedger& l = ch.ledger();
+  EXPECT_EQ(l.messages, 2u);
+  EXPECT_EQ(l.scalars, 2u);
+  EXPECT_EQ(l.bits, 128u);
+  EXPECT_GT(l.bytes, 16u);  // payload + framing
+  // Receiving does not change the ledger.
+  (void)ch.receive();
+  EXPECT_EQ(ch.ledger().messages, 2u);
+}
+
+TEST(Network, UplinkAndDownlinkSeparated) {
+  Network net(3);
+  net.uplink(0).send(encode_scalar(1.0));
+  net.uplink(2).send(encode_scalar(2.0));
+  net.downlink(1).send(encode_scalar(3.0));
+  EXPECT_EQ(net.total_uplink().messages, 2u);
+  EXPECT_EQ(net.total_downlink().messages, 1u);
+  EXPECT_EQ(net.total_uplink().scalars, 2u);
+  EXPECT_THROW((void)net.uplink(3), precondition_error);
+}
+
+TEST(Codec, MatrixRoundTrip) {
+  Rng rng = make_rng(70);
+  const Matrix m = Matrix::gaussian(7, 5, rng);
+  const Message msg = encode_matrix(m);
+  EXPECT_EQ(msg.scalars, 35u);
+  EXPECT_EQ(msg.wire_bits, 35u * 64);
+  EXPECT_EQ(decode_matrix(msg), m);
+}
+
+TEST(Codec, EmptyMatrixRoundTrip) {
+  const Message msg = encode_matrix(Matrix(0, 0));
+  EXPECT_EQ(msg.scalars, 0u);
+  const Matrix out = decode_matrix(msg);
+  EXPECT_EQ(out.rows(), 0u);
+}
+
+TEST(Codec, QuantizedBillingReducesBits) {
+  Rng rng = make_rng(71);
+  const Matrix m = Matrix::gaussian(10, 10, rng);
+  const Message full = encode_matrix(m, 52);
+  const Message q8 = encode_matrix(m, 8);
+  EXPECT_EQ(full.wire_bits, 100u * 64);
+  EXPECT_EQ(q8.wire_bits, 100u * 20);  // 12 + 8 bits per scalar
+  // Payload bytes identical — billing is logical, transport is doubles.
+  EXPECT_EQ(full.payload.size(), q8.payload.size());
+}
+
+TEST(Codec, WireBitsPerScalarTable) {
+  EXPECT_EQ(wire_bits_per_scalar(52), 64u);
+  EXPECT_EQ(wire_bits_per_scalar(1), 13u);
+  EXPECT_EQ(wire_bits_per_scalar(23), 35u);
+  EXPECT_EQ(wire_bits_per_scalar(0), 64u);   // degenerate: treat as full
+  EXPECT_EQ(wire_bits_per_scalar(-3), 64u);
+}
+
+TEST(Codec, CoresetRoundTripNoBasis) {
+  Coreset cs;
+  cs.points = Dataset(Matrix{{1.0, 2.0}, {3.0, 4.0}}, {0.5, 1.5});
+  cs.delta = 7.25;
+  const Message msg = encode_coreset(cs);
+  EXPECT_EQ(msg.scalars, 4u + 2 + 1);  // coords + weights + delta
+  const Coreset out = decode_coreset(msg);
+  EXPECT_EQ(out.points.points(), cs.points.points());
+  EXPECT_DOUBLE_EQ(out.points.weight(0), 0.5);
+  EXPECT_DOUBLE_EQ(out.points.weight(1), 1.5);
+  EXPECT_DOUBLE_EQ(out.delta, 7.25);
+  EXPECT_FALSE(out.basis.has_value());
+}
+
+TEST(Codec, CoresetRoundTripWithBasis) {
+  Coreset cs;
+  cs.points = Dataset(Matrix{{2.0}}, {1.0});
+  cs.basis = Matrix{{0.6, 0.8}};
+  const Message msg = encode_coreset(cs);
+  EXPECT_EQ(msg.scalars, 1u + 2 + 1 + 1);  // coords + basis + weight + delta
+  const Coreset out = decode_coreset(msg);
+  ASSERT_TRUE(out.basis.has_value());
+  EXPECT_EQ(*out.basis, *cs.basis);
+}
+
+TEST(Codec, CoresetQuantizedBillingCountsPointsOnly) {
+  Coreset cs;
+  cs.points = Dataset(Matrix(4, 3), std::vector<double>(4, 1.0));
+  cs.basis = Matrix(3, 10);
+  const Message msg = encode_coreset(cs, 8);
+  // 12 point scalars at 20 bits; 30 basis + 4 weights + 1 delta at 64.
+  EXPECT_EQ(msg.wire_bits, 12u * 20 + (30u + 4 + 1) * 64);
+}
+
+TEST(Codec, EmptyCoresetRoundTrip) {
+  const Message msg = encode_coreset(Coreset{});
+  const Coreset out = decode_coreset(msg);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_DOUBLE_EQ(out.delta, 0.0);
+}
+
+TEST(Codec, TagMismatchThrows) {
+  const Message m = encode_matrix(Matrix(1, 1));
+  EXPECT_THROW((void)decode_coreset(m), precondition_error);
+  EXPECT_THROW((void)decode_scalar(m), precondition_error);
+  const Message s = encode_scalar(1.0);
+  EXPECT_THROW((void)decode_matrix(s), precondition_error);
+}
+
+TEST(Codec, TruncatedFrameThrows) {
+  Message msg = encode_matrix(Matrix(2, 2));
+  msg.payload.resize(msg.payload.size() / 2);
+  EXPECT_THROW((void)decode_matrix(msg), precondition_error);
+}
+
+TEST(CoresetIo, SaveLoadRoundTrip) {
+  Coreset cs;
+  Rng rng = make_rng(910);
+  cs.points = Dataset(Matrix::gaussian(12, 5, rng),
+                      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  cs.delta = 3.5;
+  cs.basis = Matrix::gaussian(5, 20, rng);
+  const auto path = std::filesystem::temp_directory_path() / "ekm_cs.bin";
+  save_coreset(cs, path);
+  const Coreset back = load_coreset(path);
+  EXPECT_EQ(back.points.points(), cs.points.points());
+  EXPECT_DOUBLE_EQ(back.points.weight(11), 12.0);
+  EXPECT_DOUBLE_EQ(back.delta, 3.5);
+  ASSERT_TRUE(back.basis.has_value());
+  EXPECT_EQ(*back.basis, *cs.basis);
+  std::filesystem::remove(path);
+}
+
+TEST(CoresetIo, RejectsCorruptFiles) {
+  const auto path = std::filesystem::temp_directory_path() / "ekm_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a coreset file at all............";
+  }
+  EXPECT_THROW((void)load_coreset(path), precondition_error);
+  EXPECT_THROW((void)load_coreset("/nonexistent/x.bin"), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Codec, RandomBytesNeverCrashDecoders) {
+  // Fuzz-ish robustness: arbitrary payloads must either decode or throw
+  // a contract error — never read out of bounds or abort.
+  Rng rng = make_rng(900);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> len(0, 256);
+  for (int trial = 0; trial < 500; ++trial) {
+    Message msg;
+    msg.payload.resize(len(rng));
+    for (std::byte& b : msg.payload) b = static_cast<std::byte>(byte(rng));
+    try {
+      (void)decode_coreset(msg);
+    } catch (const precondition_error&) {
+    }
+    try {
+      (void)decode_matrix(msg);
+    } catch (const precondition_error&) {
+    }
+    try {
+      (void)decode_scalar(msg);
+    } catch (const precondition_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Codec, BitFlippedFrameEitherDecodesOrThrows) {
+  Rng rng = make_rng(901);
+  const Matrix m = Matrix::gaussian(4, 4, rng);
+  const Message base = encode_matrix(m);
+  std::uniform_int_distribution<std::size_t> pos(0, base.payload.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  for (int trial = 0; trial < 300; ++trial) {
+    Message msg = base;
+    msg.payload[pos(rng)] ^= static_cast<std::byte>(1 << bit(rng));
+    try {
+      (void)decode_matrix(msg);
+    } catch (const precondition_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ekm

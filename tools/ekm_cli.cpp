@@ -1,0 +1,216 @@
+// ekm — command-line front end for the communication-efficient k-means
+// pipelines.
+//
+// Usage:
+//   ekm --algorithm jl+fss+jl --k 4 --input data.csv --output centers.csv
+//   ekm --algorithm jl+bklw --sources 10 --synthetic mnist --n 10000
+//
+// Flags:
+//   --input PATH          dense CSV, one point per row (mutually exclusive
+//                         with --synthetic)
+//   --synthetic NAME      mnist | neurips | mixture (default mixture)
+//   --n N, --d D          synthetic dataset shape
+//   --algorithm NAME      nr | fss | jl+fss | fss+jl | jl+fss+jl |
+//                         bklw | jl+bklw          (default jl+fss+jl)
+//   --k K                 number of centers        (default 2)
+//   --sources M           data sources; >1 selects the distributed path
+//   --coreset-size S, --jl-dim D1, --pca-dim T    summary knobs
+//   --qt-bits S           rounding quantizer significand bits (52 = off)
+//   --refine ITERS        device-side refinement rounds (extension)
+//   --seed SEED           master seed
+//   --output PATH         write centers as CSV (default: stdout summary only)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "data/generators.hpp"
+#include "data/loaders.hpp"
+#include "kmeans/cost.hpp"
+#include "kmeans/lloyd.hpp"
+
+namespace {
+
+using namespace ekm;
+
+struct CliArgs {
+  std::string input;
+  std::string synthetic = "mixture";
+  std::string algorithm = "jl+fss+jl";
+  std::string output;
+  std::size_t n = 5000;
+  std::size_t d = 128;
+  std::size_t k = 2;
+  std::size_t sources = 1;
+  std::size_t coreset_size = 300;
+  std::size_t jl_dim = 64;
+  std::size_t pca_dim = 16;
+  int qt_bits = 52;
+  int refine = 0;
+  std::uint64_t seed = 1;
+  bool help = false;
+};
+
+std::optional<CliArgs> parse(int argc, char** argv) {
+  CliArgs a;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    const auto want = [&](const char* name) { return std::strcmp(flag, name) == 0; };
+    if (want("--help") || want("-h")) {
+      a.help = true;
+    } else if (want("--input")) {
+      if (const char* v = next(i)) a.input = v; else return std::nullopt;
+    } else if (want("--synthetic")) {
+      if (const char* v = next(i)) a.synthetic = v; else return std::nullopt;
+    } else if (want("--algorithm")) {
+      if (const char* v = next(i)) a.algorithm = v; else return std::nullopt;
+    } else if (want("--output")) {
+      if (const char* v = next(i)) a.output = v; else return std::nullopt;
+    } else if (want("--n")) {
+      if (const char* v = next(i)) a.n = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else if (want("--d")) {
+      if (const char* v = next(i)) a.d = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else if (want("--k")) {
+      if (const char* v = next(i)) a.k = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else if (want("--sources")) {
+      if (const char* v = next(i)) a.sources = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else if (want("--coreset-size")) {
+      if (const char* v = next(i)) a.coreset_size = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else if (want("--jl-dim")) {
+      if (const char* v = next(i)) a.jl_dim = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else if (want("--pca-dim")) {
+      if (const char* v = next(i)) a.pca_dim = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else if (want("--qt-bits")) {
+      if (const char* v = next(i)) a.qt_bits = std::atoi(v); else return std::nullopt;
+    } else if (want("--refine")) {
+      if (const char* v = next(i)) a.refine = std::atoi(v); else return std::nullopt;
+    } else if (want("--seed")) {
+      if (const char* v = next(i)) a.seed = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag);
+      return std::nullopt;
+    }
+  }
+  return a;
+}
+
+std::optional<PipelineKind> kind_of(const std::string& name) {
+  if (name == "nr") return PipelineKind::kNoReduction;
+  if (name == "fss") return PipelineKind::kFss;
+  if (name == "jl+fss") return PipelineKind::kJlFss;
+  if (name == "fss+jl") return PipelineKind::kFssJl;
+  if (name == "jl+fss+jl") return PipelineKind::kJlFssJl;
+  if (name == "bklw") return PipelineKind::kBklw;
+  if (name == "jl+bklw") return PipelineKind::kJlBklw;
+  return std::nullopt;
+}
+
+Dataset make_input(const CliArgs& a) {
+  if (!a.input.empty()) {
+    Dataset d = load_csv(a.input);
+    normalize_zero_mean_unit_range(d);
+    return d;
+  }
+  Rng rng = make_rng(a.seed, 0xdadaULL);
+  if (a.synthetic == "mnist") {
+    MnistLikeSpec spec;
+    spec.n = a.n;
+    return make_mnist_like(spec, rng);
+  }
+  if (a.synthetic == "neurips") {
+    NeuripsLikeSpec spec;
+    spec.n = a.n;
+    spec.dim = a.d;
+    return make_neurips_like(spec, rng);
+  }
+  GaussianMixtureSpec spec;
+  spec.n = a.n;
+  spec.dim = a.d;
+  spec.k = a.k;
+  return make_gaussian_mixture(spec, rng);
+}
+
+void write_centers_csv(const std::string& path, const Matrix& centers) {
+  std::ofstream out(path);
+  for (std::size_t c = 0; c < centers.rows(); ++c) {
+    auto row = centers.row(c);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      out << row[j] << (j + 1 < row.size() ? ',' : '\n');
+    }
+  }
+}
+
+constexpr const char* kUsage =
+    "ekm — communication-efficient k-means (Lu et al., ICDCS'20 reproduction)\n"
+    "  --input PATH | --synthetic mnist|neurips|mixture [--n N --d D]\n"
+    "  --algorithm nr|fss|jl+fss|fss+jl|jl+fss+jl|bklw|jl+bklw\n"
+    "  --k K  --sources M  --coreset-size S  --jl-dim D1  --pca-dim T\n"
+    "  --qt-bits S  --refine ITERS  --seed SEED  --output centers.csv\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args || args->help) {
+    std::fputs(kUsage, args ? stdout : stderr);
+    return args ? 0 : 2;
+  }
+  const auto kind = kind_of(args->algorithm);
+  if (!kind) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n%s", args->algorithm.c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (pipeline_is_distributed(*kind) && args->sources < 2) {
+    std::fprintf(stderr, "%s needs --sources >= 2\n", args->algorithm.c_str());
+    return 2;
+  }
+
+  const Dataset data = make_input(*args);
+  std::printf("input: %zu points x %zu dims\n", data.size(), data.dim());
+
+  PipelineConfig cfg;
+  cfg.k = args->k;
+  cfg.epsilon = 0.3;
+  cfg.seed = args->seed;
+  cfg.coreset_size = args->coreset_size;
+  cfg.jl_dim = args->jl_dim;
+  cfg.pca_dim = args->pca_dim;
+  cfg.significant_bits = args->qt_bits;
+  cfg.refine_iters = args->refine;
+
+  PipelineResult res;
+  if (args->sources > 1) {
+    Rng rng = make_rng(args->seed, 0x9a87ULL);
+    const std::vector<Dataset> parts = partition_random(data, args->sources, rng);
+    res = run_distributed_pipeline(*kind, parts, cfg);
+  } else {
+    res = run_pipeline(*kind, data, cfg);
+  }
+
+  const double cost = kmeans_cost(data, res.centers);
+  std::printf("algorithm      : %s\n", pipeline_name(*kind));
+  std::printf("k-means cost   : %.6g\n", cost);
+  std::printf("summary points : %zu\n", res.summary_points);
+  std::printf("uplink         : %llu bits, %llu scalars, %llu messages\n",
+              static_cast<unsigned long long>(res.uplink.bits),
+              static_cast<unsigned long long>(res.uplink.scalars),
+              static_cast<unsigned long long>(res.uplink.messages));
+  std::printf("vs raw upload  : %.4f%% of %zu scalars\n",
+              100.0 * static_cast<double>(res.uplink.scalars) /
+                  static_cast<double>(data.scalar_count()),
+              data.scalar_count());
+  std::printf("device time    : %.3f s\n", res.device_seconds);
+
+  if (!args->output.empty()) {
+    write_centers_csv(args->output, res.centers);
+    std::printf("centers written: %s\n", args->output.c_str());
+  }
+  return 0;
+}
