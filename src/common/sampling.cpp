@@ -1,5 +1,7 @@
 #include "common/sampling.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <random>
 
 namespace ekm {
@@ -57,6 +59,18 @@ std::vector<std::size_t> sample_indices(std::span<const double> weights,
   std::vector<std::size_t> out(count);
   for (std::size_t& idx : out) idx = table.sample(rng);
   return out;
+}
+
+std::size_t sample_from_prefix(std::span<const double> cum, Rng& rng) {
+  EKM_EXPECTS(!cum.empty() && cum.back() > 0.0);
+  std::uniform_real_distribution<double> unif(0.0, cum.back());
+  // The distribution includes its lower bound: clamp r above 0 so a draw
+  // of exactly 0.0 cannot land on a leading zero-weight prefix run.
+  const double r =
+      std::max(unif(rng), std::numeric_limits<double>::denorm_min());
+  const auto it = std::lower_bound(cum.begin(), cum.end(), r);
+  const auto i = static_cast<std::size_t>(it - cum.begin());
+  return std::min(i, cum.size() - 1);
 }
 
 }  // namespace ekm

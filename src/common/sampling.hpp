@@ -39,4 +39,15 @@ class AliasTable {
 [[nodiscard]] std::vector<std::size_t> sample_indices(
     std::span<const double> weights, std::size_t count, Rng& rng);
 
+/// Draws an index with probability (cum[i] - cum[i-1]) / cum.back() from
+/// unnormalized non-decreasing prefix sums (cum.back() > 0 required):
+/// O(log n) per draw via binary search. The right tool when the
+/// distribution changes between draws (D²-seeding) or only O(k) draws
+/// are taken (bicriteria rounds) — AliasTable amortizes better for many
+/// draws from one fixed distribution. Zero-probability indices (equal
+/// consecutive prefixes) are never selected; numeric slack at the top
+/// end lands on the last index.
+[[nodiscard]] std::size_t sample_from_prefix(std::span<const double> cum,
+                                             Rng& rng);
+
 }  // namespace ekm

@@ -6,6 +6,7 @@
 #include "common/timer.hpp"
 #include "core/calibration.hpp"
 #include "cr/fss.hpp"
+#include "kmeans/assign.hpp"
 #include "distributed/bklw.hpp"
 #include "dr/jl.hpp"
 #include "dr/pca.hpp"
@@ -60,6 +61,11 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
                           const PipelineConfig& cfg) {
   const std::size_t k = centers.rows();
   const std::size_t d = centers.cols();
+  // Shard points never change across refine rounds; norms hoisted.
+  std::vector<std::vector<double>> shard_norms(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    shard_norms[i] = row_sq_norms(parts[i].points());
+  }
   for (int iter = 0; iter < cfg.refine_iters; ++iter) {
     for (std::size_t i = 0; i < parts.size(); ++i) {
       net.downlink(i).send(encode_matrix(centers));
@@ -71,11 +77,15 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
       {
         auto scope = device_work.measure();
         const Matrix pushed = decode_matrix(net.downlink(i).receive());
+        // Batched assignment of the whole shard, then a serial
+        // sufficient-statistics accumulation (order-deterministic).
+        std::vector<std::size_t> assign(parts[i].size());
+        assign_batch_into(parts[i].points(), pushed, assign, {},
+                          shard_norms[i]);
         for (std::size_t p = 0; p < parts[i].size(); ++p) {
-          const auto point = parts[i].point(p);
+          const double* point = parts[i].points().row_ptr(p);
           const double w = parts[i].weight(p);
-          const std::size_t c = nearest_center(point, pushed).index;
-          auto row = stats.row(c);
+          auto row = stats.row(assign[p]);
           for (std::size_t j = 0; j < d; ++j) row[j] += w * point[j];
           row[d] += w;
         }

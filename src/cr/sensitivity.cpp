@@ -4,7 +4,9 @@
 #include <cmath>
 #include <random>
 
+#include "common/parallel.hpp"
 #include "common/sampling.hpp"
+#include "kmeans/assign.hpp"
 #include "kmeans/cost.hpp"
 
 namespace ekm {
@@ -36,29 +38,29 @@ Coreset sensitivity_sample(const Dataset& data,
 
   std::vector<std::size_t> assign(n);
   std::vector<double> dist2(n);
-  double cost_b = 0.0;
+  const double cost_b = assign_and_cost(data, b_centers, assign, dist2);
   std::vector<double> cluster_weight(b, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    const NearestCenter nc = nearest_center(data.point(i), b_centers);
-    assign[i] = nc.index;
-    dist2[i] = nc.sq_dist;
-    cost_b += data.weight(i) * nc.sq_dist;
-    cluster_weight[nc.index] += data.weight(i);
+    cluster_weight[assign[i]] += data.weight(i);
   }
 
   // 2) Sensitivity upper bounds: s(p) = w(p) d²(p,B)/cost(B) + w(p)/W(b(p)).
   //    (Feldman–Langberg; the additive term guards points in small
   //    clusters whose cost can spike under adversarial centers.)
+  //    Scored in parallel; the total folds serially so it is independent
+  //    of the thread count.
   std::vector<double> sens(n);
+  parallel_for(n, 4096, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double w = data.weight(i);
+      const double cost_term = cost_b > 0.0 ? w * dist2[i] / cost_b : 0.0;
+      const double cluster_term =
+          cluster_weight[assign[i]] > 0.0 ? w / cluster_weight[assign[i]] : 0.0;
+      sens[i] = cost_term + cluster_term;
+    }
+  });
   double total_sens = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double w = data.weight(i);
-    const double cost_term = cost_b > 0.0 ? w * dist2[i] / cost_b : 0.0;
-    const double cluster_term =
-        cluster_weight[assign[i]] > 0.0 ? w / cluster_weight[assign[i]] : 0.0;
-    sens[i] = cost_term + cluster_term;
-    total_sens += sens[i];
-  }
+  for (std::size_t i = 0; i < n; ++i) total_sens += sens[i];
   EKM_ENSURES_MSG(total_sens > 0.0, "degenerate sensitivities");
 
   // 3) Draw sample_size i.i.d. points ∝ sensitivity; weight t/(N s(q)) w(q).

@@ -9,19 +9,18 @@ Dataset merge_weighted(const Coreset& a, const Coreset& b) {
   const Dataset& pa = a.points;
   const Dataset& pb = b.points;
   EKM_EXPECTS(pa.dim() == pb.dim());
+  // Both operands are row-major and contiguous: merge with two flat
+  // copies instead of a per-row loop.
   Matrix pts(pa.size() + pb.size(), pa.dim());
+  auto dst = pts.flat();
+  auto fa = pa.points().flat();
+  auto fb = pb.points().flat();
+  std::copy(fa.begin(), fa.end(), dst.begin());
+  std::copy(fb.begin(), fb.end(), dst.begin() + static_cast<std::ptrdiff_t>(fa.size()));
   std::vector<double> w;
   w.reserve(pa.size() + pb.size());
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    auto src = pa.point(i);
-    std::copy(src.begin(), src.end(), pts.row(i).begin());
-    w.push_back(pa.weight(i));
-  }
-  for (std::size_t i = 0; i < pb.size(); ++i) {
-    auto src = pb.point(i);
-    std::copy(src.begin(), src.end(), pts.row(pa.size() + i).begin());
-    w.push_back(pb.weight(i));
-  }
+  for (std::size_t i = 0; i < pa.size(); ++i) w.push_back(pa.weight(i));
+  for (std::size_t i = 0; i < pb.size(); ++i) w.push_back(pb.weight(i));
   return Dataset(std::move(pts), std::move(w));
 }
 
@@ -69,7 +68,7 @@ void StreamingCoreset::flush_leaf() {
   if (leaf_.empty()) return;
   Matrix pts(leaf_.size(), dim_);
   for (std::size_t i = 0; i < leaf_.size(); ++i) {
-    std::copy(leaf_[i].begin(), leaf_[i].end(), pts.row(i).begin());
+    std::copy(leaf_[i].begin(), leaf_[i].end(), pts.row_ptr(i));
   }
   Dataset buffer(std::move(pts), std::move(leaf_weights_));
   leaf_.clear();

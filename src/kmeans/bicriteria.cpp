@@ -5,6 +5,8 @@
 #include <limits>
 #include <random>
 
+#include "common/sampling.hpp"
+#include "kmeans/assign.hpp"
 #include "kmeans/cost.hpp"
 
 namespace ekm {
@@ -18,38 +20,29 @@ Matrix bicriteria_centers(const Dataset& data, const BicriteriaOptions& opts,
       std::ceil(opts.beta * static_cast<double>(opts.k)));
 
   Matrix centers;
+  const std::vector<double> point_norms = row_sq_norms(data.points());
   std::vector<double> d2(n, std::numeric_limits<double>::infinity());
-  std::vector<double> probs(n);
-  std::uniform_real_distribution<double> unif;
+  std::vector<double> cum(n);  // unnormalized prefix sums of the D² mass
 
   for (int round = 0; round < opts.rounds; ++round) {
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      probs[i] = data.weight(i) * (round == 0 ? 1.0 : d2[i]);
-      total += probs[i];
+      total += data.weight(i) * (round == 0 ? 1.0 : d2[i]);
+      cum[i] = total;
     }
     if (total <= 0.0) break;  // every point already has a zero-cost center
 
+    // β·k draws from one fixed distribution: prefix sums + binary search
+    // make each draw O(log n) instead of an O(n) subtract-scan.
     Matrix round_centers(std::min(per_round, n), d);
     for (std::size_t c = 0; c < round_centers.rows(); ++c) {
-      double r = unif(rng) * total;
-      std::size_t pick = n - 1;
-      for (std::size_t i = 0; i < n; ++i) {
-        r -= probs[i];
-        if (r <= 0.0) {
-          pick = i;
-          break;
-        }
-      }
+      const std::size_t pick = sample_from_prefix(cum, rng);
       std::copy(data.point(pick).begin(), data.point(pick).end(),
                 round_centers.row(c).begin());
     }
     centers.append_rows(round_centers);
 
-    for (std::size_t i = 0; i < n; ++i) {
-      const double nd = nearest_center(data.point(i), round_centers).sq_dist;
-      d2[i] = std::min(d2[i], nd);
-    }
+    update_min_sq_dist(data.points(), round_centers, d2, point_norms);
   }
   EKM_ENSURES(centers.rows() >= 1);
   return centers;

@@ -1,5 +1,7 @@
 #include "kmeans/cost.hpp"
 
+#include "kmeans/assign.hpp"
+
 namespace ekm {
 
 NearestCenter nearest_center(std::span<const double> p, const Matrix& centers) {
@@ -13,19 +15,13 @@ NearestCenter nearest_center(std::span<const double> p, const Matrix& centers) {
 }
 
 double kmeans_cost(const Dataset& data, const Matrix& centers) {
-  double cost = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    cost += data.weight(i) * nearest_center(data.point(i), centers).sq_dist;
-  }
-  return cost;
+  return assign_and_cost(data, centers, {});
 }
 
 std::vector<std::size_t> assign_to_centers(const Dataset& data,
                                            const Matrix& centers) {
   std::vector<std::size_t> assign(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    assign[i] = nearest_center(data.point(i), centers).index;
-  }
+  assign_batch_into(data.points(), centers, assign, {});
   return assign;
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.hpp"
+#include "kmeans/assign.hpp"
+
 namespace ekm {
 namespace {
 
@@ -31,22 +34,28 @@ KMeansResult elkan(const Dataset& data, Matrix initial_centers,
   std::vector<double> upper(n);
   Matrix lower(n, k);
 
-  // Initial exact assignment.
-  for (std::size_t i = 0; i < n; ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t best_c = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      const double dist = distance(data.point(i), res.centers.row(c));
-      ++evals;
-      lower(i, c) = dist;
-      if (dist < best) {
-        best = dist;
-        best_c = c;
+  // Initial exact assignment, parallel over points. The bounds must
+  // satisfy lower(i,c) <= d(i,c) <= upper[i] exactly, so this uses the
+  // cancellation-safe subtract form — the batched norm-identity kernel's
+  // O(eps·‖p‖‖c‖) error could overestimate a lower bound and make the
+  // pruning drop the true nearest center.
+  parallel_for(n, 512, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      double* row = lower.row_ptr(i);
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        row[c] = distance(data.point(i), res.centers.row(c));
+        if (row[c] < best) {
+          best = row[c];
+          best_c = c;
+        }
       }
+      res.assignment[i] = best_c;
+      upper[i] = best;
     }
-    res.assignment[i] = best_c;
-    upper[i] = best;
-  }
+  });
+  evals += static_cast<std::uint64_t>(n) * k;
 
   Matrix half_cc(k, k);           // 0.5 * d(c, c')
   std::vector<double> s(k);       // 0.5 * min_{c' != c} d(c, c')
@@ -151,15 +160,9 @@ KMeansResult elkan(const Dataset& data, Matrix initial_centers,
     prev_cost = ub_cost;
   }
 
-  // Exact final assignment & cost.
-  double cost = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const NearestCenter nc = nearest_center(data.point(i), res.centers);
-    res.assignment[i] = nc.index;
-    cost += data.weight(i) * nc.sq_dist;
-    evals += k;
-  }
-  res.cost = cost;
+  // Exact final assignment & cost (batched kernel fallback).
+  res.cost = assign_and_cost(data, res.centers, res.assignment);
+  evals += static_cast<std::uint64_t>(n) * k;
   if (distance_evals != nullptr) *distance_evals = evals;
   return res;
 }

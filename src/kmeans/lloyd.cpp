@@ -5,21 +5,23 @@
 #include <limits>
 #include <random>
 
+#include "common/parallel.hpp"
+#include "common/sampling.hpp"
+#include "kmeans/assign.hpp"
+
 namespace ekm {
 namespace {
 
-// Draws an index with probability proportional to probs[i] (need not be
-// normalized; total > 0 required).
-std::size_t sample_proportional(std::span<const double> probs, double total,
-                                Rng& rng) {
-  std::uniform_real_distribution<double> unif(0.0, total);
-  double r = unif(rng);
-  for (std::size_t i = 0; i < probs.size(); ++i) {
-    r -= probs[i];
-    if (r <= 0.0) return i;
-  }
-  return probs.size() - 1;  // numeric slack lands on the last index
-}
+// Points per reduction chunk in the update step. Fixed grain: the chunk
+// grid (and hence the summation order) is independent of the thread
+// count, keeping lloyd() bitwise-deterministic under EKM_THREADS.
+constexpr std::size_t kUpdateGrain = 2048;
+// Caps on the update-step scratch: at most this many chunks, and at most
+// this many scratch doubles overall (each chunk owns a k·(d+1) block, so
+// for large k·d the chunk count shrinks further). Both bounds depend
+// only on the problem shape, never on the thread count.
+constexpr std::size_t kMaxUpdateChunks = 256;
+constexpr std::size_t kUpdateScratchDoubles = std::size_t(1) << 23;  // 64 MB
 
 }  // namespace
 
@@ -29,29 +31,30 @@ Matrix kmeanspp_seed(const Dataset& data, std::size_t k, Rng& rng) {
   const std::size_t d = data.dim();
   Matrix centers(std::min(k, n), d);
 
-  // First center ∝ weight.
-  std::vector<double> probs(n);
+  // First center ∝ weight. sample_from_prefix replaces the old O(n)
+  // subtract-scan per draw with prefix sums + binary search.
+  std::vector<double> cum(n);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    probs[i] = data.weight(i);
-    total += probs[i];
+    total += data.weight(i);
+    cum[i] = total;
   }
   EKM_EXPECTS_MSG(total > 0.0, "all weights are zero");
-  std::size_t first = sample_proportional(probs, total, rng);
+  const std::size_t first = sample_from_prefix(cum, rng);
   std::copy(data.point(first).begin(), data.point(first).end(),
             centers.row(0).begin());
 
-  // Maintain squared distance to the nearest chosen center.
-  std::vector<double> d2(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    d2[i] = squared_distance(data.point(i), centers.row(0));
-  }
+  // Maintain squared distance to the nearest chosen center. Point norms
+  // are invariant across the seeding loop.
+  const std::vector<double> point_norms = row_sq_norms(data.points());
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  update_min_sq_dist(data.points(), centers.row_range(0, 1), d2, point_norms);
 
   for (std::size_t c = 1; c < centers.rows(); ++c) {
     total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      probs[i] = data.weight(i) * d2[i];
-      total += probs[i];
+      total += data.weight(i) * d2[i];
+      cum[i] = total;
     }
     std::size_t next;
     if (total <= 0.0) {
@@ -59,13 +62,12 @@ Matrix kmeanspp_seed(const Dataset& data, std::size_t k, Rng& rng) {
       std::uniform_int_distribution<std::size_t> unif(0, n - 1);
       next = unif(rng);
     } else {
-      next = sample_proportional(probs, total, rng);
+      next = sample_from_prefix(cum, rng);
     }
     std::copy(data.point(next).begin(), data.point(next).end(),
               centers.row(c).begin());
-    for (std::size_t i = 0; i < n; ++i) {
-      d2[i] = std::min(d2[i], squared_distance(data.point(i), centers.row(c)));
-    }
+    update_min_sq_dist(data.points(), centers.row_range(c, c + 1), d2,
+                       point_norms);
   }
   return centers;
 }
@@ -81,19 +83,30 @@ KMeansResult lloyd(const Dataset& data, Matrix initial_centers,
   KMeansResult res;
   res.centers = std::move(initial_centers);
   res.assignment.assign(n, 0);
+  std::vector<double> sq_dist(n, 0.0);
   double prev_cost = std::numeric_limits<double>::infinity();
+
+  // Point norms are invariant across iterations; computed once.
+  const std::vector<double> point_norms = row_sq_norms(data.points());
 
   std::vector<double> cluster_weight(k, 0.0);
   Matrix sums(k, d);
+  // Per-chunk accumulation slots for the parallel update step, merged in
+  // chunk order below so the result is thread-count-independent. The
+  // grain grows with n to cap the chunk count (and the k·d scratch per
+  // chunk); it still depends only on n, never on the thread count.
+  const std::size_t max_chunks = std::clamp<std::size_t>(
+      kUpdateScratchDoubles / (k * d + k), 1, kMaxUpdateChunks);
+  const std::size_t update_grain =
+      std::max(kUpdateGrain, (n + max_chunks - 1) / max_chunks);
+  const std::size_t chunks = parallel_chunk_count(n, update_grain);
+  std::vector<double> part_sums(chunks * k * d, 0.0);
+  std::vector<double> part_weight(chunks * k, 0.0);
 
   for (int it = 0; it < opts.max_iters; ++it) {
-    // Assignment step.
-    double cost = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const NearestCenter nc = nearest_center(data.point(i), res.centers);
-      res.assignment[i] = nc.index;
-      cost += data.weight(i) * nc.sq_dist;
-    }
+    // Assignment step (batched kernel; deterministic ordered cost).
+    const double cost = assign_and_cost(data, res.centers, res.assignment,
+                                        sq_dist, point_norms);
     res.cost = cost;
     res.iterations = it + 1;
 
@@ -103,18 +116,34 @@ KMeansResult lloyd(const Dataset& data, Matrix initial_centers,
     }
     prev_cost = cost;
 
-    // Update step.
+    // Update step: per-chunk weighted sums, folded in chunk order.
+    std::fill(part_sums.begin(), part_sums.end(), 0.0);
+    std::fill(part_weight.begin(), part_weight.end(), 0.0);
+    parallel_for_chunks(
+        n, update_grain,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          double* psums = part_sums.data() + chunk * k * d;
+          double* pweight = part_weight.data() + chunk * k;
+          for (std::size_t i = begin; i < end; ++i) {
+            const double w = data.weight(i);
+            if (w == 0.0) continue;
+            const std::size_t c = res.assignment[i];
+            pweight[c] += w;
+            const double* p = data.points().row_ptr(i);
+            double* s = psums + c * d;
+            for (std::size_t j = 0; j < d; ++j) s[j] += w * p[j];
+          }
+        });
     std::fill(cluster_weight.begin(), cluster_weight.end(), 0.0);
     std::fill(sums.flat().begin(), sums.flat().end(), 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double w = data.weight(i);
-      if (w == 0.0) continue;
-      const std::size_t c = res.assignment[i];
-      cluster_weight[c] += w;
-      auto p = data.point(i);
-      auto s = sums.row(c);
-      for (std::size_t j = 0; j < d; ++j) s[j] += w * p[j];
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      const double* psums = part_sums.data() + chunk * k * d;
+      const double* pweight = part_weight.data() + chunk * k;
+      for (std::size_t c = 0; c < k; ++c) cluster_weight[c] += pweight[c];
+      auto sf = sums.flat();
+      for (std::size_t x = 0; x < k * d; ++x) sf[x] += psums[x];
     }
+
     for (std::size_t c = 0; c < k; ++c) {
       if (cluster_weight[c] > 0.0) {
         auto s = sums.row(c);
@@ -122,32 +151,29 @@ KMeansResult lloyd(const Dataset& data, Matrix initial_centers,
         for (std::size_t j = 0; j < d; ++j) ctr[j] = s[j] / cluster_weight[c];
       } else {
         // Empty cluster: reseat the center on the point farthest from its
-        // current center (standard repair, keeps k centers meaningful).
+        // assigned center (distances from the assignment step; standard
+        // repair, keeps k centers meaningful).
         double worst = -1.0;
         std::size_t worst_i = 0;
         for (std::size_t i = 0; i < n; ++i) {
-          const double d2 =
-              squared_distance(data.point(i), res.centers.row(res.assignment[i]));
-          if (data.weight(i) > 0.0 && d2 > worst) {
-            worst = d2;
+          if (data.weight(i) > 0.0 && sq_dist[i] > worst) {
+            worst = sq_dist[i];
             worst_i = i;
           }
         }
         std::copy(data.point(worst_i).begin(), data.point(worst_i).end(),
                   res.centers.row(c).begin());
+        // Consume the point so a second empty cluster in the same
+        // iteration reseats on a different one instead of duplicating.
+        sq_dist[worst_i] = 0.0;
       }
     }
   }
 
   // Refresh cost/assignment for the final centers (the loop may have
   // updated centers after the last assignment).
-  double cost = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const NearestCenter nc = nearest_center(data.point(i), res.centers);
-    res.assignment[i] = nc.index;
-    cost += data.weight(i) * nc.sq_dist;
-  }
-  res.cost = cost;
+  res.cost =
+      assign_and_cost(data, res.centers, res.assignment, {}, point_norms);
   return res;
 }
 

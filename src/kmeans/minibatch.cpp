@@ -1,6 +1,9 @@
 #include "kmeans/minibatch.hpp"
 
+#include <algorithm>
 #include <random>
+
+#include "kmeans/assign.hpp"
 
 namespace ekm {
 
@@ -19,13 +22,17 @@ KMeansResult kmeans_minibatch(const Dataset& data,
   std::uniform_int_distribution<std::size_t> pick(0, n - 1);
   std::vector<std::size_t> batch(opts.batch_size);
   std::vector<std::size_t> batch_assign(opts.batch_size);
+  Matrix batch_points(opts.batch_size, d);
 
   for (int it = 0; it < opts.iterations; ++it) {
-    // Sample and assign with the centers frozen (per Sculley).
+    // Sample, gather, and assign with the centers frozen (per Sculley).
+    // The gather keeps the batch contiguous for the batched kernel.
     for (std::size_t b = 0; b < opts.batch_size; ++b) {
       batch[b] = pick(rng);
-      batch_assign[b] = nearest_center(data.point(batch[b]), centers).index;
+      const double* src = data.points().row_ptr(batch[b]);
+      std::copy(src, src + d, batch_points.row_ptr(b));
     }
+    assign_batch_into(batch_points, centers, batch_assign, {});
     // Per-center gradient step with counts-based learning rate.
     for (std::size_t b = 0; b < opts.batch_size; ++b) {
       const std::size_t c = batch_assign[b];
@@ -45,13 +52,7 @@ KMeansResult kmeans_minibatch(const Dataset& data,
   res.centers = std::move(centers);
   res.iterations = opts.iterations;
   res.assignment.resize(n);
-  double cost = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const NearestCenter nc = nearest_center(data.point(i), res.centers);
-    res.assignment[i] = nc.index;
-    cost += data.weight(i) * nc.sq_dist;
-  }
-  res.cost = cost;
+  res.cost = assign_and_cost(data, res.centers, res.assignment);
   return res;
 }
 

@@ -6,6 +6,7 @@
 #include <random>
 
 #include "common/sampling.hpp"
+#include "kmeans/assign.hpp"
 #include "kmeans/cost.hpp"
 
 namespace ekm {
@@ -30,10 +31,9 @@ Matrix kmeans_parallel_seed(const Dataset& data,
     std::copy(src.begin(), src.end(), candidates.row(0).begin());
   }
 
-  std::vector<double> d2(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    d2[i] = squared_distance(data.point(i), candidates.row(0));
-  }
+  const std::vector<double> point_norms = row_sq_norms(data.points());
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  update_min_sq_dist(data.points(), candidates, d2, point_norms);
 
   // O(rounds) oversampling passes: add each point with probability
   // min(1, l * cost(p) / total_cost).
@@ -55,19 +55,18 @@ Matrix kmeans_parallel_seed(const Dataset& data,
     }
     if (added.rows() == 0) continue;
     candidates.append_rows(added);
-    for (std::size_t i = 0; i < n; ++i) {
-      d2[i] = std::min(d2[i], nearest_center(data.point(i), added).sq_dist);
-    }
+    update_min_sq_dist(data.points(), added, d2, point_norms);
   }
 
   if (candidates.rows() <= opts.k) return candidates;
 
   // Reduction: weight each candidate by the mass it attracts, then run
   // weighted k-means++ & Lloyd on the (small) candidate set.
+  std::vector<std::size_t> attract(n);
+  assign_batch_into(data.points(), candidates, attract, {});
   std::vector<double> cand_weight(candidates.rows(), 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    cand_weight[nearest_center(data.point(i), candidates).index] +=
-        data.weight(i);
+    cand_weight[attract[i]] += data.weight(i);
   }
   const Dataset cand_set(candidates, std::move(cand_weight));
   KMeansOptions reduce;

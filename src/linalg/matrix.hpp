@@ -66,6 +66,22 @@ class Matrix {
   [[nodiscard]] std::span<double> flat() { return data_; }
   [[nodiscard]] std::span<const double> flat() const { return data_; }
 
+  /// Unchecked raw access for release-mode inner loops (the assignment
+  /// kernel and friends). The checked operator()/row() stay the public
+  /// default; callers of these owe their own bounds reasoning.
+  [[nodiscard]] double* row_ptr(std::size_t i) noexcept {
+    return data_.data() + i * cols_;
+  }
+  [[nodiscard]] const double* row_ptr(std::size_t i) const noexcept {
+    return data_.data() + i * cols_;
+  }
+  [[nodiscard]] double& at_unchecked(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double at_unchecked(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
   [[nodiscard]] Matrix transposed() const;
 
   /// Copy of the first `c` columns (c <= cols).

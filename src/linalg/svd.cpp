@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "linalg/eigen_sym.hpp"
 
@@ -31,6 +32,15 @@ void orthonormalize_column(Matrix& m, std::size_t j, Rng& rng) {
     }
   }
   // Degenerate only if j >= rank of the whole space; leave the column zero.
+}
+
+// Smallest Gram eigenvalue distinguishable from rounding noise: the Jacobi
+// sweeps resolve eigenvalues to O(dim·eps·λmax), so anything below that is
+// noise and its square root must be reported as an exact zero (σ below
+// √eps·σmax is unresolvable through A^T A by construction).
+double gram_noise_floor(double lambda_max, std::size_t dim) {
+  return 32.0 * std::numeric_limits<double>::epsilon() *
+         static_cast<double>(std::max<std::size_t>(dim, 1)) * lambda_max;
 }
 
 }  // namespace
@@ -70,13 +80,14 @@ Svd thin_svd(const Matrix& a) {
     }
     // U = A V Sigma^{-1}.
     out.u = matmul(a, out.v);
-    const double tol = 1e-8 * std::sqrt(smax2);
+    const double tol = std::max(1e-8 * std::sqrt(smax2),
+                                std::sqrt(gram_noise_floor(smax2, d)));
     for (std::size_t j = 0; j < r; ++j) {
       if (out.sigma[j] > tol) {
         const double inv = 1.0 / out.sigma[j];
         for (std::size_t i = 0; i < n; ++i) out.u(i, j) *= inv;
       } else {
-        out.sigma[j] = std::max(out.sigma[j], 0.0);
+        out.sigma[j] = 0.0;
         orthonormalize_column(out.u, j, rng);
       }
     }
@@ -91,13 +102,14 @@ Svd thin_svd(const Matrix& a) {
       out.sigma[j] = std::sqrt(std::max(eig.values[j], 0.0));
     }
     out.v = matmul_at_b(a, out.u);
-    const double tol = 1e-8 * std::sqrt(smax2);
+    const double tol = std::max(1e-8 * std::sqrt(smax2),
+                                std::sqrt(gram_noise_floor(smax2, n)));
     for (std::size_t j = 0; j < r; ++j) {
       if (out.sigma[j] > tol) {
         const double inv = 1.0 / out.sigma[j];
         for (std::size_t i = 0; i < d; ++i) out.v(i, j) *= inv;
       } else {
-        out.sigma[j] = std::max(out.sigma[j], 0.0);
+        out.sigma[j] = 0.0;
         orthonormalize_column(out.v, j, rng);
       }
     }

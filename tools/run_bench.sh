@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds and runs the assignment-kernel bench, leaving BENCH_assign.json
+# in the repo root so successive PRs can track the perf trajectory.
+#
+# Usage: tools/run_bench.sh [build_dir] [extra bench args...]
+#   EKM_THREADS caps the pool for the multi-threaded series.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" --target bench_assign_kernel -j >/dev/null
+
+"$build_dir/bench_assign_kernel" --json "$repo_root/BENCH_assign.json" "$@"
+echo "wrote $repo_root/BENCH_assign.json"
