@@ -1,0 +1,155 @@
+// Scenario sweep over the discrete-event edge-network simulator: radio
+// classes (LoRa / BLE / Wi-Fi / 5G) × fault rates (loss+dropout) for the
+// BKLW multi-source pipeline. Emits per-cell deployment metrics —
+// virtual completion time, site energy, goodput vs retransmitted bits,
+// attempt/drop counts, and the k-means cost ratio against the NR
+// (ship-everything) baseline — as BENCH_sim.json so successive PRs can
+// track the trajectory, PR-1-style.
+//
+// Every reported number lives on the virtual clock or in a ledger, so
+// the whole JSON is bitwise deterministic for a fixed --seed at any
+// EKM_THREADS setting (tests/test_sim.cpp holds the simulator to that).
+//
+// Usage: bench_sim_scenarios [--n N] [--d D] [--k K] [--sources M]
+//                            [--seed S] [--json PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/generators.hpp"
+#include "kmeans/cost.hpp"
+#include "sim/coordinator.hpp"
+
+namespace {
+
+using namespace ekm;
+
+struct Cell {
+  std::string radio;
+  double fault = 0.0;
+  SimReport report;
+  double cost_ratio = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 4000, d = 32, k = 4, sources = 8;
+  std::uint64_t seed = 7;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](std::size_t& out) {
+      if (i + 1 < argc) out = static_cast<std::size_t>(std::atoll(argv[++i]));
+    };
+    if (std::strcmp(argv[i], "--n") == 0) next(n);
+    else if (std::strcmp(argv[i], "--d") == 0) next(d);
+    else if (std::strcmp(argv[i], "--k") == 0) next(k);
+    else if (std::strcmp(argv[i], "--sources") == 0) next(sources);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+
+  GaussianMixtureSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.k = k;
+  Rng data_rng = make_rng(seed, 0xdadaULL);
+  const Dataset data = make_gaussian_mixture(spec, data_rng);
+  Rng part_rng = make_rng(seed, 0x9a87ULL);
+  const std::vector<Dataset> parts = partition_random(data, sources, part_rng);
+
+  PipelineConfig cfg;
+  cfg.k = k;
+  cfg.epsilon = 0.3;
+  cfg.seed = seed;
+  cfg.coreset_size = 300;
+  cfg.pca_dim = 16;
+
+  // The ship-everything baseline the cost ratios are against.
+  const PipelineResult nr = run_distributed_pipeline(
+      PipelineKind::kNoReduction, parts, cfg);
+  const double nr_cost = kmeans_cost(data, nr.centers);
+
+  const std::vector<std::string> radios = {"lora", "ble", "wifi", "5g"};
+  const std::vector<double> faults = {0.0, 0.05, 0.2};
+
+  std::vector<Cell> cells;
+  std::printf("sim scenarios  n=%zu d=%zu k=%zu sources=%zu pipeline=BKLW\n",
+              n, d, k, sources);
+  std::printf("%-6s %-6s %14s %12s %14s %14s %9s %7s %10s\n", "radio",
+              "fault", "completion_s", "energy_J", "goodput_bits",
+              "retx_bits", "attempts", "drops", "cost_ratio");
+  for (const std::string& radio : radios) {
+    for (double fault : faults) {
+      char spec_buf[128];
+      std::snprintf(spec_buf, sizeof spec_buf,
+                    "radio=%s,loss=%.3f,dropout=%.3f,outage=2,jitter=%.3f,"
+                    "seed=%llu",
+                    radio.c_str(), fault, fault / 2.0, fault / 2.0,
+                    static_cast<unsigned long long>(seed));
+      const Coordinator coord(parse_scenario(spec_buf));
+      Cell cell;
+      cell.radio = radio;
+      cell.fault = fault;
+      cell.report = coord.run(PipelineKind::kBklw, parts, cfg);
+      cell.cost_ratio =
+          kmeans_cost(data, cell.report.result.centers) / nr_cost;
+      const LinkStats& up = cell.report.uplink_stats;
+      std::printf("%-6s %-6.2f %14.4f %12.4e %14llu %14llu %9llu %7llu %10.4f\n",
+                  radio.c_str(), fault, cell.report.completion_seconds,
+                  cell.report.energy_joules,
+                  static_cast<unsigned long long>(cell.report.result.uplink.bits),
+                  static_cast<unsigned long long>(up.retransmit_bits),
+                  static_cast<unsigned long long>(up.attempts),
+                  static_cast<unsigned long long>(up.drops), cell.cost_ratio);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"sim_scenarios\",\n"
+                 "  \"pipeline\": \"bklw\",\n"
+                 "  \"n\": %zu, \"d\": %zu, \"k\": %zu, \"sources\": %zu,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"nr_cost\": %.17g,\n"
+                 "  \"cells\": [\n",
+                 n, d, k, sources, static_cast<unsigned long long>(seed),
+                 nr_cost);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      const LinkStats& up = c.report.uplink_stats;
+      std::fprintf(
+          f,
+          "    {\"radio\": \"%s\", \"fault_rate\": %.3f,\n"
+          "     \"completion_seconds\": %.17g, \"energy_joules\": %.17g,\n"
+          "     \"goodput_bits\": %llu, \"goodput_scalars\": %llu,\n"
+          "     \"retransmit_bits\": %llu, \"attempts\": %llu, \"drops\": %llu,\n"
+          "     \"uplink_airtime_seconds\": %.17g, \"events\": %zu,\n"
+          "     \"cost_ratio_vs_nr\": %.17g}%s\n",
+          c.radio.c_str(), c.fault, c.report.completion_seconds,
+          c.report.energy_joules,
+          static_cast<unsigned long long>(c.report.result.uplink.bits),
+          static_cast<unsigned long long>(c.report.result.uplink.scalars),
+          static_cast<unsigned long long>(up.retransmit_bits),
+          static_cast<unsigned long long>(up.attempts),
+          static_cast<unsigned long long>(up.drops), up.airtime_s,
+          c.report.event_log.size(), c.cost_ratio,
+          i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -36,6 +36,7 @@ class ByteWriter {
 
   void put_doubles(std::span<const double> vals) {
     put_u64(vals.size());
+    if (vals.empty()) return;  // empty span's data() may be null
     const auto old = buf_.size();
     buf_.resize(old + vals.size_bytes());
     std::memcpy(buf_.data() + old, vals.data(), vals.size_bytes());
@@ -43,6 +44,7 @@ class ByteWriter {
 
   void put_string(const std::string& s) {
     put_u64(s.size());
+    if (s.empty()) return;
     const auto old = buf_.size();
     buf_.resize(old + s.size());
     std::memcpy(buf_.data() + old, s.data(), s.size());
@@ -82,8 +84,10 @@ class ByteReader {
     EKM_EXPECTS_MSG(n <= (data_.size() - pos_) / sizeof(double),
                     "ByteReader overrun (doubles)");
     std::vector<double> vals(n);
-    std::memcpy(vals.data(), data_.data() + pos_, n * sizeof(double));
-    pos_ += n * sizeof(double);
+    if (n > 0) {
+      std::memcpy(vals.data(), data_.data() + pos_, n * sizeof(double));
+      pos_ += n * sizeof(double);
+    }
     return vals;
   }
 

@@ -57,7 +57,7 @@ void quantize_points(Coreset& coreset, int significant_bits) {
 /// Lloyd rounds seeded by the lifted centers. Per round each source
 /// uplinks k x (d + 1) weighted sufficient statistics; the server merges.
 Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
-                          Network& net, Stopwatch& device_work,
+                          Fabric& net, Stopwatch& device_work,
                           const PipelineConfig& cfg) {
   const std::size_t k = centers.rows();
   const std::size_t d = centers.cols();
@@ -122,7 +122,7 @@ FssOptions fss_options(const PipelineConfig& cfg, double stage_epsilon) {
   return fo;
 }
 
-PipelineResult finish_single_source(Coreset summary, Network& net,
+PipelineResult finish_single_source(Coreset summary, Fabric& net,
                                     const PipelineConfig& cfg,
                                     const LinearMap* lift1,
                                     const LinearMap* lift2, double device_s,
@@ -299,8 +299,16 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
                                         std::span<const Dataset> parts,
                                         const PipelineConfig& cfg) {
   EKM_EXPECTS(!parts.empty());
-  EKM_EXPECTS(kind == PipelineKind::kNoReduction || pipeline_is_distributed(kind));
   Network net(parts.size());
+  return run_distributed_pipeline(kind, parts, cfg, net);
+}
+
+PipelineResult run_distributed_pipeline(PipelineKind kind,
+                                        std::span<const Dataset> parts,
+                                        const PipelineConfig& cfg, Fabric& net) {
+  EKM_EXPECTS(!parts.empty());
+  EKM_EXPECTS(kind == PipelineKind::kNoReduction || pipeline_is_distributed(kind));
+  EKM_EXPECTS(net.num_sources() == parts.size());
   Stopwatch device_work;
 
   std::size_t n_total = 0;

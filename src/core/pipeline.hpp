@@ -98,9 +98,18 @@ struct PipelineResult {
                                           const PipelineConfig& config);
 
 /// Runs a multi-source pipeline (kNoReduction, kBklw, kJlBklw) over one
-/// dataset per source. Precondition: kind is kNoReduction or distributed.
+/// dataset per source through an idealized synchronous Network.
+/// Precondition: kind is kNoReduction or distributed.
 [[nodiscard]] PipelineResult run_distributed_pipeline(
     PipelineKind kind, std::span<const Dataset> parts,
     const PipelineConfig& config);
+
+/// Same, but over a caller-provided fabric — the synchronous Network or
+/// the discrete-event SimNetwork (src/sim/). All frames, ledgers and
+/// randomness are identical either way; only delivery timing differs.
+/// Precondition: net.num_sources() == parts.size().
+[[nodiscard]] PipelineResult run_distributed_pipeline(
+    PipelineKind kind, std::span<const Dataset> parts,
+    const PipelineConfig& config, Fabric& net);
 
 }  // namespace ekm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/summary_codec.hpp"
+
 namespace ekm {
 namespace {
 
@@ -114,6 +116,15 @@ std::size_t StreamingCoreset::live_levels() const {
   std::size_t live = 0;
   for (const auto& lvl : levels_) live += lvl.has_value();
   return live;
+}
+
+Coreset stream_round_uplink(StreamingCoreset& stream, const Dataset& batch,
+                            Port& up, int significant_bits) {
+  if (!batch.empty()) stream.insert(batch);
+  Coreset summary;
+  if (stream.points_seen() > 0) summary = stream.finalize();
+  up.send(encode_coreset(summary, significant_bits));
+  return summary;
 }
 
 std::size_t StreamingCoreset::resident_points() const {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cr/sensitivity.hpp"
+#include "net/channel.hpp"
 
 namespace ekm {
 
@@ -66,5 +67,15 @@ class StreamingCoreset {
   std::size_t points_seen_ = 0;
   std::uint64_t compressions_ = 0;
 };
+
+/// One deployment round over a network port: folds `batch` into the
+/// stream, finalizes, and ships the summary through `up` (point
+/// coordinates billed at `significant_bits`, §6). A round on a stream
+/// that has still seen nothing ships an empty frame, so the server's
+/// per-round receive stays matched even for late-starting sites.
+/// Returns the summary that crossed the wire. Works over any Port —
+/// the synchronous Channel or a simulated SimLink (src/sim/).
+Coreset stream_round_uplink(StreamingCoreset& stream, const Dataset& batch,
+                            Port& up, int significant_bits = 52);
 
 }  // namespace ekm

@@ -43,7 +43,7 @@ Matrix local_stats(const Dataset& part, const Matrix& centers) {
 
 DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
                                             const DistributedLloydOptions& opts,
-                                            Network& net,
+                                            Fabric& net,
                                             Stopwatch& device_work) {
   EKM_EXPECTS(!parts.empty());
   EKM_EXPECTS(parts.size() == net.num_sources());
@@ -142,7 +142,7 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
 
 DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
                                            const MapReduceOptions& opts,
-                                           Network& net,
+                                           Fabric& net,
                                            Stopwatch& device_work) {
   EKM_EXPECTS(!parts.empty());
   EKM_EXPECTS(parts.size() == net.num_sources());
@@ -205,7 +205,7 @@ DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
 }
 
 DistributedBaselineResult gossip_kmeans(std::span<const Dataset> parts,
-                                        const GossipOptions& opts, Network& net,
+                                        const GossipOptions& opts, Fabric& net,
                                         Stopwatch& device_work) {
   EKM_EXPECTS(!parts.empty());
   EKM_EXPECTS(parts.size() == net.num_sources());

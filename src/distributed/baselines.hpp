@@ -48,7 +48,7 @@ struct DistributedBaselineResult {
 /// weight-proportional sample gathered in one extra round.
 [[nodiscard]] DistributedBaselineResult distributed_lloyd(
     std::span<const Dataset> parts, const DistributedLloydOptions& opts,
-    Network& net, Stopwatch& device_work);
+    Fabric& net, Stopwatch& device_work);
 
 struct MapReduceOptions {
   std::size_t k = 2;
@@ -58,7 +58,7 @@ struct MapReduceOptions {
 
 /// One-shot local-solve + merge ([28]-style).
 [[nodiscard]] DistributedBaselineResult mapreduce_kmeans(
-    std::span<const Dataset> parts, const MapReduceOptions& opts, Network& net,
+    std::span<const Dataset> parts, const MapReduceOptions& opts, Fabric& net,
     Stopwatch& device_work);
 
 struct GossipOptions {
@@ -73,7 +73,7 @@ struct GossipOptions {
 /// (peer traffic is still radio traffic). Returns the centers of the
 /// node with the best local cost estimate, evaluated globally.
 [[nodiscard]] DistributedBaselineResult gossip_kmeans(
-    std::span<const Dataset> parts, const GossipOptions& opts, Network& net,
+    std::span<const Dataset> parts, const GossipOptions& opts, Fabric& net,
     Stopwatch& device_work);
 
 }  // namespace ekm

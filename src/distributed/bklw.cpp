@@ -10,7 +10,7 @@
 namespace ekm {
 
 Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
-                     Network& net, Stopwatch& device_work, std::uint64_t seed) {
+                     Fabric& net, Stopwatch& device_work, std::uint64_t seed) {
   EKM_EXPECTS(!parts.empty());
   std::size_t n_total = 0;
   std::size_t d = 0;

@@ -34,7 +34,7 @@ struct BklwOptions {
 /// exists but is an unknown constant that cancels in the argmin.
 /// Source-side work accumulates into `device_work`.
 [[nodiscard]] Coreset bklw_coreset(std::span<const Dataset> parts,
-                                   const BklwOptions& opts, Network& net,
+                                   const BklwOptions& opts, Fabric& net,
                                    Stopwatch& device_work, std::uint64_t seed);
 
 }  // namespace ekm

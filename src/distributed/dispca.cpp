@@ -8,7 +8,7 @@
 namespace ekm {
 
 DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
-                    Network& net, Stopwatch& device_work) {
+                    Fabric& net, Stopwatch& device_work) {
   EKM_EXPECTS(!parts.empty());
   EKM_EXPECTS(parts.size() == net.num_sources());
   std::size_t d = 0;

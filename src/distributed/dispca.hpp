@@ -32,7 +32,7 @@ struct DisPcaResult {
 /// `device_work`; the server-side merge is not. The resulting basis is
 /// also pushed down every downlink, mirroring the real protocol.
 [[nodiscard]] DisPcaResult dispca(std::span<const Dataset> parts,
-                                  const DisPcaOptions& opts, Network& net,
+                                  const DisPcaOptions& opts, Fabric& net,
                                   Stopwatch& device_work);
 
 }  // namespace ekm

@@ -11,7 +11,7 @@
 namespace ekm {
 
 Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
-              Network& net, Stopwatch& device_work, std::uint64_t seed) {
+              Fabric& net, Stopwatch& device_work, std::uint64_t seed) {
   EKM_EXPECTS(!parts.empty());
   EKM_EXPECTS(parts.size() == net.num_sources());
   EKM_EXPECTS(opts.total_samples >= parts.size());

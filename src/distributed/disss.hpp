@@ -35,7 +35,7 @@ struct DisSsOptions {
 /// (no Δ, no basis — BKLW attaches the basis semantics). Source-side work
 /// accumulates into `device_work`. Source i uses RNG stream i of `seed`.
 [[nodiscard]] Coreset disss(std::span<const Dataset> parts,
-                            const DisSsOptions& opts, Network& net,
+                            const DisSsOptions& opts, Fabric& net,
                             Stopwatch& device_work, std::uint64_t seed);
 
 /// Heuristic global sample budget mirroring Theorem 5.2's

@@ -2,13 +2,22 @@
 //
 // The paper's communication-cost metric is "number of scalars a data
 // source sends to the server" (§3.4), refined to bits once quantization
-// enters (§6). Every summary in this library crosses a Channel as a real
-// serialized frame; the channel records three ledgers:
+// enters (§6). Every summary in this library crosses a Port as a real
+// serialized frame; the port records three ledgers:
 //   * bytes  — the physical frame size (64-bit doubles),
 //   * bits   — the logical wire size, where a scalar quantized to s
 //              significand bits counts 12 + s bits instead of 64,
 //   * scalars — the paper's §3–5 unit.
 // Tables 3–4 and Figures 3–6 read these ledgers; nothing is estimated.
+//
+// Two implementations exist behind the Port/Fabric interfaces:
+//   * Channel/Network (this header) — the idealized synchronous star:
+//     send enqueues instantly, receive dequeues instantly;
+//   * SimLink/SimNetwork (src/sim/) — a discrete-event runtime where the
+//     same frames ride a LinkModel with bandwidth, latency, jitter,
+//     losses and retransmissions on a virtual clock.
+// Protocol code (disPCA, disSS, BKLW, the pipelines) is written against
+// Fabric and runs unchanged over either.
 #pragma once
 
 #include <cstddef>
@@ -41,13 +50,62 @@ struct TrafficLedger {
     messages += other.messages;
     return *this;
   }
+
+  [[nodiscard]] friend TrafficLedger operator+(TrafficLedger a,
+                                               const TrafficLedger& b) {
+    a += b;
+    return a;
+  }
+
+  /// Zeroes every counter — lets one channel account multiple phases
+  /// (e.g. per-round ledgers in the simulator) without reallocation.
+  void reset() { *this = TrafficLedger{}; }
+
+  [[nodiscard]] friend bool operator==(const TrafficLedger&,
+                                       const TrafficLedger&) = default;
 };
 
-/// Unidirectional FIFO channel. Sending enqueues and bills the ledger;
-/// receiving dequeues.
-class Channel {
+/// One endpoint-to-endpoint message stream. Implementations bill the
+/// ledger on send; receive hands frames back in FIFO order (a simulated
+/// implementation may advance a virtual clock to do so).
+class Port {
  public:
-  void send(Message msg) {
+  virtual ~Port() = default;
+  virtual void send(Message msg) = 0;
+  [[nodiscard]] virtual bool has_pending() const = 0;
+  [[nodiscard]] virtual Message receive() = 0;
+  [[nodiscard]] virtual const TrafficLedger& ledger() const = 0;
+};
+
+/// Star topology around one edge server: per-source uplink (counted by
+/// the paper's metric) and downlink (coordination traffic the paper
+/// treats as negligible, e.g. footnote 1; still measured for honesty).
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+  [[nodiscard]] virtual std::size_t num_sources() const = 0;
+  [[nodiscard]] virtual Port& uplink(std::size_t source) = 0;
+  [[nodiscard]] virtual Port& downlink(std::size_t source) = 0;
+
+  /// Total source->server traffic — the paper's communication cost.
+  [[nodiscard]] TrafficLedger total_uplink() {
+    TrafficLedger t;
+    for (std::size_t i = 0; i < num_sources(); ++i) t += uplink(i).ledger();
+    return t;
+  }
+
+  [[nodiscard]] TrafficLedger total_downlink() {
+    TrafficLedger t;
+    for (std::size_t i = 0; i < num_sources(); ++i) t += downlink(i).ledger();
+    return t;
+  }
+};
+
+/// Unidirectional FIFO channel with zero transit time. Sending enqueues
+/// and bills the ledger; receiving dequeues.
+class Channel final : public Port {
+ public:
+  void send(Message msg) override {
     ledger_.bytes += msg.payload.size();
     ledger_.bits += msg.wire_bits;
     ledger_.scalars += msg.scalars;
@@ -55,53 +113,41 @@ class Channel {
     queue_.push_back(std::move(msg));
   }
 
-  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+  [[nodiscard]] bool has_pending() const override { return !queue_.empty(); }
 
-  [[nodiscard]] Message receive() {
+  [[nodiscard]] Message receive() override {
     EKM_EXPECTS_MSG(!queue_.empty(), "receive on empty channel");
     Message m = std::move(queue_.front());
     queue_.pop_front();
     return m;
   }
 
-  [[nodiscard]] const TrafficLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const TrafficLedger& ledger() const override { return ledger_; }
 
  private:
   std::deque<Message> queue_;
   TrafficLedger ledger_;
 };
 
-/// Star topology around one edge server: per-source uplink (counted by
-/// the paper's metric) and downlink (coordination traffic the paper
-/// treats as negligible, e.g. footnote 1; still measured for honesty).
-class Network {
+/// The idealized synchronous star of §3.4: every frame arrives the
+/// instant it is sent. This is the reference implementation the paper's
+/// scalar/bit tables are measured on; src/sim/ provides the time-aware
+/// counterpart.
+class Network final : public Fabric {
  public:
   explicit Network(std::size_t num_sources) : up_(num_sources), down_(num_sources) {
     EKM_EXPECTS(num_sources >= 1);
   }
 
-  [[nodiscard]] std::size_t num_sources() const { return up_.size(); }
+  [[nodiscard]] std::size_t num_sources() const override { return up_.size(); }
 
-  [[nodiscard]] Channel& uplink(std::size_t source) {
+  [[nodiscard]] Channel& uplink(std::size_t source) override {
     EKM_EXPECTS(source < up_.size());
     return up_[source];
   }
-  [[nodiscard]] Channel& downlink(std::size_t source) {
+  [[nodiscard]] Channel& downlink(std::size_t source) override {
     EKM_EXPECTS(source < down_.size());
     return down_[source];
-  }
-
-  /// Total source->server traffic — the paper's communication cost.
-  [[nodiscard]] TrafficLedger total_uplink() const {
-    TrafficLedger t;
-    for (const Channel& c : up_) t += c.ledger();
-    return t;
-  }
-
-  [[nodiscard]] TrafficLedger total_downlink() const {
-    TrafficLedger t;
-    for (const Channel& c : down_) t += c.ledger();
-    return t;
   }
 
  private:

@@ -32,6 +32,22 @@ struct LinkModel {
   [[nodiscard]] double transfer_joules(const TrafficLedger& t) const {
     return static_cast<double>(t.bits) * energy_per_bit_j;
   }
+
+  /// Full-protocol airtime: uplink plus downlink traffic over the same
+  /// radio (edge links are half-duplex; the two directions serialize).
+  /// Callers previously had to convert each direction by hand.
+  [[nodiscard]] double round_trip_seconds(const TrafficLedger& up,
+                                          const TrafficLedger& down) const {
+    return transfer_seconds(up) + transfer_seconds(down);
+  }
+
+  /// Device energy for a full round trip. Receive energy per bit is
+  /// charged at the same rate as transmit — a deliberate upper bound;
+  /// pass a zeroed downlink ledger for transmit-only budgets.
+  [[nodiscard]] double round_trip_joules(const TrafficLedger& up,
+                                         const TrafficLedger& down) const {
+    return transfer_joules(up) + transfer_joules(down);
+  }
 };
 
 /// Radio presets (order-of-magnitude figures from vendor datasheets; the

@@ -1,0 +1,109 @@
+#include "sim/coordinator.hpp"
+
+#include <utility>
+
+#include "kmeans/lloyd.hpp"
+#include "net/summary_codec.hpp"
+
+namespace ekm {
+namespace {
+
+/// Rows [r·n/R, (r+1)·n/R) of a shard — round r's batch of R.
+Dataset round_batch(const Dataset& shard, std::size_t round, std::size_t rounds) {
+  const std::size_t n = shard.size();
+  const std::size_t lo = round * n / rounds;
+  const std::size_t hi = (round + 1) * n / rounds;
+  if (lo >= hi) return {};
+  Matrix pts(hi - lo, shard.dim());
+  std::vector<double> weights(hi - lo, 1.0);
+  for (std::size_t i = lo; i < hi; ++i) {
+    auto src = shard.point(i);
+    std::copy(src.begin(), src.end(), pts.row(i - lo).begin());
+    weights[i - lo] = shard.weight(i);
+  }
+  return {std::move(pts), std::move(weights)};
+}
+
+SimReport make_report(const SimScenario& scenario, std::string pipeline,
+                      PipelineResult result, SimNetwork& net) {
+  SimReport report;
+  report.scenario = scenario.name;
+  report.pipeline = std::move(pipeline);
+  report.result = std::move(result);
+  report.completion_seconds = net.finish();
+  report.energy_joules = net.energy_joules();
+  report.outages = net.total_outages();
+  report.uplink_stats = net.total_uplink_stats();
+  report.downlink_stats = net.total_downlink_stats();
+  report.event_log = net.take_event_log();  // net is consumed — no copy
+  return report;
+}
+
+}  // namespace
+
+SimReport Coordinator::run(PipelineKind kind, std::span<const Dataset> parts,
+                           const PipelineConfig& cfg) const {
+  EKM_EXPECTS(!parts.empty());
+  SimNetwork net(parts.size(), scenario_);
+  PipelineResult result = run_distributed_pipeline(kind, parts, cfg, net);
+  return make_report(scenario_, pipeline_name(kind), std::move(result), net);
+}
+
+SimReport Coordinator::run_streaming(std::span<const Dataset> parts,
+                                     const StreamingCoresetOptions& sopts,
+                                     const PipelineConfig& cfg,
+                                     std::size_t rounds) const {
+  EKM_EXPECTS(!parts.empty());
+  EKM_EXPECTS(rounds >= 1);
+  const std::size_t m = parts.size();
+  SimNetwork net(m, scenario_);
+
+  std::vector<StreamingCoreset> streams;
+  streams.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    StreamingCoresetOptions site_opts = sopts;
+    site_opts.seed = derive_seed(sopts.seed, i);
+    streams.emplace_back(site_opts);
+  }
+
+  // Each round: every site folds its next batch into the
+  // merge-and-reduce tree and uplinks the finalized summary; the server
+  // keeps the freshest summary per site. Sites progress on their own
+  // virtual clocks — the server just drains arrivals.
+  std::vector<Coreset> latest(m);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < m; ++i) {
+      (void)stream_round_uplink(streams[i], round_batch(parts[i], r, rounds),
+                                net.uplink(i), cfg.significant_bits);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      Coreset summary = decode_coreset(net.uplink(i).receive());
+      if (summary.size() > 0 || latest[i].size() == 0) {
+        latest[i] = std::move(summary);
+      }
+    }
+  }
+
+  std::vector<Dataset> pieces;
+  for (Coreset& c : latest) {
+    if (c.size() > 0) pieces.push_back(std::move(c.points));
+  }
+  EKM_ENSURES_MSG(!pieces.empty(), "streaming deployment produced no summary");
+  const Dataset merged = concatenate(pieces);
+
+  KMeansOptions solver;
+  solver.k = cfg.k;
+  solver.restarts = cfg.solver_restarts;
+  solver.max_iters = cfg.solver_max_iters;
+  solver.seed = derive_seed(cfg.seed, 0x501feULL);
+  const KMeansResult solved = kmeans(merged, solver);
+
+  PipelineResult result;
+  result.centers = solved.centers;
+  result.uplink = net.total_uplink();
+  result.downlink = net.total_downlink();
+  result.summary_points = merged.size();
+  return make_report(scenario_, "streaming", std::move(result), net);
+}
+
+}  // namespace ekm

@@ -1,0 +1,72 @@
+// Scenario coordinator: runs the paper's multi-source protocols over a
+// simulated network and reports deployment metrics.
+//
+// The Coordinator owns the scenario. run() wires a SimNetwork between
+// the data sources and the server and executes one of the distributed
+// pipelines (NR / BKLW / JL+BKLW) through it; run_streaming() instead
+// runs the merge-and-reduce streaming path (src/cr/streaming) as a
+// multi-round deployment where every site periodically uplinks its
+// current summary and the server solves on the latest round's union.
+//
+// "Asynchronous rounds" here means virtual-time asynchrony: each site
+// progresses on its own clock (compute skew, outages, retransmissions),
+// the server consumes frames as they arrive, and the completion time is
+// the quiescence point of the whole event queue — not m times a
+// synchronous round trip.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "cr/streaming.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sim_network.hpp"
+
+namespace ekm {
+
+struct SimReport {
+  std::string scenario;
+  std::string pipeline;
+  PipelineResult result;  ///< centers + the paper's goodput ledgers
+
+  // --- what the simulator adds over the synchronous Network ---------------
+  double completion_seconds = 0.0;  ///< virtual quiescence time
+  double energy_joules = 0.0;       ///< summed site radio energy
+  std::uint64_t outages = 0;        ///< dropout windows across sites
+  LinkStats uplink_stats;           ///< attempts/drops/retx bits/airtime
+  LinkStats downlink_stats;
+  std::vector<SimEvent> event_log;  ///< full event trace, time order
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(SimScenario scenario) : scenario_(std::move(scenario)) {}
+
+  [[nodiscard]] const SimScenario& scenario() const { return scenario_; }
+
+  /// Runs a distributed pipeline (kNoReduction, kBklw, kJlBklw) over a
+  /// simulated network. With a fault-free scenario the report's ledgers
+  /// and centers are bitwise identical to run_distributed_pipeline over
+  /// the synchronous Network.
+  [[nodiscard]] SimReport run(PipelineKind kind, std::span<const Dataset> parts,
+                              const PipelineConfig& cfg) const;
+
+  /// Streaming deployment: each site feeds its shard through a
+  /// merge-and-reduce tree in `rounds` equal batches and uplinks the
+  /// finalized summary after each batch; the server solves weighted
+  /// k-means on the union of the latest summaries. Communication grows
+  /// linearly in `rounds` — the price of freshness the simulator makes
+  /// visible in airtime and energy.
+  [[nodiscard]] SimReport run_streaming(std::span<const Dataset> parts,
+                                        const StreamingCoresetOptions& sopts,
+                                        const PipelineConfig& cfg,
+                                        std::size_t rounds = 4) const;
+
+ private:
+  SimScenario scenario_;
+};
+
+}  // namespace ekm

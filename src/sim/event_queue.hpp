@@ -1,0 +1,82 @@
+// Discrete-event core of the edge-network simulator.
+//
+// Everything that happens on the virtual clock — a frame starting to
+// transmit, an attempt being lost in flight, a frame arriving, a site
+// sitting out an outage — is a SimEvent. Producers push events tagged
+// with their firing time; the queue hands them back in (time, seq)
+// order, where seq is the push order. The seq tiebreak makes the pop
+// order a pure function of the push sequence, which itself is a pure
+// function of (scenario, seed) because all simulator calls happen on
+// the protocol thread in program order — never on pool workers. That is
+// what the determinism rule in docs/simulation.md ("same seed + any
+// EKM_THREADS → identical event order") bottoms out in.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/expects.hpp"
+
+namespace ekm {
+
+enum class SimEventType : std::uint8_t {
+  kSendStart,  ///< first bit of an attempt leaves the radio
+  kDrop,       ///< an attempt was lost in flight (sender times out)
+  kDeliver,    ///< the frame reached the far end
+  kOutage,     ///< a site sat out a dropout window before transmitting
+};
+
+[[nodiscard]] constexpr const char* sim_event_name(SimEventType t) {
+  switch (t) {
+    case SimEventType::kSendStart: return "send";
+    case SimEventType::kDrop: return "drop";
+    case SimEventType::kDeliver: return "deliver";
+    case SimEventType::kOutage: return "outage";
+  }
+  return "?";
+}
+
+struct SimEvent {
+  double time = 0.0;        ///< virtual seconds since simulation start
+  std::uint64_t seq = 0;    ///< push order; total tiebreak
+  SimEventType type = SimEventType::kSendStart;
+  std::uint32_t site = 0;   ///< source index of the link involved
+  bool uplink = true;       ///< direction of the link involved
+  std::uint16_t attempt = 0;///< 0-based transmission attempt
+  std::uint64_t bits = 0;   ///< wire bits of the frame involved
+
+  [[nodiscard]] friend bool operator==(const SimEvent&, const SimEvent&) = default;
+};
+
+/// Min-heap on (time, seq). Push order assigns seq, so two queues fed
+/// the same push sequence pop identically — including time ties.
+class EventQueue {
+ public:
+  void push(SimEvent ev) {
+    ev.seq = next_seq_++;
+    heap_.push(ev);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] SimEvent pop() {
+    EKM_EXPECTS_MSG(!heap_.empty(), "pop on empty event queue");
+    SimEvent ev = heap_.top();
+    heap_.pop();
+    return ev;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ekm

@@ -1,0 +1,185 @@
+#include "sim/scenario.hpp"
+
+#include <cstdlib>
+
+#include "common/expects.hpp"
+
+namespace ekm {
+namespace {
+
+SimScenario ideal() {
+  SimScenario s;
+  s.name = "ideal";
+  s.radio = wifi_link();
+  return s;
+}
+
+SimScenario wifi_office() {
+  SimScenario s;
+  s.name = "wifi-office";
+  s.radio = wifi_link();
+  s.loss_rate = 0.01;
+  s.jitter_frac = 0.05;
+  return s;
+}
+
+SimScenario ble_swarm() {
+  SimScenario s;
+  s.name = "ble-swarm";
+  s.radio = ble_link();
+  s.loss_rate = 0.02;
+  s.dropout_rate = 0.05;
+  s.outage_seconds = 2.0;
+  s.jitter_frac = 0.1;
+  return s;
+}
+
+SimScenario lora_field() {
+  SimScenario s;
+  s.name = "lora-field";
+  s.radio = lora_link();
+  s.loss_rate = 0.05;
+  s.dropout_rate = 0.02;
+  s.outage_seconds = 30.0;
+  s.jitter_frac = 0.2;
+  s.site_speed_skew = 2.0;
+  return s;
+}
+
+SimScenario nr5g_fleet() {
+  SimScenario s;
+  s.name = "nr5g-fleet";
+  s.radio = nr5g_link();
+  s.loss_rate = 0.005;
+  s.straggler_fraction = 0.25;
+  s.straggler_slowdown = 4.0;
+  return s;
+}
+
+SimScenario lossy_mesh() {
+  SimScenario s;
+  s.name = "lossy-mesh";
+  s.radio = wifi_link();
+  s.loss_rate = 0.2;
+  s.dropout_rate = 0.1;
+  s.outage_seconds = 1.0;
+  s.jitter_frac = 0.3;
+  return s;
+}
+
+LinkModel radio_by_name(const std::string& name) {
+  if (name == "lora") return lora_link();
+  if (name == "ble") return ble_link();
+  if (name == "wifi") return wifi_link();
+  if (name == "5g" || name == "nr5g") return nr5g_link();
+  EKM_EXPECTS_MSG(false, "unknown radio class '" + name +
+                             "' (expected lora|ble|wifi|5g)");
+  return {};
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  EKM_EXPECTS_MSG(end != value.c_str() && *end == '\0',
+                  "malformed value for scenario key '" + key + "': " + value);
+  return v;
+}
+
+void apply_override(SimScenario& s, const std::string& key,
+                    const std::string& value) {
+  if (key == "radio") {
+    s.radio = radio_by_name(value);
+  } else if (key == "loss") {
+    s.loss_rate = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.loss_rate >= 0.0 && s.loss_rate < 1.0,
+                    "loss must be in [0, 1)");
+  } else if (key == "dropout") {
+    s.dropout_rate = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.dropout_rate >= 0.0 && s.dropout_rate <= 1.0,
+                    "dropout must be in [0, 1]");
+  } else if (key == "outage") {
+    s.outage_seconds = parse_double(key, value);
+  } else if (key == "retries") {
+    s.max_retries = static_cast<int>(parse_double(key, value));
+    EKM_EXPECTS_MSG(s.max_retries >= 0, "retries must be >= 0");
+  } else if (key == "jitter") {
+    s.jitter_frac = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.jitter_frac >= 0.0 && s.jitter_frac < 1.0,
+                    "jitter must be in [0, 1)");
+  } else if (key == "stragglers") {
+    s.straggler_fraction = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.straggler_fraction >= 0.0 && s.straggler_fraction <= 1.0,
+                    "stragglers must be in [0, 1]");
+  } else if (key == "slowdown") {
+    s.straggler_slowdown = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.straggler_slowdown >= 1.0, "slowdown must be >= 1");
+  } else if (key == "skew") {
+    s.site_speed_skew = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.site_speed_skew >= 1.0, "skew must be >= 1");
+  } else if (key == "sps") {
+    s.seconds_per_scalar = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.seconds_per_scalar >= 0.0, "sps must be >= 0");
+  } else if (key == "server-speed") {
+    s.server_speed = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.server_speed > 0.0, "server-speed must be > 0");
+  } else if (key == "seed") {
+    // Full 64-bit parse — a double round-trip would collapse seeds
+    // above 2^53 and overflow into UB near 2^64.
+    char* end = nullptr;
+    s.seed = std::strtoull(value.c_str(), &end, 10);
+    EKM_EXPECTS_MSG(end != value.c_str() && *end == '\0',
+                    "malformed value for scenario key 'seed': " + value);
+  } else {
+    EKM_EXPECTS_MSG(false, "unknown scenario key '" + key + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> sim_scenario_names() {
+  return {"ideal",      "wifi-office", "ble-swarm",
+          "lora-field", "nr5g-fleet",  "lossy-mesh"};
+}
+
+std::optional<SimScenario> sim_scenario_preset(const std::string& name) {
+  if (name == "ideal") return ideal();
+  if (name == "wifi-office") return wifi_office();
+  if (name == "ble-swarm") return ble_swarm();
+  if (name == "lora-field") return lora_field();
+  if (name == "nr5g-fleet") return nr5g_fleet();
+  if (name == "lossy-mesh") return lossy_mesh();
+  return std::nullopt;
+}
+
+SimScenario parse_scenario(const std::string& spec) {
+  SimScenario s = ideal();
+  bool named = false;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) {
+      EKM_EXPECTS_MSG(first && spec.empty(), "empty scenario token");
+      break;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      EKM_EXPECTS_MSG(first && !named, "scenario name must come first");
+      const auto preset = sim_scenario_preset(token);
+      EKM_EXPECTS_MSG(preset.has_value(), "unknown scenario '" + token + "'");
+      s = *preset;
+      named = true;
+    } else {
+      apply_override(s, token.substr(0, eq), token.substr(eq + 1));
+      if (!named) s.name = "custom";
+    }
+    first = false;
+  }
+  return s;
+}
+
+}  // namespace ekm

@@ -1,0 +1,92 @@
+// Scenario configuration for the discrete-event edge-network simulator.
+//
+// A SimScenario bundles everything that distinguishes one deployment
+// from another: the radio class, fault rates (per-attempt frame loss,
+// per-transaction site dropout), timing noise (jitter), compute
+// heterogeneity (stragglers, speed skew), and the retransmission
+// policy. Named presets cover the deployments the benches sweep;
+// parse_scenario() additionally accepts "key=value,key=value" overrides
+// so the CLI can express anything the struct can.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/link_model.hpp"
+
+namespace ekm {
+
+struct SimScenario {
+  std::string name = "ideal";
+
+  /// Radio class shared by every site (see link_model.hpp presets).
+  LinkModel radio = wifi_link();
+
+  // --- faults -------------------------------------------------------------
+  /// Probability that one transmission attempt is lost in flight. Lost
+  /// attempts are retransmitted (billed to airtime/energy, not to the
+  /// paper's scalar ledger) until delivered or max_retries is spent.
+  double loss_rate = 0.0;
+  /// Probability that a site is in a dropout window when it next needs
+  /// its radio; it then waits out `outage_seconds` before transmitting.
+  double dropout_rate = 0.0;
+  double outage_seconds = 5.0;
+  /// Attempts beyond the first before the link escalates. The protocols
+  /// are lossless at the application layer, so after max_retries the
+  /// frame is delivered anyway over an assumed reliable fallback — all
+  /// attempts stay billed.
+  int max_retries = 8;
+
+  // --- timing noise -------------------------------------------------------
+  /// Airtime jitter: each attempt's duration is scaled by a uniform
+  /// draw from [1 - jitter_frac, 1 + jitter_frac].
+  double jitter_frac = 0.0;
+
+  // --- compute heterogeneity ----------------------------------------------
+  /// Fraction of sites designated stragglers (chosen by seed)...
+  double straggler_fraction = 0.0;
+  /// ...and how much slower they are (compute_speed /= slowdown).
+  double straggler_slowdown = 4.0;
+  /// Multiplicative speed spread across all sites: each site's speed is
+  /// additionally scaled by a uniform draw from [1/skew, 1]. 1 = none.
+  double site_speed_skew = 1.0;
+
+  // --- compute model ------------------------------------------------------
+  /// Virtual seconds the reference edge CPU spends producing one
+  /// summary scalar (serialization + the local math behind it). The
+  /// absolute value is a calibration constant; the relative spread
+  /// across sites is what stragglers/skew act on.
+  double seconds_per_scalar = 1e-7;
+  /// Server speed relative to the reference edge CPU.
+  double server_speed = 16.0;
+
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool fault_free() const {
+    return loss_rate == 0.0 && dropout_rate == 0.0 && jitter_frac == 0.0;
+  }
+};
+
+/// Named presets, each an opinionated deployment sketch:
+///   ideal       — Wi-Fi, no faults (ledger-equivalent to Network)
+///   wifi-office — Wi-Fi, light loss and jitter
+///   ble-swarm   — BLE, moderate loss, occasional dropouts
+///   lora-field  — LoRa, lossy, long outages, strong skew
+///   nr5g-fleet  — 5G, clean radio but a straggling quarter of sites
+///   lossy-mesh  — Wi-Fi with heavy loss/dropout, stress preset
+[[nodiscard]] std::vector<std::string> sim_scenario_names();
+
+/// Returns the preset, or nullopt if `name` is not one.
+[[nodiscard]] std::optional<SimScenario> sim_scenario_preset(
+    const std::string& name);
+
+/// Parses "NAME" or "NAME,key=value,..." or "key=value,...". Keys:
+/// radio (lora|ble|wifi|5g), loss, dropout, outage, retries, jitter,
+/// stragglers, slowdown, skew, sps (seconds per scalar), server-speed,
+/// seed. Overrides apply on top of the preset (default: ideal). Throws
+/// precondition_error on unknown names/keys or malformed values.
+[[nodiscard]] SimScenario parse_scenario(const std::string& spec);
+
+}  // namespace ekm

@@ -1,0 +1,240 @@
+#include "sim/sim_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+namespace ekm {
+
+void SimLink::send(Message msg) { net_->do_send(*this, std::move(msg)); }
+
+Message SimLink::receive() { return net_->do_receive(*this); }
+
+SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
+    : scenario_(scenario) {
+  EKM_EXPECTS(num_sites >= 1);
+  EKM_EXPECTS(scenario_.radio.bandwidth_bps > 0.0);
+  EKM_EXPECTS(scenario_.seconds_per_scalar >= 0.0);
+
+  sites_.resize(num_sites);
+  for (Site& s : sites_) s.radio = scenario_.radio;
+
+  // Site heterogeneity, all drawn once from the scenario seed: an
+  // optional uniform speed skew per site, then a straggler subset
+  // chosen by shuffle and slowed down.
+  Rng rng = make_rng(scenario_.seed, 0x517e5ULL);
+  if (scenario_.site_speed_skew > 1.0) {
+    std::uniform_real_distribution<double> unif(1.0 / scenario_.site_speed_skew,
+                                                1.0);
+    for (Site& s : sites_) s.compute_speed *= unif(rng);
+  }
+  if (scenario_.straggler_fraction > 0.0) {
+    const auto stragglers = static_cast<std::size_t>(
+        std::ceil(scenario_.straggler_fraction * static_cast<double>(num_sites)));
+    std::vector<std::size_t> order(num_sites);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t i = 0; i < std::min(stragglers, num_sites); ++i) {
+      sites_[order[i]].compute_speed /= scenario_.straggler_slowdown;
+    }
+  }
+
+  up_.reserve(num_sites);
+  down_.reserve(num_sites);
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    up_.emplace_back(SimLink(this, static_cast<std::uint32_t>(i), true,
+                             derive_seed(scenario_.seed, 0xF0ULL + 2 * i)));
+    down_.emplace_back(SimLink(this, static_cast<std::uint32_t>(i), false,
+                               derive_seed(scenario_.seed, 0xF1ULL + 2 * i)));
+  }
+}
+
+Port& SimNetwork::uplink(std::size_t source) {
+  EKM_EXPECTS(source < up_.size());
+  return up_[source];
+}
+
+Port& SimNetwork::downlink(std::size_t source) {
+  EKM_EXPECTS(source < down_.size());
+  return down_[source];
+}
+
+const SimLink& SimNetwork::uplink_view(std::size_t source) const {
+  EKM_EXPECTS(source < up_.size());
+  return up_[source];
+}
+
+const SimLink& SimNetwork::downlink_view(std::size_t source) const {
+  EKM_EXPECTS(source < down_.size());
+  return down_[source];
+}
+
+const Site& SimNetwork::site(std::size_t i) const {
+  EKM_EXPECTS(i < sites_.size());
+  return sites_[i];
+}
+
+void SimNetwork::do_send(SimLink& link, Message msg) {
+  // The paper's ledger bills goodput at send time, exactly as the
+  // synchronous Channel does — fault-free runs must match it bitwise.
+  link.ledger_.bytes += msg.payload.size();
+  link.ledger_.bits += msg.wire_bits;
+  link.ledger_.scalars += msg.scalars;
+  link.ledger_.messages += 1;
+
+  Site& site = sites_[link.site_];
+  const LinkModel& radio = site.radio;
+  const double bits = static_cast<double>(msg.wire_bits);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+
+  // --- sender-side compute: the frame exists only after the actor has
+  // spent the virtual CPU time producing its scalars. ---
+  double ready;
+  if (link.uplink_) {
+    site.clock_s += static_cast<double>(msg.scalars) *
+                    scenario_.seconds_per_scalar / site.compute_speed;
+    if (scenario_.dropout_rate > 0.0 &&
+        unif(link.rng_) < scenario_.dropout_rate) {
+      // The site is in a dropout window when it reaches for the radio:
+      // it sits the outage out, then proceeds.
+      site.outages += 1;
+      site.clock_s += scenario_.outage_seconds;
+      queue_.push({site.clock_s, 0, SimEventType::kOutage, link.site_,
+                   link.uplink_, 0, msg.wire_bits});
+    }
+    ready = site.clock_s;
+  } else {
+    server_clock_ += static_cast<double>(msg.scalars) *
+                     scenario_.seconds_per_scalar / scenario_.server_speed;
+    ready = server_clock_;
+  }
+
+  // --- transmission attempts: serialize on the link, ride the radio,
+  // retransmit on loss until delivered or the retry budget is spent
+  // (then deliver anyway: the protocols are lossless at the
+  // application layer, and every attempt stays billed). ---
+  double start = std::max(ready, link.busy_until_);
+  const double base_airtime =
+      bits / radio.bandwidth_bps + radio.per_message_latency_s;
+  const auto energy_of = [&](double b) { return b * radio.energy_per_bit_j; };
+  for (int attempt = 0;; ++attempt) {
+    // The event field saturates at 16 bits; the retry *policy* must
+    // not, or huge max_retries would wrap and disable loss entirely.
+    const auto attempt_tag = static_cast<std::uint16_t>(
+        std::min(attempt, 0xFFFF));
+    double airtime = base_airtime;
+    if (scenario_.jitter_frac > 0.0) {
+      airtime *= 1.0 + scenario_.jitter_frac * (2.0 * unif(link.rng_) - 1.0);
+    }
+    link.stats_.attempts += 1;
+    link.stats_.airtime_s += airtime;
+    if (link.uplink_) site.energy_j += energy_of(bits);  // transmit energy
+    queue_.push({start, 0, SimEventType::kSendStart, link.site_, link.uplink_,
+                 attempt_tag, msg.wire_bits});
+    const double end = start + airtime;
+    const bool lost = attempt < scenario_.max_retries &&
+                      scenario_.loss_rate > 0.0 &&
+                      unif(link.rng_) < scenario_.loss_rate;
+    if (!lost) {
+      queue_.push({end, 0, SimEventType::kDeliver, link.site_, link.uplink_,
+                   attempt_tag, msg.wire_bits});
+      link.busy_until_ = end;
+      // Store-and-forward sender: busy until its own frame is through.
+      if (link.uplink_) {
+        site.clock_s = std::max(site.clock_s, end);
+      } else {
+        server_clock_ = std::max(server_clock_, end);
+      }
+      break;
+    }
+    link.stats_.drops += 1;
+    link.stats_.retransmit_bits += msg.wire_bits;
+    queue_.push({end, 0, SimEventType::kDrop, link.site_, link.uplink_,
+                 attempt_tag, msg.wire_bits});
+    // The sender detects the loss after an ack-timeout of one
+    // per-frame latency, then retransmits.
+    start = end + radio.per_message_latency_s;
+  }
+  link.in_flight_.push_back(std::move(msg));
+}
+
+Message SimNetwork::do_receive(SimLink& link) {
+  while (link.arrived_.empty()) {
+    EKM_EXPECTS_MSG(!queue_.empty(), "receive on idle simulated network");
+    advance_one_event();
+  }
+  auto [arrival, msg] = std::move(link.arrived_.front());
+  link.arrived_.pop_front();
+  // The reader blocks until the frame is in: receiving advances the
+  // reader's clock to the arrival time (it may already be later).
+  if (link.uplink_) {
+    server_clock_ = std::max(server_clock_, arrival);
+  } else {
+    Site& s = sites_[link.site_];
+    s.clock_s = std::max(s.clock_s, arrival);
+  }
+  return std::move(msg);
+}
+
+void SimNetwork::advance_one_event() {
+  SimEvent ev = queue_.pop();
+  clock_ = std::max(clock_, ev.time);
+  if (ev.type == SimEventType::kDeliver) {
+    SimLink& link = ev.uplink ? up_[ev.site] : down_[ev.site];
+    EKM_ENSURES_MSG(!link.in_flight_.empty(),
+                    "delivery event with no frame in flight");
+    link.arrived_.emplace_back(ev.time, std::move(link.in_flight_.front()));
+    link.in_flight_.pop_front();
+    if (!ev.uplink) {
+      // Receive energy for the downlink frame, billed at the transmit
+      // rate (an upper bound; see link_model.hpp round_trip_joules).
+      Site& s = sites_[ev.site];
+      s.energy_j += static_cast<double>(ev.bits) * s.radio.energy_per_bit_j;
+    }
+  }
+  log_.push_back(ev);
+}
+
+double SimNetwork::finish() {
+  while (!queue_.empty()) advance_one_event();
+  // Events are processed lazily (a site whose frame is read late may
+  // have committed an earlier virtual time than events already
+  // drained), so canonicalize the trace into (time, push-seq) order.
+  std::sort(log_.begin(), log_.end(),
+            [](const SimEvent& a, const SimEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  double completion = std::max(clock_, server_clock_);
+  for (const Site& s : sites_) completion = std::max(completion, s.clock_s);
+  for (const SimLink& l : up_) completion = std::max(completion, l.busy_until_);
+  for (const SimLink& l : down_) completion = std::max(completion, l.busy_until_);
+  return completion;
+}
+
+double SimNetwork::energy_joules() const {
+  double total = 0.0;
+  for (const Site& s : sites_) total += s.energy_j;
+  return total;
+}
+
+std::uint64_t SimNetwork::total_outages() const {
+  std::uint64_t total = 0;
+  for (const Site& s : sites_) total += s.outages;
+  return total;
+}
+
+LinkStats SimNetwork::total_uplink_stats() const {
+  LinkStats t;
+  for (const SimLink& l : up_) t += l.stats();
+  return t;
+}
+
+LinkStats SimNetwork::total_downlink_stats() const {
+  LinkStats t;
+  for (const SimLink& l : down_) t += l.stats();
+  return t;
+}
+
+}  // namespace ekm

@@ -1,0 +1,153 @@
+// Discrete-event simulated star network (the time-aware Fabric).
+//
+// SimNetwork implements the same Fabric interface the synchronous
+// Network does, so every protocol in src/distributed and src/core runs
+// over it unchanged — but here a frame takes time. Sending charges the
+// sender's virtual clock for the compute that produced the frame,
+// waits out dropout windows, serializes on the link, rides the radio
+// (bits / bandwidth + per-frame latency, jittered), may be lost in
+// flight and retransmitted, and finally fires a delivery event.
+// Receiving advances the virtual clock by draining the event queue
+// until the frame has arrived. The paper's scalar/bit ledgers are
+// billed exactly as the synchronous Channel bills them (goodput only),
+// so a fault-free simulation reproduces the Network ledgers bit for
+// bit; faults show up in airtime, energy, retransmitted bits and the
+// completion clock instead.
+//
+// Determinism: every random draw (loss, jitter, dropout, site speeds)
+// comes from per-link/per-network RNG streams derived from the
+// scenario seed, consumed on the protocol thread in program order. The
+// EKM_THREADS pool never touches the simulator, so event order and all
+// ledgers are bitwise identical at any thread count (tests/test_sim.cpp
+// asserts this).
+#pragma once
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/channel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/scenario.hpp"
+#include "sim/site.hpp"
+
+namespace ekm {
+
+class SimNetwork;
+
+/// Fault/airtime accounting of one link (or an aggregate over links).
+/// Unlike TrafficLedger, which bills goodput in the paper's units,
+/// these count the physical cost of getting the goodput through.
+struct LinkStats {
+  std::uint64_t attempts = 0;         ///< transmissions incl. retries
+  std::uint64_t drops = 0;            ///< attempts lost in flight
+  std::uint64_t retransmit_bits = 0;  ///< wire bits spent on retries
+  double airtime_s = 0.0;             ///< radio-on time incl. failures
+
+  LinkStats& operator+=(const LinkStats& o) {
+    attempts += o.attempts;
+    drops += o.drops;
+    retransmit_bits += o.retransmit_bits;
+    airtime_s += o.airtime_s;
+    return *this;
+  }
+};
+
+/// One direction of one site's radio, wrapping the Channel billing
+/// discipline with transmission timing and fault injection.
+class SimLink final : public Port {
+ public:
+  void send(Message msg) override;
+  [[nodiscard]] bool has_pending() const override {
+    return !arrived_.empty() || !in_flight_.empty();
+  }
+  [[nodiscard]] Message receive() override;
+  [[nodiscard]] const TrafficLedger& ledger() const override { return ledger_; }
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+ private:
+  friend class SimNetwork;
+  SimLink(SimNetwork* net, std::uint32_t site, bool uplink, std::uint64_t seed)
+      : net_(net), site_(site), uplink_(uplink), rng_(make_rng(seed)) {}
+
+  SimNetwork* net_;
+  std::uint32_t site_;
+  bool uplink_;
+  TrafficLedger ledger_;  ///< goodput, billed at send exactly like Channel
+  LinkStats stats_;
+  double busy_until_ = 0.0;  ///< the air is occupied until here
+  Rng rng_;                  ///< per-link fault/jitter stream
+  std::deque<Message> in_flight_;  ///< sent, delivery event pending
+  std::deque<std::pair<double, Message>> arrived_;  ///< (arrival time, frame)
+};
+
+class SimNetwork final : public Fabric {
+ public:
+  SimNetwork(std::size_t num_sites, const SimScenario& scenario);
+
+  // Links hold back-pointers to their owning network; a copy or move
+  // would leave them aimed at the old object.
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // --- Fabric -------------------------------------------------------------
+  [[nodiscard]] std::size_t num_sources() const override { return sites_.size(); }
+  [[nodiscard]] Port& uplink(std::size_t source) override;
+  [[nodiscard]] Port& downlink(std::size_t source) override;
+
+  // --- inspection ---------------------------------------------------------
+  [[nodiscard]] const SimLink& uplink_view(std::size_t source) const;
+  [[nodiscard]] const SimLink& downlink_view(std::size_t source) const;
+  [[nodiscard]] const Site& site(std::size_t i) const;
+  [[nodiscard]] const SimScenario& scenario() const { return scenario_; }
+
+  /// Virtual time of the latest processed event.
+  [[nodiscard]] double now() const { return clock_; }
+  [[nodiscard]] double server_clock() const { return server_clock_; }
+
+  /// Drains every pending event (e.g. broadcast frames no one reads)
+  /// and returns the quiescent completion time: the moment the last
+  /// clock, delivery, or radio falls silent.
+  double finish();
+
+  /// Sum of per-site transmit+receive energy (the server is mains
+  /// powered and not metered).
+  [[nodiscard]] double energy_joules() const;
+
+  /// Dropout windows sat out across all sites.
+  [[nodiscard]] std::uint64_t total_outages() const;
+
+  [[nodiscard]] LinkStats total_uplink_stats() const;
+  [[nodiscard]] LinkStats total_downlink_stats() const;
+
+  /// Every event processed so far — in processing order while the
+  /// simulation runs, canonicalized to (time, push-seq) order by
+  /// finish(). The determinism tests compare this log across
+  /// EKM_THREADS.
+  [[nodiscard]] const std::vector<SimEvent>& event_log() const { return log_; }
+
+  /// Consumes the log without copying (a lossy multi-round run holds
+  /// tens of thousands of events). Call after finish().
+  [[nodiscard]] std::vector<SimEvent> take_event_log() {
+    return std::move(log_);
+  }
+
+ private:
+  friend class SimLink;
+  void do_send(SimLink& link, Message msg);
+  [[nodiscard]] Message do_receive(SimLink& link);
+  void advance_one_event();
+
+  SimScenario scenario_;
+  std::vector<Site> sites_;
+  std::vector<SimLink> up_;
+  std::vector<SimLink> down_;
+  EventQueue queue_;
+  std::vector<SimEvent> log_;
+  double clock_ = 0.0;         ///< latest processed event time
+  double server_clock_ = 0.0;  ///< server actor's committed time
+};
+
+}  // namespace ekm

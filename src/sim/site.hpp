@@ -1,0 +1,32 @@
+// Site actors of the simulated edge deployment.
+//
+// A Site is one data source: a device with its own virtual clock, a
+// relative compute speed (stragglers and heterogeneous hardware make
+// this < 1), a radio, and an energy meter. The SimNetwork advances a
+// site's clock as it computes, waits out outages, and transmits; the
+// paper's per-device metrics (device time, §7's energy discussion) fall
+// out of these fields instead of wall-clock measurements, which keeps
+// them bitwise deterministic for a fixed scenario seed.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link_model.hpp"
+
+namespace ekm {
+
+struct Site {
+  /// Relative compute speed: 1.0 = the reference edge CPU; 0.25 = a
+  /// straggler that takes 4x longer for the same local work.
+  double compute_speed = 1.0;
+  /// The site's radio class (uplink and downlink ride the same radio).
+  LinkModel radio;
+  /// Virtual time up to which this site's actions are committed.
+  double clock_s = 0.0;
+  /// Transmit energy spent so far, including failed attempts.
+  double energy_j = 0.0;
+  /// Dropout windows this site sat through.
+  std::uint32_t outages = 0;
+};
+
+}  // namespace ekm

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/channel.hpp"
+#include "net/link_model.hpp"
 #include "net/summary_codec.hpp"
 #include "net/coreset_io.hpp"
 
@@ -35,6 +36,54 @@ TEST(Channel, LedgerAccumulates) {
   // Receiving does not change the ledger.
   (void)ch.receive();
   EXPECT_EQ(ch.ledger().messages, 2u);
+}
+
+TEST(TrafficLedger, ResetAndPlus) {
+  Channel ch;
+  ch.send(encode_scalar(1.0));
+  ch.send(encode_scalar(2.0));
+  TrafficLedger a = ch.ledger();
+  const TrafficLedger sum = a + ch.ledger();
+  EXPECT_EQ(sum.messages, 4u);
+  EXPECT_EQ(sum.scalars, 4u);
+  EXPECT_EQ(sum.bits, 2u * a.bits);
+  EXPECT_EQ(sum.bytes, 2u * a.bytes);
+  a.reset();
+  EXPECT_EQ(a, TrafficLedger{});
+  EXPECT_EQ(a + sum, sum);
+}
+
+TEST(LinkModel, RoundTripHelpers) {
+  const LinkModel link{"test", 1e6, 0.5, 2.0e-9};
+  TrafficLedger up;
+  up.bits = 1'000'000;
+  up.messages = 2;
+  TrafficLedger down;
+  down.bits = 500'000;
+  down.messages = 1;
+  // Half-duplex: the round trip is the sum of the two directions.
+  EXPECT_DOUBLE_EQ(link.round_trip_seconds(up, down),
+                   link.transfer_seconds(up) + link.transfer_seconds(down));
+  EXPECT_DOUBLE_EQ(link.round_trip_seconds(up, down), 1.0 + 1.0 + 0.5 + 0.5);
+  EXPECT_DOUBLE_EQ(link.round_trip_joules(up, down),
+                   (1'000'000 + 500'000) * 2.0e-9);
+  // A zeroed downlink ledger degrades to the one-way figures.
+  EXPECT_DOUBLE_EQ(link.round_trip_seconds(up, TrafficLedger{}),
+                   link.transfer_seconds(up));
+}
+
+TEST(Channel, IsAPort) {
+  // The synchronous Channel and Network satisfy the Port/Fabric
+  // interfaces the simulator shares (src/sim/).
+  Channel ch;
+  Port& port = ch;
+  port.send(encode_scalar(4.0));
+  EXPECT_TRUE(port.has_pending());
+  EXPECT_DOUBLE_EQ(decode_scalar(port.receive()), 4.0);
+  Network net(2);
+  Fabric& fabric = net;
+  fabric.uplink(1).send(encode_scalar(5.0));
+  EXPECT_EQ(fabric.total_uplink().messages, 1u);
 }
 
 TEST(Network, UplinkAndDownlinkSeparated) {

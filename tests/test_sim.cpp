@@ -1,0 +1,289 @@
+// Tests for src/sim: the discrete-event runtime's contract with the
+// synchronous Network (fault-free ledger/center parity), the
+// determinism rules of docs/simulation.md (same seed + any EKM_THREADS
+// → identical event order and metrics), fault accounting
+// (drop/retransmit billing), scenario parsing, and the streaming
+// deployment path.
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "core/pipeline.hpp"
+#include "data/generators.hpp"
+#include "net/summary_codec.hpp"
+#include "sim/coordinator.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sim_network.hpp"
+
+namespace ekm {
+namespace {
+
+std::vector<Dataset> make_parts(std::size_t m, std::size_t n, std::size_t d,
+                                std::uint64_t seed) {
+  GaussianMixtureSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.k = 4;
+  Rng rng = make_rng(seed, 0xdadaULL);
+  const Dataset data = make_gaussian_mixture(spec, rng);
+  Rng part_rng = make_rng(seed, 0x9a87ULL);
+  return partition_random(data, m, part_rng);
+}
+
+PipelineConfig base_config(std::uint64_t seed = 11) {
+  PipelineConfig cfg;
+  cfg.k = 3;
+  cfg.epsilon = 0.3;
+  cfg.seed = seed;
+  cfg.coreset_size = 200;
+  cfg.pca_dim = 8;
+  return cfg;
+}
+
+TEST(EventQueue, PopsByTimeThenPushOrder) {
+  EventQueue q;
+  q.push({2.0, 0, SimEventType::kDeliver, 0, true, 0, 10});
+  q.push({1.0, 0, SimEventType::kSendStart, 1, true, 0, 10});
+  q.push({1.0, 0, SimEventType::kDrop, 2, false, 0, 10});
+  ASSERT_EQ(q.size(), 3u);
+  // Time order first; the two t=1 events tie-break by push order.
+  SimEvent a = q.pop();
+  EXPECT_EQ(a.site, 1u);
+  EXPECT_EQ(a.seq, 1u);
+  SimEvent b = q.pop();
+  EXPECT_EQ(b.site, 2u);
+  SimEvent c = q.pop();
+  EXPECT_EQ(c.site, 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW((void)q.pop(), precondition_error);
+}
+
+TEST(Scenario, PresetsExistAndParse) {
+  for (const std::string& name : sim_scenario_names()) {
+    const auto preset = sim_scenario_preset(name);
+    ASSERT_TRUE(preset.has_value()) << name;
+    EXPECT_EQ(preset->name, name);
+    const SimScenario parsed = parse_scenario(name);
+    EXPECT_EQ(parsed.name, name);
+  }
+  EXPECT_FALSE(sim_scenario_preset("no-such-scenario").has_value());
+}
+
+TEST(Scenario, ParserAppliesOverrides) {
+  const SimScenario s = parse_scenario("lora-field,loss=0.5,retries=3,skew=4");
+  EXPECT_EQ(s.radio.name, "LoRa SF7");
+  EXPECT_DOUBLE_EQ(s.loss_rate, 0.5);
+  EXPECT_EQ(s.max_retries, 3);
+  EXPECT_DOUBLE_EQ(s.site_speed_skew, 4.0);
+  // Preset fields not overridden survive.
+  EXPECT_DOUBLE_EQ(s.jitter_frac, 0.2);
+
+  const SimScenario custom = parse_scenario("radio=ble,dropout=0.25");
+  EXPECT_EQ(custom.name, "custom");
+  EXPECT_EQ(custom.radio.name, "BLE 1M");
+  EXPECT_DOUBLE_EQ(custom.dropout_rate, 0.25);
+
+  EXPECT_THROW((void)parse_scenario("no-such-scenario"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("loss=nope"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("frobnicate=1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("radio=zigbee"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("loss=0.1,lora-field"), precondition_error);
+}
+
+TEST(Sim, ZeroFaultMatchesSynchronousNetwork) {
+  const auto parts = make_parts(5, 1500, 24, 11);
+  const PipelineConfig cfg = base_config();
+  const Coordinator coord(parse_scenario("ideal"));
+  ASSERT_TRUE(coord.scenario().fault_free());
+  ASSERT_FALSE(parse_scenario("lossy-mesh").fault_free());
+  for (const PipelineKind kind :
+       {PipelineKind::kNoReduction, PipelineKind::kBklw,
+        PipelineKind::kJlBklw}) {
+    const PipelineResult sync = run_distributed_pipeline(kind, parts, cfg);
+    const SimReport sim = coord.run(kind, parts, cfg);
+    // The paper's ledgers must match bit for bit...
+    EXPECT_EQ(sim.result.uplink, sync.uplink) << pipeline_name(kind);
+    EXPECT_EQ(sim.result.downlink, sync.downlink) << pipeline_name(kind);
+    // ...and so must the model the server ends up with.
+    EXPECT_EQ(sim.result.centers, sync.centers) << pipeline_name(kind);
+    EXPECT_EQ(sim.result.summary_points, sync.summary_points);
+    // Fault-free still takes time: radios are finite.
+    EXPECT_GT(sim.completion_seconds, 0.0);
+    EXPECT_EQ(sim.uplink_stats.drops, 0u);
+    EXPECT_EQ(sim.uplink_stats.retransmit_bits, 0u);
+    EXPECT_EQ(sim.uplink_stats.attempts, sim.result.uplink.messages);
+  }
+}
+
+TEST(Sim, EventOrderDeterministicAcrossThreadCounts) {
+  const auto parts = make_parts(4, 1200, 16, 23);
+  const PipelineConfig cfg = base_config(23);
+  const Coordinator coord(parse_scenario("lossy-mesh,seed=23"));
+
+  set_parallel_threads(1);
+  const SimReport one = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(8);
+  const SimReport eight = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(0);
+
+  ASSERT_EQ(one.event_log.size(), eight.event_log.size());
+  for (std::size_t i = 0; i < one.event_log.size(); ++i) {
+    EXPECT_EQ(one.event_log[i], eight.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(one.completion_seconds, eight.completion_seconds);
+  EXPECT_EQ(one.energy_joules, eight.energy_joules);
+  EXPECT_EQ(one.result.uplink, eight.result.uplink);
+  EXPECT_EQ(one.result.centers, eight.result.centers);
+
+  // The log is a valid trace: times never rewind.
+  for (std::size_t i = 1; i < one.event_log.size(); ++i) {
+    EXPECT_GE(one.event_log[i].time, one.event_log[i - 1].time);
+  }
+}
+
+TEST(Sim, DropRetransmitLedgerAccounting) {
+  const auto parts = make_parts(4, 1000, 16, 31);
+  const PipelineConfig cfg = base_config(31);
+  const Coordinator ideal(parse_scenario("ideal"));
+  const Coordinator lossy(parse_scenario("radio=wifi,loss=0.5,retries=16"));
+
+  const SimReport clean = ideal.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport faulty = lossy.run(PipelineKind::kBklw, parts, cfg);
+
+  // Losses never corrupt the application layer: same goodput ledger,
+  // same centers.
+  EXPECT_EQ(faulty.result.uplink, clean.result.uplink);
+  EXPECT_EQ(faulty.result.centers, clean.result.centers);
+
+  // At 50% loss over dozens of frames, drops are certain; each drop is
+  // one retransmission billed once at the frame's wire size.
+  const LinkStats up = faulty.uplink_stats;
+  const LinkStats down = faulty.downlink_stats;
+  EXPECT_GT(up.drops + down.drops, 0u);
+  EXPECT_EQ(up.attempts, faulty.result.uplink.messages + up.drops);
+  EXPECT_EQ(down.attempts, faulty.result.downlink.messages + down.drops);
+  EXPECT_GT(up.retransmit_bits + down.retransmit_bits, 0u);
+
+  // Retries cost the radio: more airtime, more energy, more time.
+  EXPECT_GT(up.airtime_s + down.airtime_s,
+            clean.uplink_stats.airtime_s + clean.downlink_stats.airtime_s);
+  EXPECT_GT(faulty.energy_joules, clean.energy_joules);
+  EXPECT_GT(faulty.completion_seconds, clean.completion_seconds);
+
+  // The trace shows the drops and redeliveries.
+  std::size_t drop_events = 0, deliver_events = 0;
+  for (const SimEvent& ev : faulty.event_log) {
+    drop_events += ev.type == SimEventType::kDrop;
+    deliver_events += ev.type == SimEventType::kDeliver;
+  }
+  EXPECT_EQ(drop_events, up.drops + down.drops);
+  EXPECT_EQ(deliver_events,
+            faulty.result.uplink.messages + faulty.result.downlink.messages);
+}
+
+TEST(Sim, StragglersAndSkewSlowCompletionNotLedgers) {
+  const auto parts = make_parts(6, 1200, 16, 41);
+  const PipelineConfig cfg = base_config(41);
+  // Big per-scalar cost so compute dominates the radio.
+  const Coordinator uniform(parse_scenario("radio=5g,sps=1e-5"));
+  const Coordinator skewed(
+      parse_scenario("radio=5g,sps=1e-5,stragglers=0.5,slowdown=16"));
+
+  const SimReport fast = uniform.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport slow = skewed.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_GT(slow.completion_seconds, fast.completion_seconds);
+  EXPECT_EQ(slow.result.uplink, fast.result.uplink);
+  EXPECT_EQ(slow.result.centers, fast.result.centers);
+}
+
+TEST(Sim, DropoutWindowsAppearInTraceAndClock) {
+  const auto parts = make_parts(4, 800, 8, 51);
+  const PipelineConfig cfg = base_config(51);
+  const Coordinator coord(
+      parse_scenario("radio=wifi,dropout=0.6,outage=7.5,seed=51"));
+  const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+  std::size_t outages = 0;
+  for (const SimEvent& ev : report.event_log) {
+    outages += ev.type == SimEventType::kOutage;
+  }
+  EXPECT_GT(outages, 0u);
+  EXPECT_EQ(report.outages, outages);
+  // Each outage stalls a site for 7.5 virtual seconds.
+  EXPECT_GT(report.completion_seconds, 7.5);
+}
+
+TEST(Sim, HugeRetryBudgetStillInjectsLoss) {
+  // Regression: the retry policy must not truncate through the 16-bit
+  // event attempt tag — retries=65536 once wrapped to 0 and silently
+  // disabled loss.
+  const auto parts = make_parts(3, 600, 8, 71);
+  const PipelineConfig cfg = base_config(71);
+  const Coordinator coord(
+      parse_scenario("radio=wifi,loss=0.5,retries=65536,seed=71"));
+  const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_GT(report.uplink_stats.drops + report.downlink_stats.drops, 0u);
+  EXPECT_GT(report.uplink_stats.retransmit_bits +
+                report.downlink_stats.retransmit_bits,
+            0u);
+}
+
+TEST(Sim, StreamingDeploymentOverSimulatedLinks) {
+  const std::size_t m = 3, rounds = 4;
+  const auto parts = make_parts(m, 1600, 12, 61);
+  PipelineConfig cfg = base_config(61);
+  StreamingCoresetOptions sopts;
+  sopts.k = cfg.k;
+  sopts.leaf_size = 128;
+  sopts.coreset_size = 64;
+  sopts.seed = 61;
+  const Coordinator coord(parse_scenario("ble-swarm,seed=61"));
+  const SimReport report = coord.run_streaming(parts, sopts, cfg, rounds);
+  EXPECT_EQ(report.pipeline, "streaming");
+  // One summary frame per site per round.
+  EXPECT_EQ(report.result.uplink.messages, m * rounds);
+  EXPECT_EQ(report.result.centers.rows(), cfg.k);
+  EXPECT_GT(report.result.summary_points, 0u);
+  EXPECT_GT(report.completion_seconds, 0.0);
+
+  // Deterministic across thread counts, like everything else.
+  set_parallel_threads(1);
+  const SimReport again = coord.run_streaming(parts, sopts, cfg, rounds);
+  set_parallel_threads(0);
+  EXPECT_EQ(again.result.centers, report.result.centers);
+  EXPECT_EQ(again.completion_seconds, report.completion_seconds);
+}
+
+TEST(Sim, StreamRoundUplinkOverSynchronousChannel) {
+  // The streaming round helper works over any Port — here the plain
+  // synchronous Channel.
+  Rng rng = make_rng(71);
+  const Dataset batch(Matrix::gaussian(300, 6, rng));
+  StreamingCoresetOptions sopts;
+  sopts.k = 2;
+  sopts.leaf_size = 64;
+  sopts.coreset_size = 32;
+  StreamingCoreset stream(sopts);
+  Channel ch;
+
+  // A round before any data ships an empty frame to keep the server's
+  // receive loop matched.
+  const Coreset empty = stream_round_uplink(stream, Dataset{}, ch);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(decode_coreset(ch.receive()).size(), 0u);
+
+  const Coreset sent = stream_round_uplink(stream, batch, ch, 8);
+  EXPECT_GT(sent.size(), 0u);
+  const Coreset received = decode_coreset(ch.receive());
+  EXPECT_EQ(received.points.points(), sent.points.points());
+  // QT billing applies to the summary's point coordinates.
+  EXPECT_EQ(ch.ledger().messages, 2u);
+}
+
+TEST(Sim, ReceiveOnIdleNetworkThrows) {
+  SimNetwork net(2, parse_scenario("ideal"));
+  EXPECT_THROW((void)net.uplink(0).receive(), precondition_error);
+  EXPECT_THROW((void)net.uplink(2), precondition_error);
+}
+
+}  // namespace
+}  // namespace ekm

@@ -19,17 +19,26 @@
 //   --refine ITERS        device-side refinement rounds (extension)
 //   --seed SEED           master seed
 //   --output PATH         write centers as CSV (default: stdout summary only)
+//   --sim SPEC            run the multi-source path over the discrete-event
+//                         simulator: SPEC is a named scenario (ideal,
+//                         wifi-office, ble-swarm, lora-field, nr5g-fleet,
+//                         lossy-mesh) optionally followed by key=value
+//                         overrides, e.g. "lora-field,loss=0.1,dropout=0.2".
+//                         Algorithms: nr | bklw | jl+bklw | stream.
+//   --rounds R            uplink rounds for --algorithm stream (default 4)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "core/pipeline.hpp"
 #include "data/generators.hpp"
 #include "data/loaders.hpp"
 #include "kmeans/cost.hpp"
 #include "kmeans/lloyd.hpp"
+#include "sim/coordinator.hpp"
 
 namespace {
 
@@ -50,6 +59,8 @@ struct CliArgs {
   int qt_bits = 52;
   int refine = 0;
   std::uint64_t seed = 1;
+  std::string sim;
+  std::size_t rounds = 4;
   bool help = false;
 };
 
@@ -92,6 +103,10 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       if (const char* v = next(i)) a.refine = std::atoi(v); else return std::nullopt;
     } else if (want("--seed")) {
       if (const char* v = next(i)) a.seed = std::strtoull(v, nullptr, 10); else return std::nullopt;
+    } else if (want("--sim")) {
+      if (const char* v = next(i)) a.sim = v; else return std::nullopt;
+    } else if (want("--rounds")) {
+      if (const char* v = next(i)) a.rounds = std::strtoull(v, nullptr, 10); else return std::nullopt;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag);
       return std::nullopt;
@@ -149,9 +164,14 @@ void write_centers_csv(const std::string& path, const Matrix& centers) {
 constexpr const char* kUsage =
     "ekm — communication-efficient k-means (Lu et al., ICDCS'20 reproduction)\n"
     "  --input PATH | --synthetic mnist|neurips|mixture [--n N --d D]\n"
-    "  --algorithm nr|fss|jl+fss|fss+jl|jl+fss+jl|bklw|jl+bklw\n"
+    "  --algorithm nr|fss|jl+fss|fss+jl|jl+fss+jl|bklw|jl+bklw|stream\n"
     "  --k K  --sources M  --coreset-size S  --jl-dim D1  --pca-dim T\n"
-    "  --qt-bits S  --refine ITERS  --seed SEED  --output centers.csv\n";
+    "  --qt-bits S  --refine ITERS  --seed SEED  --output centers.csv\n"
+    "  --sim SCENARIO[,key=value...]  (scenarios: ideal wifi-office\n"
+    "    ble-swarm lora-field nr5g-fleet lossy-mesh; keys: radio loss\n"
+    "    dropout outage retries jitter stragglers slowdown skew sps\n"
+    "    server-speed seed; sim algorithms: nr bklw jl+bklw stream)\n"
+    "  --rounds R   uplink rounds for --algorithm stream (default 4)\n";
 
 }  // namespace
 
@@ -161,14 +181,35 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, args ? stdout : stderr);
     return args ? 0 : 2;
   }
-  const auto kind = kind_of(args->algorithm);
-  if (!kind) {
-    std::fprintf(stderr, "unknown algorithm '%s'\n%s", args->algorithm.c_str(),
-                 kUsage);
+  const bool streaming = args->algorithm == "stream";
+  std::optional<PipelineKind> kind;
+  if (!streaming) {
+    kind = kind_of(args->algorithm);
+    if (!kind) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n%s", args->algorithm.c_str(),
+                   kUsage);
+      return 2;
+    }
+    if (pipeline_is_distributed(*kind) && args->sources < 2) {
+      std::fprintf(stderr, "%s needs --sources >= 2\n", args->algorithm.c_str());
+      return 2;
+    }
+  }
+  if (streaming && args->sim.empty()) {
+    std::fprintf(stderr, "--algorithm stream needs --sim\n");
     return 2;
   }
-  if (pipeline_is_distributed(*kind) && args->sources < 2) {
-    std::fprintf(stderr, "%s needs --sources >= 2\n", args->algorithm.c_str());
+  if (args->sources < 1) {
+    std::fprintf(stderr, "--sources must be >= 1\n");
+    return 2;
+  }
+  if (streaming && args->rounds < 1) {
+    std::fprintf(stderr, "--rounds must be >= 1\n");
+    return 2;
+  }
+  if (!args->sim.empty() && !streaming && *kind != PipelineKind::kNoReduction &&
+      !pipeline_is_distributed(*kind)) {
+    std::fprintf(stderr, "--sim supports nr|bklw|jl+bklw|stream\n");
     return 2;
   }
 
@@ -186,7 +227,49 @@ int main(int argc, char** argv) {
   cfg.refine_iters = args->refine;
 
   PipelineResult res;
-  if (args->sources > 1) {
+  if (!args->sim.empty()) {
+    SimScenario scenario;
+    try {
+      scenario = parse_scenario(args->sim);
+    } catch (const precondition_error& e) {
+      std::fprintf(stderr, "bad --sim spec: %s\n", e.what());
+      return 2;
+    }
+    // The master seed drives the scenario too unless the spec pins one.
+    if (args->sim.find("seed=") == std::string::npos) scenario.seed = args->seed;
+
+    Rng rng = make_rng(args->seed, 0x9a87ULL);
+    const std::vector<Dataset> parts =
+        partition_random(data, args->sources, rng);
+    const Coordinator coord(scenario);
+    SimReport report;
+    if (streaming) {
+      StreamingCoresetOptions sopts;
+      sopts.k = args->k;
+      sopts.coreset_size = args->coreset_size;
+      sopts.seed = derive_seed(args->seed, 0x57ea3ULL);
+      report = coord.run_streaming(parts, sopts, cfg, args->rounds);
+    } else {
+      report = coord.run(*kind, parts, cfg);
+    }
+    res = std::move(report.result);
+    const LinkStats& up = report.uplink_stats;
+    std::printf("sim scenario   : %s over %zu site(s), radio %s\n",
+                report.scenario.c_str(), args->sources,
+                scenario.radio.name.c_str());
+    std::printf("completion     : %.6g virtual seconds\n",
+                report.completion_seconds);
+    std::printf("site energy    : %.6g J\n", report.energy_joules);
+    std::printf("uplink radio   : %llu attempts, %llu drops, "
+                "%llu retransmitted bits, %.6g s airtime\n",
+                static_cast<unsigned long long>(up.attempts),
+                static_cast<unsigned long long>(up.drops),
+                static_cast<unsigned long long>(up.retransmit_bits),
+                up.airtime_s);
+    std::printf("events         : %zu (%llu site outages)\n",
+                report.event_log.size(),
+                static_cast<unsigned long long>(report.outages));
+  } else if (args->sources > 1) {
     Rng rng = make_rng(args->seed, 0x9a87ULL);
     const std::vector<Dataset> parts = partition_random(data, args->sources, rng);
     res = run_distributed_pipeline(*kind, parts, cfg);
@@ -195,7 +278,8 @@ int main(int argc, char** argv) {
   }
 
   const double cost = kmeans_cost(data, res.centers);
-  std::printf("algorithm      : %s\n", pipeline_name(*kind));
+  std::printf("algorithm      : %s\n",
+              streaming ? "streaming" : pipeline_name(*kind));
   std::printf("k-means cost   : %.6g\n", cost);
   std::printf("summary points : %zu\n", res.summary_points);
   std::printf("uplink         : %llu bits, %llu scalars, %llu messages\n",
@@ -206,7 +290,12 @@ int main(int argc, char** argv) {
               100.0 * static_cast<double>(res.uplink.scalars) /
                   static_cast<double>(data.scalar_count()),
               data.scalar_count());
-  std::printf("device time    : %.3f s\n", res.device_seconds);
+  if (args->sim.empty()) {
+    // Suppressed on the sim path: device compute there lives on the
+    // deterministic virtual clock (the completion figure above), and a
+    // host wall-clock number next to it would only mislead.
+    std::printf("device time    : %.3f s\n", res.device_seconds);
+  }
 
   if (!args->output.empty()) {
     write_centers_csv(args->output, res.centers);

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Builds and runs the assignment-kernel bench, leaving BENCH_assign.json
-# in the repo root so successive PRs can track the perf trajectory.
+# Builds and runs the tracked benches, leaving BENCH_assign.json and
+# BENCH_sim.json in the repo root so successive PRs can track the perf
+# and scenario trajectories.
 #
-# Usage: tools/run_bench.sh [build_dir] [extra bench args...]
+# Usage: tools/run_bench.sh [build_dir] [extra bench_assign_kernel args...]
 #   EKM_THREADS caps the pool for the multi-threaded series.
+#   BENCH_sim.json is bitwise deterministic for a fixed seed at any
+#   EKM_THREADS (it lives on the simulator's virtual clock).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -11,7 +14,10 @@ build_dir="${1:-$repo_root/build}"
 shift || true
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build_dir" --target bench_assign_kernel -j >/dev/null
+cmake --build "$build_dir" --target bench_assign_kernel bench_sim_scenarios -j >/dev/null
 
 "$build_dir/bench_assign_kernel" --json "$repo_root/BENCH_assign.json" "$@"
 echo "wrote $repo_root/BENCH_assign.json"
+
+"$build_dir/bench_sim_scenarios" --json "$repo_root/BENCH_sim.json"
+echo "wrote $repo_root/BENCH_sim.json"
