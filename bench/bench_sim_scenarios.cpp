@@ -1,10 +1,13 @@
 // Scenario sweep over the discrete-event edge-network simulator: radio
 // classes (LoRa / BLE / Wi-Fi / 5G) × fault rates (loss+dropout) for the
-// BKLW multi-source pipeline. Emits per-cell deployment metrics —
+// BKLW multi-source pipeline, followed by a deadline sweep — a
+// straggler-heavy fleet under lossy-mesh faults with per-round deadlines
+// from infinity down to aggressive, tracing the responders-vs-accuracy
+// trade of partial aggregation. Emits per-cell deployment metrics —
 // virtual completion time, site energy, goodput vs retransmitted bits,
-// attempt/drop counts, and the k-means cost ratio against the NR
-// (ship-everything) baseline — as BENCH_sim.json so successive PRs can
-// track the trajectory, PR-1-style.
+// attempt/drop counts, responder counts, and the k-means cost ratio
+// against the NR (ship-everything) baseline — as BENCH_sim.json so
+// successive PRs can track the trajectory, PR-1-style.
 //
 // Every reported number lives on the virtual clock or in a ledger, so
 // the whole JSON is bitwise deterministic for a fixed --seed at any
@@ -12,9 +15,12 @@
 //
 // Usage: bench_sim_scenarios [--n N] [--d D] [--k K] [--sources M]
 //                            [--seed S] [--json PATH]
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -111,6 +117,70 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- deadline sweep: responders vs accuracy under partial aggregation.
+  // A straggler-heavy, compute-bound fleet with lossy-mesh faults; the
+  // per-round deadline tightens from infinity (the paper's protocol,
+  // bit-identical to the wait-for-everyone cells above in ledgers and
+  // centers) down to budgets that drop the straggling sites.
+  struct DeadlineCell {
+    double deadline = 0.0;  // infinity encoded as 0 in the printout
+    SimReport report;
+    double cost_ratio = 0.0;
+    bool feasible = true;  // false: the round fell below min-responders
+  };
+  const std::vector<double> deadlines = {
+      std::numeric_limits<double>::infinity(), 16.0, 8.0, 4.0, 2.0, 1.0, 0.5};
+  // Single source of truth for the sweep's base scenario: the run and
+  // the JSON "scenario" field must not drift apart.
+  constexpr const char* kSweepBase =
+      "lossy-mesh,stragglers=0.25,slowdown=64,sps=1e-5";
+  std::vector<DeadlineCell> dcells;
+  std::printf("\ndeadline sweep  scenario=lossy-mesh+stragglers pipeline=BKLW\n");
+  std::printf("%-10s %12s %14s %14s %9s %7s %10s %10s\n", "deadline",
+              "responders", "completion_s", "server_done_s", "misses", "drops",
+              "retx_bits", "cost_ratio");
+  for (double deadline : deadlines) {
+    char spec_buf[192];
+    if (std::isfinite(deadline)) {
+      std::snprintf(spec_buf, sizeof spec_buf, "%s,deadline=%g,seed=%llu",
+                    kSweepBase, deadline,
+                    static_cast<unsigned long long>(seed));
+    } else {
+      std::snprintf(spec_buf, sizeof spec_buf, "%s,seed=%llu", kSweepBase,
+                    static_cast<unsigned long long>(seed));
+    }
+    const Coordinator coord(parse_scenario(spec_buf));
+    DeadlineCell cell;
+    cell.deadline = deadline;
+    try {
+      cell.report = coord.run(PipelineKind::kBklw, parts, cfg);
+      cell.cost_ratio = kmeans_cost(data, cell.report.result.centers) / nr_cost;
+    } catch (const invariant_error&) {
+      // The budget was so tight a round fell below the availability
+      // floor; record the cell as infeasible rather than killing the
+      // whole sweep (other seeds/shapes may hit this at 0.5 s).
+      cell.feasible = false;
+    }
+    if (!cell.feasible) {
+      std::printf("%-10g %12s\n", deadline, "infeasible");
+      dcells.push_back(std::move(cell));
+      continue;
+    }
+    const std::uint64_t responders =
+        sources - cell.report.sites_dropped;
+    std::printf("%-10g %8llu/%-3zu %14.4f %14.4f %9llu %7llu %10llu %10.4f\n",
+                deadline, static_cast<unsigned long long>(responders), sources,
+                cell.report.completion_seconds,
+                cell.report.server_completion_seconds,
+                static_cast<unsigned long long>(cell.report.deadline_misses),
+                static_cast<unsigned long long>(
+                    cell.report.uplink_stats.drops),
+                static_cast<unsigned long long>(
+                    cell.report.uplink_stats.retransmit_bits),
+                cell.cost_ratio);
+    dcells.push_back(std::move(cell));
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -148,7 +218,52 @@ int main(int argc, char** argv) {
           c.report.event_log.size(), c.cost_ratio,
           i + 1 < cells.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"deadline_sweep\": {\n"
+                 "    \"scenario\": \"%s\",\n"
+                 "    \"pipeline\": \"bklw\",\n"
+                 "    \"cells\": [\n",
+                 kSweepBase);
+    for (std::size_t i = 0; i < dcells.size(); ++i) {
+      const DeadlineCell& c = dcells[i];
+      const LinkStats& up = c.report.uplink_stats;
+      // JSON has no Infinity literal; the unbounded round is deadline 0.
+      const double deadline_field = std::isfinite(c.deadline) ? c.deadline : 0.0;
+      if (!c.feasible) {
+        std::fprintf(f,
+                     "      {\"deadline_seconds\": %.17g, \"unbounded\": false,"
+                     " \"feasible\": false}%s\n",
+                     deadline_field, i + 1 < dcells.size() ? "," : "");
+        continue;
+      }
+      std::fprintf(
+          f,
+          "      {\"deadline_seconds\": %.17g, \"unbounded\": %s,\n"
+          "       \"feasible\": true,\n"
+          "       \"responders\": %llu, \"sources\": %zu,\n"
+          "       \"deadline_misses\": %llu, \"rounds\": %llu,\n"
+          "       \"completion_seconds\": %.17g,\n"
+          "       \"server_completion_seconds\": %.17g,\n"
+          "       \"energy_joules\": %.17g,\n"
+          "       \"goodput_bits\": %llu, \"retransmit_bits\": %llu,\n"
+          "       \"attempts\": %llu, \"drops\": %llu, \"expired\": %llu,\n"
+          "       \"cost_ratio_vs_nr\": %.17g}%s\n",
+          deadline_field, std::isfinite(c.deadline) ? "false" : "true",
+          static_cast<unsigned long long>(sources - c.report.sites_dropped),
+          sources,
+          static_cast<unsigned long long>(c.report.deadline_misses),
+          static_cast<unsigned long long>(c.report.rounds),
+          c.report.completion_seconds, c.report.server_completion_seconds,
+          c.report.energy_joules,
+          static_cast<unsigned long long>(c.report.result.uplink.bits),
+          static_cast<unsigned long long>(up.retransmit_bits),
+          static_cast<unsigned long long>(up.attempts),
+          static_cast<unsigned long long>(up.drops),
+          static_cast<unsigned long long>(up.expired),
+          c.cost_ratio, i + 1 < dcells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);
   }
   return 0;

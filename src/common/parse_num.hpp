@@ -1,0 +1,57 @@
+// Whole-token numeric parsing.
+//
+// std::atoi and bare strtod return 0 on garbage with no error signal,
+// which is how `--qt-bits banana` and `loss=0.1x` once slipped through
+// as zeros. These helpers accept a value only when the entire token is
+// consumed and in range, and report failure as an empty optional so
+// each caller picks its own channel (the scenario parser throws, the
+// CLI prints usage and exits 2) without duplicating the validation.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace ekm {
+
+/// Full-token double. Accepts what strtod accepts ("0.5", "1e-3",
+/// "inf", "nan") — range/finiteness policy stays with the caller.
+[[nodiscard]] inline std::optional<double> parse_full_double(
+    const std::string& value) {
+  if (value.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// Full-token signed integer — rejects the fractional values a
+/// double-then-cast would silently truncate.
+[[nodiscard]] inline std::optional<long long> parse_full_ll(
+    const std::string& value) {
+  if (value.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Full-token unsigned 64-bit integer. A leading '-' is rejected
+/// outright (strtoull would happily wrap it around).
+[[nodiscard]] inline std::optional<unsigned long long> parse_full_ull(
+    const std::string& value) {
+  if (value.empty() || value.front() == '-') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace ekm

@@ -70,30 +70,45 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
     for (std::size_t i = 0; i < parts.size(); ++i) {
       net.downlink(i).send(encode_matrix(centers));
     }
+    // Each refine iteration is one deadline-driven collection round:
+    // stragglers' sufficient statistics are left out, and the center
+    // update divides by the responding mass only (FedAvg-style).
+    const double deadline = net.open_round(cfg.round_deadline_s);
     Matrix sums(k, d);
     std::vector<double> mass(k, 0.0);
+    std::vector<char> sent(parts.size(), 0);
     for (std::size_t i = 0; i < parts.size(); ++i) {
       Matrix stats(k, d + 1);  // row c: [weighted sum | weighted count]
       {
         auto scope = device_work.measure();
-        const Matrix pushed = decode_matrix(net.downlink(i).receive());
-        // Batched assignment of the whole shard, then a serial
-        // sufficient-statistics accumulation (order-deterministic).
-        std::vector<std::size_t> assign(parts[i].size());
-        assign_batch_into(parts[i].points(), pushed, assign, {},
-                          shard_norms[i]);
-        for (std::size_t p = 0; p < parts[i].size(); ++p) {
-          const double* point = parts[i].points().row_ptr(p);
-          const double w = parts[i].weight(p);
-          auto row = stats.row(assign[p]);
-          for (std::size_t j = 0; j < d; ++j) row[j] += w * point[j];
-          row[d] += w;
+        auto pushed_frame = net.downlink(i).receive_by(kNoDeadline);
+        if (!pushed_frame.has_value()) continue;  // lost the broadcast
+        if (!parts[i].empty()) {
+          const Matrix pushed = decode_matrix(*pushed_frame);
+          // Batched assignment of the whole shard, then a serial
+          // sufficient-statistics accumulation (order-deterministic).
+          std::vector<std::size_t> assign(parts[i].size());
+          assign_batch_into(parts[i].points(), pushed, assign, {},
+                            shard_norms[i]);
+          for (std::size_t p = 0; p < parts[i].size(); ++p) {
+            const double* point = parts[i].points().row_ptr(p);
+            const double w = parts[i].weight(p);
+            auto row = stats.row(assign[p]);
+            for (std::size_t j = 0; j < d; ++j) row[j] += w * point[j];
+            row[d] += w;
+          }
         }
       }
       net.uplink(i).send(encode_matrix(stats));
+      sent[i] = 1;
     }
+    std::size_t responders = 0;
     for (std::size_t i = 0; i < parts.size(); ++i) {
-      const Matrix stats = decode_matrix(net.uplink(i).receive());
+      if (!sent[i]) continue;
+      auto frame = net.uplink(i).receive_by(deadline);
+      if (!frame.has_value()) continue;
+      responders += 1;
+      const Matrix stats = decode_matrix(*frame);
       for (std::size_t c = 0; c < k; ++c) {
         auto src = stats.row(c);
         auto dst = sums.row(c);
@@ -101,6 +116,8 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
         mass[c] += src[d];
       }
     }
+    EKM_ENSURES_MSG(responders >= cfg.min_round_responders,
+                    "refine round fell below the availability floor");
     for (std::size_t c = 0; c < k; ++c) {
       if (mass[c] > 0.0) {
         auto row = centers.row(c);
@@ -321,6 +338,7 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
 
   switch (kind) {
     case PipelineKind::kNoReduction: {
+      const double deadline = net.open_round(cfg.round_deadline_s);
       for (std::size_t i = 0; i < parts.size(); ++i) {
         Matrix payload = parts[i].points();
         if (cfg.significant_bits < kDoubleSignificandBits) {
@@ -329,11 +347,21 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
         }
         net.uplink(i).send(encode_matrix(payload, cfg.significant_bits));
       }
+      // Ship-everything is one collection round too: the server
+      // clusters whatever raw shards made the deadline.
       Matrix all;
+      std::size_t responders = 0;
       for (std::size_t i = 0; i < parts.size(); ++i) {
-        Matrix part = decode_matrix(net.uplink(i).receive());
+        auto frame = net.uplink(i).receive_by(deadline);
+        if (!frame.has_value()) continue;
+        responders += 1;
+        Matrix part = decode_matrix(*frame);
         if (part.rows() > 0) all.append_rows(part);
       }
+      EKM_ENSURES_MSG(responders >= cfg.min_round_responders,
+                      "NR round fell below the availability floor");
+      EKM_ENSURES_MSG(all.rows() > 0,
+                      "no data source delivered before the round deadline");
       const KMeansResult res = kmeans(Dataset(std::move(all)), solver_options(cfg));
       PipelineResult result;
       result.centers = res.centers;
@@ -353,6 +381,8 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       opts.intrinsic_dim = cfg.pca_dim;
       opts.total_samples = cfg.coreset_size;
       opts.significant_bits = cfg.significant_bits;
+      opts.round_deadline_s = cfg.round_deadline_s;
+      opts.min_responders = cfg.min_round_responders;
       Coreset cs = bklw_coreset(parts, opts, net, device_work, cfg.seed);
       // QT on the server-held coreset is a no-op for communication (the
       // billing happened inside disSS); the points were quantized by each
@@ -395,6 +425,8 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       opts.intrinsic_dim = cfg.pca_dim;
       opts.total_samples = cfg.coreset_size;
       opts.significant_bits = cfg.significant_bits;
+      opts.round_deadline_s = cfg.round_deadline_s;
+      opts.min_responders = cfg.min_round_responders;
       Coreset cs = bklw_coreset(projected, opts, net, device_work, cfg.seed);
       if (cfg.significant_bits < kDoubleSignificandBits) {
         quantize_points(cs, cfg.significant_bits);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 
@@ -65,6 +66,20 @@ struct PipelineConfig {
   /// Server-side weighted k-means solver settings (k is taken from `k`).
   int solver_restarts = 5;
   int solver_max_iters = 100;
+
+  /// Deadline-driven rounds (src/sim/round_policy.hpp): each collection
+  /// round of a distributed pipeline gets this wall-clock budget on the
+  /// fabric's virtual clock; sites whose uplink has not delivered by
+  /// the deadline are dropped from that round and the server
+  /// aggregates over the partial responder set. Infinity (the default)
+  /// reproduces the paper's wait-for-everyone protocol bit for bit.
+  /// Only a time-aware Fabric (SimNetwork) can actually miss a
+  /// deadline; over the synchronous Network this is a no-op.
+  double round_deadline_s = std::numeric_limits<double>::infinity();
+  /// Availability floor: a collection round that leaves fewer
+  /// responding sites than this throws instead of aggregating a
+  /// degenerate summary.
+  std::size_t min_round_responders = 1;
 
   /// Optional device-side center refinement (an extension beyond the
   /// paper's protocol; 0 = off = paper-faithful).

@@ -56,7 +56,10 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
   const std::size_t k = opts.k;
 
   // Seeding round: every source uplinks k weight-proportional local
-  // samples; the server keeps k of them at random.
+  // samples; the server keeps k of them at random. Like every
+  // collection round here, it is deadline-bounded: late candidates are
+  // simply not in the draw.
+  const double seed_deadline = net.open_round(opts.round_deadline_s);
   Matrix candidates;
   for (std::size_t i = 0; i < parts.size(); ++i) {
     Matrix local(0, d);
@@ -74,10 +77,16 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
     }
     net.uplink(i).send(encode_matrix(local));
   }
+  std::size_t seed_responders = 0;
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    const Matrix local = decode_matrix(net.uplink(i).receive());
+    auto frame = net.uplink(i).receive_by(seed_deadline);
+    if (!frame.has_value()) continue;
+    seed_responders += 1;
+    const Matrix local = decode_matrix(*frame);
     if (local.rows() > 0) candidates.append_rows(local);
   }
+  EKM_ENSURES_MSG(seed_responders >= opts.min_responders,
+                  "seeding round fell below the availability floor");
   EKM_ENSURES(candidates.rows() >= 1);
   Rng server_rng = make_rng(opts.seed, 0x5eedULL);
   Matrix centers(std::min<std::size_t>(k, candidates.rows()), d);
@@ -99,20 +108,33 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
     for (std::size_t i = 0; i < parts.size(); ++i) {
       net.downlink(i).send(encode_matrix(centers));
     }
+    const double deadline = net.open_round(opts.round_deadline_s);
     Matrix sums(k, d);
     std::vector<double> mass(k, 0.0);
     double round_cost = 0.0;
+    std::vector<char> sent(parts.size(), 0);
     for (std::size_t i = 0; i < parts.size(); ++i) {
       Matrix stats(k, d + 2);
       {
         auto scope = device_work.measure();
-        const Matrix pushed = decode_matrix(net.downlink(i).receive());
+        auto pushed_frame = net.downlink(i).receive_by(kNoDeadline);
+        if (!pushed_frame.has_value()) continue;  // lost the broadcast
+        const Matrix pushed = decode_matrix(*pushed_frame);
         if (!parts[i].empty()) stats = local_stats(parts[i], pushed);
       }
       net.uplink(i).send(encode_matrix(stats));
+      sent[i] = 1;
     }
+    // Partial aggregation: the update runs over whichever sources made
+    // the deadline; their masses renormalize the centroids, and the
+    // convergence check sees the responders' cost.
+    std::size_t responders = 0;
     for (std::size_t i = 0; i < parts.size(); ++i) {
-      const Matrix stats = decode_matrix(net.uplink(i).receive());
+      if (!sent[i]) continue;
+      auto frame = net.uplink(i).receive_by(deadline);
+      if (!frame.has_value()) continue;
+      responders += 1;
+      const Matrix stats = decode_matrix(*frame);
       for (std::size_t c = 0; c < k && c < stats.rows(); ++c) {
         auto row = stats.row(c);
         auto dst = sums.row(c);
@@ -121,6 +143,8 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
         round_cost += row[d + 1];
       }
     }
+    EKM_ENSURES_MSG(responders >= opts.min_responders,
+                    "Lloyd round fell below the availability floor");
     for (std::size_t c = 0; c < centers.rows(); ++c) {
       if (mass[c] > 0.0) {
         auto row = centers.row(c);
@@ -153,6 +177,7 @@ DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
   EKM_EXPECTS_MSG(d > 0, "all sources empty");
 
   // Map: local k-means; uplink k centers + k cluster masses.
+  const double deadline = net.open_round(opts.round_deadline_s);
   for (std::size_t i = 0; i < parts.size(); ++i) {
     Matrix payload(0, d + 1);
     if (!parts[i].empty()) {
@@ -177,11 +202,16 @@ DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
     net.uplink(i).send(encode_matrix(payload));
   }
 
-  // Reduce: weighted k-means over the m x k candidates.
+  // Reduce: weighted k-means over the candidates that made the
+  // deadline — a late local solution is simply absent from the merge.
   Matrix all_centers;
   std::vector<double> all_mass;
+  std::size_t responders = 0;
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    const Matrix payload = decode_matrix(net.uplink(i).receive());
+    auto frame = net.uplink(i).receive_by(deadline);
+    if (!frame.has_value()) continue;
+    responders += 1;
+    const Matrix payload = decode_matrix(*frame);
     for (std::size_t c = 0; c < payload.rows(); ++c) {
       Matrix row(1, d);
       std::copy_n(payload.row(c).begin(), d, row.row(0).begin());
@@ -189,6 +219,8 @@ DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
       all_mass.push_back(payload(c, d));
     }
   }
+  EKM_ENSURES_MSG(responders >= opts.min_responders,
+                  "map round fell below the availability floor");
   EKM_ENSURES(all_centers.rows() >= 1);
   KMeansOptions reduce;
   reduce.k = opts.k;
@@ -240,10 +272,15 @@ DistributedBaselineResult gossip_kmeans(std::span<const Dataset> parts,
         if (j == i || local_centers[j].empty()) continue;
         // Peer exchange: both endpoints transmit their centers (billed
         // on each sender's uplink ledger — P2P traffic is still radio).
+        // If either frame expires in flight, the whole exchange is
+        // skipped — gossip tolerates lost rounds by construction.
         net.uplink(i).send(encode_matrix(local_centers[i]));
         net.uplink(j).send(encode_matrix(local_centers[j]));
-        const Matrix mine = decode_matrix(net.uplink(i).receive());
-        const Matrix theirs = decode_matrix(net.uplink(j).receive());
+        auto mine_frame = net.uplink(i).receive_by(kNoDeadline);
+        auto theirs_frame = net.uplink(j).receive_by(kNoDeadline);
+        if (!mine_frame.has_value() || !theirs_frame.has_value()) continue;
+        const Matrix mine = decode_matrix(*mine_frame);
+        const Matrix theirs = decode_matrix(*theirs_frame);
         auto scope = device_work.measure();
         // Greedy matching: average each of my centers with its nearest
         // peer center.

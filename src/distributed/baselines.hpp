@@ -36,6 +36,12 @@ struct DistributedLloydOptions {
   int max_rounds = 50;
   double rel_tol = 1e-6;  ///< stop when the global cost improves less
   std::uint64_t seed = 42;
+
+  /// Per-round deadline: stragglers' sufficient statistics are dropped
+  /// and the center update averages over the responders (the FedAvg
+  /// straggler-dropping model). Infinity = synchronous rounds.
+  double round_deadline_s = kNoDeadline;
+  std::size_t min_responders = 1;  ///< fewer responders than this throws
 };
 
 struct DistributedBaselineResult {
@@ -54,6 +60,11 @@ struct MapReduceOptions {
   std::size_t k = 2;
   int local_restarts = 3;
   std::uint64_t seed = 42;
+
+  /// Deadline for the single map round; late local solutions are left
+  /// out of the reduce. Infinity = wait for everyone.
+  double round_deadline_s = kNoDeadline;
+  std::size_t min_responders = 1;  ///< fewer responders than this throws
 };
 
 /// One-shot local-solve + merge ([28]-style).

@@ -27,6 +27,8 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
                             : fss_intrinsic_dim(opts.k, opts.epsilon, n_total, d);
   popts.t1 = t;
   popts.t2 = t;
+  popts.round_deadline_s = opts.round_deadline_s;
+  popts.min_responders = opts.min_responders;
   const DisPcaResult pca = dispca(parts, popts, net, device_work);
 
   // --- each source projects locally: coords_i = A_i V (n_i x t2). ---
@@ -36,9 +38,20 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
   // point.)
   std::vector<Dataset> projected(parts.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    if (parts[i].empty()) continue;
+    if (parts[i].empty()) {
+      // Even an empty site consumes its copy of the broadcast: a frame
+      // left queued would alias the next downlink read on this link
+      // (disSS's allocation, or a refine round's centers).
+      (void)net.downlink(i).receive_by(kNoDeadline);
+      continue;
+    }
     auto scope = device_work.measure();
-    const Matrix v = decode_matrix(net.downlink(i).receive());
+    // A site whose basis broadcast expired on the downlink cannot
+    // project; it enters disSS as an empty source (transmitting only
+    // the empty-summary sentinel) instead of wedging the protocol.
+    auto basis_frame = net.downlink(i).receive_by(kNoDeadline);
+    if (!basis_frame.has_value()) continue;
+    const Matrix v = decode_matrix(*basis_frame);
     Matrix coords = matmul(parts[i].points(), v);
     projected[i] = parts[i].is_weighted()
                        ? Dataset(std::move(coords), *parts[i].weights())
@@ -54,6 +67,8 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
           : disss_sample_size(opts.k, opts.epsilon, opts.delta, parts.size(),
                               n_total);
   sopts.significant_bits = opts.significant_bits;
+  sopts.round_deadline_s = opts.round_deadline_s;
+  sopts.min_responders = opts.min_responders;
   Coreset coreset = disss(projected, sopts, net, device_work, seed);
 
   coreset.delta = 0.0;

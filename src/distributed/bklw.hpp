@@ -26,6 +26,14 @@ struct BklwOptions {
   std::size_t intrinsic_dim = 0;   ///< 0 => k + ceil(4k/ε²) - 1
   std::size_t total_samples = 0;   ///< 0 => disss_sample_size(...)
   int significant_bits = 52;       ///< QT billing for coreset points
+
+  /// Per-collection-round deadline, forwarded to disPCA and disSS (each
+  /// of the three rounds gets the same budget). A source dropped from
+  /// the disPCA round may still rejoin disSS: the merged basis is
+  /// broadcast to every site. Infinity = wait for everyone.
+  double round_deadline_s = kNoDeadline;
+  /// Minimum sources that must make each round; fewer throws.
+  std::size_t min_responders = 1;
 };
 
 /// Runs the BKLW coreset construction over `parts` through `net`. The

@@ -21,6 +21,9 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
   EKM_EXPECTS_MSG(d > 0, "all sources empty");
 
   // --- data sources: local SVD, uplink (Σ^(t1), V^(t1)). ---
+  // The round opens before the first uplink so a time-aware fabric can
+  // cancel retransmissions that would outlive the deadline.
+  const double deadline = net.open_round(opts.round_deadline_s);
   for (std::size_t i = 0; i < parts.size(); ++i) {
     EKM_EXPECTS_MSG(parts[i].empty() || parts[i].dim() == d,
                     "sources disagree on dimension");
@@ -44,11 +47,21 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
     net.uplink(i).send(encode_matrix(v_t1));
   }
 
-  // --- server: stack Y_i = Σ_i^(t1) V_i^(t1)^T, global SVD. ---
-  Matrix y;  // (Σ_i t1_i) x d
+  // --- server: stack Y_i = Σ_i^(t1) V_i^(t1)^T over whichever sources
+  // delivered by the deadline, global SVD. A dropped source's subspace
+  // simply does not shape this round's merge — the availability /
+  // accuracy trade the deadline buys. ---
+  Matrix y;  // (Σ_responders t1_i) x d
+  std::size_t responders = 0;
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    const Matrix sigma_row = decode_matrix(net.uplink(i).receive());
-    const Matrix v_t1 = decode_matrix(net.uplink(i).receive());
+    // Both frames must be consumed either way, or a late V would alias
+    // the next round's traffic on this link.
+    auto sigma_frame = net.uplink(i).receive_by(deadline);
+    auto v_frame = net.uplink(i).receive_by(deadline);
+    if (!sigma_frame.has_value() || !v_frame.has_value()) continue;
+    responders += 1;
+    const Matrix sigma_row = decode_matrix(*sigma_frame);
+    const Matrix v_t1 = decode_matrix(*v_frame);
     if (sigma_row.size() == 0) continue;
     // Y_i rows: sigma_j * (column j of V)^T.
     Matrix yi(sigma_row.cols(), d);
@@ -59,7 +72,9 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
     }
     y.append_rows(yi);
   }
-  EKM_ENSURES_MSG(y.rows() > 0, "all sources empty");
+  EKM_ENSURES_MSG(responders >= opts.min_responders,
+                  "disPCA round fell below the availability floor");
+  EKM_ENSURES_MSG(y.rows() > 0, "all sources empty or dropped at the deadline");
 
   const std::size_t t2 = std::min({opts.t2, y.rows(), d});
   Svd global = truncated_svd(y, t2);

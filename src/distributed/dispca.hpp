@@ -21,6 +21,13 @@ namespace ekm {
 struct DisPcaOptions {
   std::size_t t1 = 8;  ///< components each source uplinks
   std::size_t t2 = 8;  ///< components of the merged subspace
+
+  /// Deadline budget for the collection round (Fabric::open_round);
+  /// sources whose (Σ, V) uplink misses it are left out of the merged
+  /// subspace. Infinity = the paper's wait-for-everyone round.
+  double round_deadline_s = kNoDeadline;
+  /// Minimum sources that must make the round; fewer throws.
+  std::size_t min_responders = 1;
 };
 
 struct DisPcaResult {

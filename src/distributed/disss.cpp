@@ -18,6 +18,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   const std::size_t m = parts.size();
 
   // --- step 1: local bicriteria solutions, uplink local costs. ---
+  const double cost_deadline = net.open_round(opts.round_deadline_s);
   std::vector<Matrix> local_centers(m);
   std::vector<double> local_cost(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
@@ -36,29 +37,57 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
     net.uplink(i).send(encode_scalar(local_cost[i]));
   }
 
-  // --- step 2: server allocates the sample budget ∝ cost. ---
+  // --- step 2: server allocates the sample budget ∝ cost, over the
+  // sources whose cost report made the deadline. Dropped sources are
+  // NAK'd (allocation -1) so they stay silent in step 3; total_cost —
+  // and with it every sample weight — is renormalized over the
+  // responders. ---
+  std::vector<char> in_round(m, 0);
   double total_cost = 0.0;
+  std::size_t cost_responders = 0;
   for (std::size_t i = 0; i < m; ++i) {
-    total_cost += decode_scalar(net.uplink(i).receive());
+    auto frame = net.uplink(i).receive_by(cost_deadline);
+    if (!frame.has_value()) continue;
+    in_round[i] = 1;
+    cost_responders += 1;
+    total_cost += decode_scalar(*frame);
   }
+  EKM_ENSURES_MSG(cost_responders >= opts.min_responders,
+                  "disSS cost round fell below the availability floor");
   std::vector<std::size_t> alloc(m, 0);
   for (std::size_t i = 0; i < m; ++i) {
+    if (!in_round[i]) {
+      net.downlink(i).send(encode_scalar(-1.0));
+      continue;
+    }
     alloc[i] = total_cost > 0.0
                    ? static_cast<std::size_t>(std::llround(
                          static_cast<double>(opts.total_samples) *
                          local_cost[i] / total_cost))
-                   : opts.total_samples / m;
+                   : opts.total_samples / cost_responders;
     net.downlink(i).send(encode_scalar(static_cast<double>(alloc[i])));
   }
 
   // --- step 3: sources sample ∝ cost({p}, X_i), uplink S_i ∪ X_i. ---
+  const double summary_deadline = net.open_round(opts.round_deadline_s);
+  std::vector<char> sent(m, 0);
   for (std::size_t i = 0; i < m; ++i) {
     if (parts[i].empty()) {
+      // Consume the allocation frame even though its value is moot —
+      // leaving it queued would alias the next downlink read on this
+      // link (e.g. a refine round's pushed centers).
+      (void)net.downlink(i).receive_by(kNoDeadline);
       net.uplink(i).send(encode_coreset(Coreset{}, opts.significant_bits));
+      sent[i] = 1;
       continue;
     }
-    const auto si = static_cast<std::size_t>(
-        decode_scalar(net.downlink(i).receive()));
+    // A NAK'd source — or one whose allocation frame expired on the
+    // downlink — sits this round out and transmits nothing.
+    auto alloc_frame = net.downlink(i).receive_by(kNoDeadline);
+    const double si_signed =
+        alloc_frame.has_value() ? decode_scalar(*alloc_frame) : -1.0;
+    if (si_signed < 0.0) continue;
+    const auto si = static_cast<std::size_t>(si_signed);
     Coreset local;
     {
       auto scope = device_work.measure();
@@ -129,15 +158,27 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
       local.points = Dataset(std::move(pts), std::move(weights));
     }
     net.uplink(i).send(encode_coreset(local, opts.significant_bits));
+    sent[i] = 1;
   }
 
-  // --- step 4: server unions the local coresets. ---
+  // --- step 4: server unions the local coresets that made the
+  // deadline. Each local coreset's weights sum to exactly its own
+  // shard's mass (the per-cluster top-up in step 3 guarantees it), so
+  // a dropped source costs only its mass — the union stays a valid
+  // weighted summary of the responders' data. ---
   Coreset merged;
   std::vector<Dataset> pieces;
+  std::size_t summary_responders = 0;
   for (std::size_t i = 0; i < m; ++i) {
-    Coreset local = decode_coreset(net.uplink(i).receive());
+    if (!sent[i]) continue;
+    auto frame = net.uplink(i).receive_by(summary_deadline);
+    if (!frame.has_value()) continue;
+    summary_responders += 1;
+    Coreset local = decode_coreset(*frame);
     if (local.size() > 0) pieces.push_back(std::move(local.points));
   }
+  EKM_ENSURES_MSG(summary_responders >= opts.min_responders,
+                  "disSS summary round fell below the availability floor");
   EKM_ENSURES_MSG(!pieces.empty(), "disSS produced an empty coreset");
   merged.points = concatenate(pieces);
   return merged;

@@ -29,6 +29,16 @@ struct DisSsOptions {
   /// Billing width for uplinked coreset points (12 + s bits when a
   /// quantizer with s significand bits runs before transmission).
   int significant_bits = 52;
+
+  /// Deadline budget per collection round (the cost round and the
+  /// summary round each get one). A source that misses the cost round
+  /// is NAK'd out of the whole construction; a source that reported a
+  /// cost but misses the summary round loses only its sample mass —
+  /// the budget and weights are normalized over the cost-round
+  /// responders either way. Infinity = wait for everyone.
+  double round_deadline_s = kNoDeadline;
+  /// Minimum sources that must make each round; fewer throws.
+  std::size_t min_responders = 1;
 };
 
 /// Runs disSS over `parts` through `net`; returns the server-side coreset

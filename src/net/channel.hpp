@@ -23,11 +23,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/expects.hpp"
 
 namespace ekm {
+
+/// Absolute deadline meaning "wait forever" — the paper's synchronous
+/// protocol, and the default for every deadline-aware receive.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 
 /// One framed message in flight.
 struct Message {
@@ -75,6 +81,19 @@ class Port {
   [[nodiscard]] virtual bool has_pending() const = 0;
   [[nodiscard]] virtual Message receive() = 0;
   [[nodiscard]] virtual const TrafficLedger& ledger() const = 0;
+
+  /// Deadline-aware receive: hands back the next frame if it is (or
+  /// will be) delivered no later than `deadline` (absolute virtual
+  /// seconds, kNoDeadline = block forever), and nullopt if the frame
+  /// misses — in which case the frame is *consumed* (abandoned): the
+  /// round has moved on and a late arrival must not alias the next
+  /// round's frame. On an instant fabric every pending frame already
+  /// arrived, so a miss only means the peer never sent.
+  [[nodiscard]] virtual std::optional<Message> receive_by(double deadline) {
+    (void)deadline;
+    if (has_pending()) return receive();
+    return std::nullopt;
+  }
 };
 
 /// Star topology around one edge server: per-source uplink (counted by
@@ -86,6 +105,18 @@ class Fabric {
   [[nodiscard]] virtual std::size_t num_sources() const = 0;
   [[nodiscard]] virtual Port& uplink(std::size_t source) = 0;
   [[nodiscard]] virtual Port& downlink(std::size_t source) = 0;
+
+  /// Opens one deadline-driven collection round (src/sim/round_policy.hpp)
+  /// and returns the absolute deadline the round's receive_by calls
+  /// should pass. A time-aware fabric anchors it at the server's
+  /// current virtual clock and stops uplink retransmissions that would
+  /// start after it; on the idealized synchronous star every frame
+  /// arrives instantly, so the deadline is vacuous and kNoDeadline
+  /// comes back regardless of `deadline_seconds`.
+  virtual double open_round(double deadline_seconds) {
+    (void)deadline_seconds;
+    return kNoDeadline;
+  }
 
   /// Total source->server traffic — the paper's communication cost.
   [[nodiscard]] TrafficLedger total_uplink() {

@@ -1,5 +1,6 @@
 #include "sim/coordinator.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "kmeans/lloyd.hpp"
@@ -31,12 +32,34 @@ SimReport make_report(const SimScenario& scenario, std::string pipeline,
   report.pipeline = std::move(pipeline);
   report.result = std::move(result);
   report.completion_seconds = net.finish();
+  report.server_completion_seconds = net.server_clock();
   report.energy_joules = net.energy_joules();
   report.outages = net.total_outages();
   report.uplink_stats = net.total_uplink_stats();
   report.downlink_stats = net.total_downlink_stats();
+  report.rounds = net.rounds_opened();
+  report.deadline_misses = net.missed_frames();
+  for (std::size_t i = 0; i < net.num_sources(); ++i) {
+    // A site is dropped if any round abandoned one of its uplink
+    // frames, or if it lost a broadcast (basis/allocation/centers) and
+    // therefore sat a round out without its data reaching the model.
+    report.sites_dropped += net.uplink_view(i).stats().missed > 0 ||
+                            net.downlink_view(i).stats().missed > 0;
+  }
   report.event_log = net.take_event_log();  // net is consumed — no copy
   return report;
+}
+
+/// The scenario's RoundPolicy backfills config defaults; an explicit
+/// config setting (a finite deadline, a floor above 1) always wins.
+PipelineConfig apply_round_policy(PipelineConfig cfg, const RoundPolicy& round) {
+  if (!std::isfinite(cfg.round_deadline_s)) {
+    cfg.round_deadline_s = round.deadline_s;
+  }
+  if (cfg.min_round_responders <= 1) {
+    cfg.min_round_responders = round.min_responders;
+  }
+  return cfg;
 }
 
 }  // namespace
@@ -45,7 +68,8 @@ SimReport Coordinator::run(PipelineKind kind, std::span<const Dataset> parts,
                            const PipelineConfig& cfg) const {
   EKM_EXPECTS(!parts.empty());
   SimNetwork net(parts.size(), scenario_);
-  PipelineResult result = run_distributed_pipeline(kind, parts, cfg, net);
+  const PipelineConfig effective = apply_round_policy(cfg, scenario_.round);
+  PipelineResult result = run_distributed_pipeline(kind, parts, effective, net);
   return make_report(scenario_, pipeline_name(kind), std::move(result), net);
 }
 
@@ -69,15 +93,25 @@ SimReport Coordinator::run_streaming(std::span<const Dataset> parts,
   // Each round: every site folds its next batch into the
   // merge-and-reduce tree and uplinks the finalized summary; the server
   // keeps the freshest summary per site. Sites progress on their own
-  // virtual clocks — the server just drains arrivals.
+  // virtual clocks — the server just drains arrivals. Under a round
+  // deadline (scenario round policy / cfg) a late summary is abandoned
+  // and the server keeps that site's previous round's summary: a
+  // deadline costs freshness here, never liveness — which is also why
+  // min_round_responders deliberately does not apply to streaming
+  // rounds (a round with zero fresh summaries just serves stale ones).
+  const double deadline_s =
+      apply_round_policy(cfg, scenario_.round).round_deadline_s;
   std::vector<Coreset> latest(m);
   for (std::size_t r = 0; r < rounds; ++r) {
+    const double deadline = net.open_round(deadline_s);
     for (std::size_t i = 0; i < m; ++i) {
       (void)stream_round_uplink(streams[i], round_batch(parts[i], r, rounds),
                                 net.uplink(i), cfg.significant_bits);
     }
     for (std::size_t i = 0; i < m; ++i) {
-      Coreset summary = decode_coreset(net.uplink(i).receive());
+      auto frame = net.uplink(i).receive_by(deadline);
+      if (!frame.has_value()) continue;  // stale summary survives the round
+      Coreset summary = decode_coreset(*frame);
       if (summary.size() > 0 || latest[i].size() == 0) {
         latest[i] = std::move(summary);
       }

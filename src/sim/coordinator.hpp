@@ -34,11 +34,23 @@ struct SimReport {
 
   // --- what the simulator adds over the synchronous Network ---------------
   double completion_seconds = 0.0;  ///< virtual quiescence time
+  /// When the server had everything it aggregated — its committed
+  /// clock after the final collection round. Under a deadline this is
+  /// what improves: the server stops waiting for stragglers, even
+  /// while the dropped sites' own clocks (and thus the quiescence time
+  /// above) still run.
+  double server_completion_seconds = 0.0;
   double energy_joules = 0.0;       ///< summed site radio energy
   std::uint64_t outages = 0;        ///< dropout windows across sites
   LinkStats uplink_stats;           ///< attempts/drops/retx bits/airtime
   LinkStats downlink_stats;
   std::vector<SimEvent> event_log;  ///< full event trace, time order
+
+  // --- deadline rounds (RoundPolicy) --------------------------------------
+  std::uint64_t rounds = 0;           ///< collection rounds opened
+  std::uint64_t deadline_misses = 0;  ///< frames dropped from a round:
+                                      ///< expired in flight or late
+  std::uint64_t sites_dropped = 0;    ///< sites that missed >= 1 round
 };
 
 class Coordinator {
@@ -48,9 +60,13 @@ class Coordinator {
   [[nodiscard]] const SimScenario& scenario() const { return scenario_; }
 
   /// Runs a distributed pipeline (kNoReduction, kBklw, kJlBklw) over a
-  /// simulated network. With a fault-free scenario the report's ledgers
-  /// and centers are bitwise identical to run_distributed_pipeline over
-  /// the synchronous Network.
+  /// simulated network. With a fault-free scenario and no (or infinite)
+  /// round deadline the report's ledgers and centers are bitwise
+  /// identical to run_distributed_pipeline over the synchronous
+  /// Network. The scenario's RoundPolicy (SimScenario::round, CLI
+  /// `deadline=` / `--deadline`) fills cfg's round_deadline_s /
+  /// min_round_responders wherever cfg still holds the defaults — an
+  /// explicit cfg setting wins.
   [[nodiscard]] SimReport run(PipelineKind kind, std::span<const Dataset> parts,
                               const PipelineConfig& cfg) const;
 

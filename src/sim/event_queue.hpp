@@ -25,6 +25,9 @@ enum class SimEventType : std::uint8_t {
   kDrop,       ///< an attempt was lost in flight (sender times out)
   kDeliver,    ///< the frame reached the far end
   kOutage,     ///< a site sat out a dropout window before transmitting
+  kExpire,     ///< the frame was abandoned: retry budget spent, a round
+               ///< deadline cut the retransmissions off, or the
+               ///< receiver stopped waiting at the deadline
 };
 
 [[nodiscard]] constexpr const char* sim_event_name(SimEventType t) {
@@ -33,6 +36,7 @@ enum class SimEventType : std::uint8_t {
     case SimEventType::kDrop: return "drop";
     case SimEventType::kDeliver: return "deliver";
     case SimEventType::kOutage: return "outage";
+    case SimEventType::kExpire: return "expire";
   }
   return "?";
 }

@@ -1,0 +1,43 @@
+// Deadline policy for collection rounds.
+//
+// PR 2's simulator billed every fault as retransmit-until-delivered:
+// losses cost airtime, energy and virtual time, but the server always
+// waited for every site, so faults could never change the answer. A
+// RoundPolicy is the other half of the trade-off federated and edge
+// systems actually make: each collection round gets a wall-clock
+// budget, sites whose uplink has not delivered by the deadline are
+// dropped from that round, and the server aggregates over the partial
+// responder set (FedAvg-style straggler dropping, applied to the
+// paper's summary protocols).
+//
+// The policy rides the scenario (SimScenario::round, CLI key
+// `deadline=`, flag `--deadline`); the Coordinator copies it into
+// PipelineConfig::round_deadline_s, and the protocols in
+// src/distributed enforce it through Fabric::open_round /
+// Port::receive_by — so the same protocol code runs the paper's
+// wait-for-everyone rounds (deadline = infinity) and deadline-driven
+// partial rounds, over either fabric.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace ekm {
+
+struct RoundPolicy {
+  /// Virtual seconds each collection round may take, measured from the
+  /// moment the server opens the round (Fabric::open_round). Infinity
+  /// (the default) reproduces the paper's synchronous protocol
+  /// bit for bit.
+  double deadline_s = std::numeric_limits<double>::infinity();
+
+  /// Availability floor: a round that leaves fewer responding sites
+  /// than this throws instead of aggregating a degenerate summary.
+  std::size_t min_responders = 1;
+
+  /// True when rounds can actually drop sites.
+  [[nodiscard]] bool active() const { return std::isfinite(deadline_s); }
+};
+
+}  // namespace ekm

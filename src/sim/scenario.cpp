@@ -1,8 +1,9 @@
 #include "sim/scenario.hpp"
 
-#include <cstdlib>
+#include <cmath>
 
 #include "common/expects.hpp"
+#include "common/parse_num.hpp"
 
 namespace ekm {
 namespace {
@@ -67,28 +68,123 @@ SimScenario lossy_mesh() {
   return s;
 }
 
-LinkModel radio_by_name(const std::string& name) {
+SimScenario hetero_mesh() {
+  SimScenario s;
+  s.name = "hetero-mesh";
+  s.radio = wifi_link();
+  s.radio_cycle = {wifi_link(), ble_link(), lora_link()};
+  s.loss_rate = 0.05;
+  s.dropout_rate = 0.02;
+  s.outage_seconds = 2.0;
+  s.jitter_frac = 0.1;
+  s.site_speed_skew = 2.0;
+  return s;
+}
+
+SimScenario deadline_fleet() {
+  SimScenario s;
+  s.name = "deadline-fleet";
+  s.radio = nr5g_link();
+  s.loss_rate = 0.01;
+  s.jitter_frac = 0.05;
+  s.straggler_fraction = 0.25;
+  s.straggler_slowdown = 16.0;
+  // Compute-dominated fleet (think the local SVD on a microcontroller):
+  // at typical bench shapes a fast site finishes a round in a couple of
+  // virtual seconds, the 16x straggling quarter needs tens — an
+  // 8-second budget drops the stragglers and keeps everyone else with
+  // comfortable margin.
+  s.seconds_per_scalar = 1e-3;
+  s.round.deadline_s = 8.0;
+  return s;
+}
+
+LinkModel radio_by_name(const std::string& key, const std::string& name) {
   if (name == "lora") return lora_link();
   if (name == "ble") return ble_link();
   if (name == "wifi") return wifi_link();
   if (name == "5g" || name == "nr5g") return nr5g_link();
-  EKM_EXPECTS_MSG(false, "unknown radio class '" + name +
-                             "' (expected lora|ble|wifi|5g)");
+  EKM_EXPECTS_MSG(false, "unknown radio class '" + name + "' for scenario key '" +
+                             key + "' (expected lora|ble|wifi|5g)");
   return {};
 }
 
+/// Checked double parse (common/parse_num.hpp): the whole token must be
+/// consumed — `loss=0.1x` and `loss=` are configuration typos, not
+/// values, and must fail loudly naming the key.
 double parse_double(const std::string& key, const std::string& value) {
-  char* end = nullptr;
-  const double v = std::strtod(value.c_str(), &end);
-  EKM_EXPECTS_MSG(end != value.c_str() && *end == '\0',
-                  "malformed value for scenario key '" + key + "': " + value);
-  return v;
+  EKM_EXPECTS_MSG(!value.empty(),
+                  "empty value for scenario key '" + key + "'");
+  const auto v = parse_full_double(value);
+  EKM_EXPECTS_MSG(v.has_value(),
+                  "malformed value for scenario key '" + key + "': '" + value +
+                      "'");
+  return *v;
+}
+
+/// Checked integer parse — rejects empty values, trailing garbage, and
+/// fractional values that a double-then-cast would silently truncate
+/// (`retries=2.5` was accepted as 2 before this existed).
+long long parse_int(const std::string& key, const std::string& value) {
+  EKM_EXPECTS_MSG(!value.empty(),
+                  "empty value for scenario key '" + key + "'");
+  const auto v = parse_full_ll(value);
+  EKM_EXPECTS_MSG(v.has_value(),
+                  "malformed integer for scenario key '" + key + "': '" +
+                      value + "'");
+  return *v;
+}
+
+/// `siteN.key=value` per-site override. Appends one SiteOverride per
+/// token; SimNetwork applies them in order, so later tokens win.
+void apply_site_override(SimScenario& s, const std::string& key,
+                         const std::string& value) {
+  const std::size_t dot = key.find('.');
+  EKM_EXPECTS_MSG(dot != std::string::npos && dot > 4,
+                  "malformed per-site scenario key '" + key +
+                      "' (expected siteN.radio|bandwidth|loss|dropout|speed)");
+  const long long index = parse_int(key, key.substr(4, dot - 4));
+  EKM_EXPECTS_MSG(index >= 0, "site index must be >= 0 in scenario key '" +
+                                  key + "'");
+  const std::string field = key.substr(dot + 1);
+
+  SiteOverride o;
+  o.site = static_cast<std::size_t>(index);
+  if (field == "radio") {
+    o.radio = radio_by_name(key, value);
+  } else if (field == "bandwidth") {
+    o.bandwidth_bps = parse_double(key, value);
+    EKM_EXPECTS_MSG(std::isfinite(*o.bandwidth_bps) && *o.bandwidth_bps > 0.0,
+                    "bandwidth must be > 0 in scenario key '" + key + "'");
+  } else if (field == "loss") {
+    o.loss_rate = parse_double(key, value);
+    EKM_EXPECTS_MSG(*o.loss_rate >= 0.0 && *o.loss_rate < 1.0,
+                    "loss must be in [0, 1) in scenario key '" + key + "'");
+  } else if (field == "dropout") {
+    o.dropout_rate = parse_double(key, value);
+    EKM_EXPECTS_MSG(*o.dropout_rate >= 0.0 && *o.dropout_rate <= 1.0,
+                    "dropout must be in [0, 1] in scenario key '" + key + "'");
+  } else if (field == "speed") {
+    o.compute_speed = parse_double(key, value);
+    EKM_EXPECTS_MSG(std::isfinite(*o.compute_speed) && *o.compute_speed > 0.0,
+                    "speed must be > 0 in scenario key '" + key + "'");
+  } else {
+    EKM_EXPECTS_MSG(false, "unknown per-site field '" + field +
+                               "' in scenario key '" + key +
+                               "' (expected radio|bandwidth|loss|dropout|speed)");
+  }
+  s.site_overrides.push_back(std::move(o));
 }
 
 void apply_override(SimScenario& s, const std::string& key,
                     const std::string& value) {
-  if (key == "radio") {
-    s.radio = radio_by_name(value);
+  if (key.rfind("site", 0) == 0 && key.find('.') != std::string::npos) {
+    apply_site_override(s, key, value);
+  } else if (key == "radio") {
+    s.radio = radio_by_name(key, value);
+    // An explicit fleet-wide radio replaces a preset's mixed cycle
+    // (hetero-mesh) — otherwise the override would be silently ignored.
+    s.radio_cycle.clear();
   } else if (key == "loss") {
     s.loss_rate = parse_double(key, value);
     EKM_EXPECTS_MSG(s.loss_rate >= 0.0 && s.loss_rate < 1.0,
@@ -99,9 +195,12 @@ void apply_override(SimScenario& s, const std::string& key,
                     "dropout must be in [0, 1]");
   } else if (key == "outage") {
     s.outage_seconds = parse_double(key, value);
+    EKM_EXPECTS_MSG(std::isfinite(s.outage_seconds) && s.outage_seconds >= 0.0,
+                    "outage must be finite and >= 0");
   } else if (key == "retries") {
-    s.max_retries = static_cast<int>(parse_double(key, value));
-    EKM_EXPECTS_MSG(s.max_retries >= 0, "retries must be >= 0");
+    const long long v = parse_int(key, value);
+    EKM_EXPECTS_MSG(v >= 0 && v <= 1 << 30, "retries must be in [0, 2^30]");
+    s.max_retries = static_cast<int>(v);
   } else if (key == "jitter") {
     s.jitter_frac = parse_double(key, value);
     EKM_EXPECTS_MSG(s.jitter_frac >= 0.0 && s.jitter_frac < 1.0,
@@ -112,23 +211,40 @@ void apply_override(SimScenario& s, const std::string& key,
                     "stragglers must be in [0, 1]");
   } else if (key == "slowdown") {
     s.straggler_slowdown = parse_double(key, value);
-    EKM_EXPECTS_MSG(s.straggler_slowdown >= 1.0, "slowdown must be >= 1");
+    EKM_EXPECTS_MSG(std::isfinite(s.straggler_slowdown) &&
+                        s.straggler_slowdown >= 1.0,
+                    "slowdown must be >= 1");
   } else if (key == "skew") {
     s.site_speed_skew = parse_double(key, value);
-    EKM_EXPECTS_MSG(s.site_speed_skew >= 1.0, "skew must be >= 1");
+    EKM_EXPECTS_MSG(std::isfinite(s.site_speed_skew) &&
+                        s.site_speed_skew >= 1.0,
+                    "skew must be >= 1");
   } else if (key == "sps") {
     s.seconds_per_scalar = parse_double(key, value);
-    EKM_EXPECTS_MSG(s.seconds_per_scalar >= 0.0, "sps must be >= 0");
+    EKM_EXPECTS_MSG(std::isfinite(s.seconds_per_scalar) &&
+                        s.seconds_per_scalar >= 0.0,
+                    "sps must be finite and >= 0");
   } else if (key == "server-speed") {
     s.server_speed = parse_double(key, value);
-    EKM_EXPECTS_MSG(s.server_speed > 0.0, "server-speed must be > 0");
+    EKM_EXPECTS_MSG(std::isfinite(s.server_speed) && s.server_speed > 0.0,
+                    "server-speed must be > 0");
+  } else if (key == "deadline") {
+    // "inf" turns deadline rounds off explicitly (strtod parses it).
+    s.round.deadline_s = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.round.deadline_s > 0.0 && !std::isnan(s.round.deadline_s),
+                    "deadline must be > 0 (virtual seconds, or inf)");
+  } else if (key == "min-responders") {
+    const long long v = parse_int(key, value);
+    EKM_EXPECTS_MSG(v >= 1, "min-responders must be >= 1");
+    s.round.min_responders = static_cast<std::size_t>(v);
   } else if (key == "seed") {
     // Full 64-bit parse — a double round-trip would collapse seeds
     // above 2^53 and overflow into UB near 2^64.
-    char* end = nullptr;
-    s.seed = std::strtoull(value.c_str(), &end, 10);
-    EKM_EXPECTS_MSG(end != value.c_str() && *end == '\0',
-                    "malformed value for scenario key 'seed': " + value);
+    EKM_EXPECTS_MSG(!value.empty(), "empty value for scenario key 'seed'");
+    const auto v = parse_full_ull(value);
+    EKM_EXPECTS_MSG(v.has_value(),
+                    "malformed value for scenario key 'seed': '" + value + "'");
+    s.seed = *v;
   } else {
     EKM_EXPECTS_MSG(false, "unknown scenario key '" + key + "'");
   }
@@ -137,8 +253,8 @@ void apply_override(SimScenario& s, const std::string& key,
 }  // namespace
 
 std::vector<std::string> sim_scenario_names() {
-  return {"ideal",      "wifi-office", "ble-swarm",
-          "lora-field", "nr5g-fleet",  "lossy-mesh"};
+  return {"ideal",      "wifi-office", "ble-swarm",   "lora-field",
+          "nr5g-fleet", "lossy-mesh",  "hetero-mesh", "deadline-fleet"};
 }
 
 std::optional<SimScenario> sim_scenario_preset(const std::string& name) {
@@ -148,6 +264,8 @@ std::optional<SimScenario> sim_scenario_preset(const std::string& name) {
   if (name == "lora-field") return lora_field();
   if (name == "nr5g-fleet") return nr5g_fleet();
   if (name == "lossy-mesh") return lossy_mesh();
+  if (name == "hetero-mesh") return hetero_mesh();
+  if (name == "deadline-fleet") return deadline_fleet();
   return std::nullopt;
 }
 

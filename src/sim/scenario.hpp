@@ -15,14 +15,42 @@
 #include <vector>
 
 #include "net/link_model.hpp"
+#include "sim/round_policy.hpp"
 
 namespace ekm {
+
+/// One site's deviations from the fleet-wide scenario knobs, applied in
+/// declaration order (later overrides win). Parsed from `siteN.key=value`
+/// tokens; overrides naming a site index beyond the deployment's size
+/// are ignored (a scenario string is reusable across fleet sizes).
+struct SiteOverride {
+  std::size_t site = 0;
+  std::optional<LinkModel> radio;        ///< siteN.radio=lora|ble|wifi|5g
+  std::optional<double> bandwidth_bps;   ///< siteN.bandwidth=BPS
+  std::optional<double> loss_rate;       ///< siteN.loss=P
+  std::optional<double> dropout_rate;    ///< siteN.dropout=P
+  std::optional<double> compute_speed;   ///< siteN.speed=REL (pins the
+                                         ///< speed, after skew/stragglers)
+};
 
 struct SimScenario {
   std::string name = "ideal";
 
   /// Radio class shared by every site (see link_model.hpp presets).
   LinkModel radio = wifi_link();
+
+  /// Heterogeneous fleets: when non-empty, site i rides
+  /// radio_cycle[i % radio_cycle.size()] instead of `radio`
+  /// (hetero-mesh uses this); siteN.radio overrides still win.
+  std::vector<LinkModel> radio_cycle;
+
+  /// Per-site deviations, applied on top of everything above.
+  std::vector<SiteOverride> site_overrides;
+
+  /// Deadline policy for collection rounds (round_policy.hpp). The
+  /// default — no deadline — reproduces the paper's wait-for-everyone
+  /// protocol bit for bit.
+  RoundPolicy round;
 
   // --- faults -------------------------------------------------------------
   /// Probability that one transmission attempt is lost in flight. Lost
@@ -65,17 +93,29 @@ struct SimScenario {
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool fault_free() const {
-    return loss_rate == 0.0 && dropout_rate == 0.0 && jitter_frac == 0.0;
+    if (loss_rate != 0.0 || dropout_rate != 0.0 || jitter_frac != 0.0) {
+      return false;
+    }
+    for (const SiteOverride& o : site_overrides) {
+      if (o.loss_rate.value_or(0.0) != 0.0) return false;
+      if (o.dropout_rate.value_or(0.0) != 0.0) return false;
+    }
+    return true;
   }
 };
 
 /// Named presets, each an opinionated deployment sketch:
-///   ideal       — Wi-Fi, no faults (ledger-equivalent to Network)
-///   wifi-office — Wi-Fi, light loss and jitter
-///   ble-swarm   — BLE, moderate loss, occasional dropouts
-///   lora-field  — LoRa, lossy, long outages, strong skew
-///   nr5g-fleet  — 5G, clean radio but a straggling quarter of sites
-///   lossy-mesh  — Wi-Fi with heavy loss/dropout, stress preset
+///   ideal          — Wi-Fi, no faults (ledger-equivalent to Network)
+///   wifi-office    — Wi-Fi, light loss and jitter
+///   ble-swarm      — BLE, moderate loss, occasional dropouts
+///   lora-field     — LoRa, lossy, long outages, strong skew
+///   nr5g-fleet     — 5G, clean radio but a straggling quarter of sites
+///   lossy-mesh     — Wi-Fi with heavy loss/dropout, stress preset
+///   hetero-mesh    — mixed Wi-Fi/BLE/LoRa fleet (radio_cycle), light
+///                    faults, moderate speed skew
+///   deadline-fleet — 5G with a straggling, lossier tail of sites and a
+///                    finite round deadline (partial aggregation on by
+///                    default)
 [[nodiscard]] std::vector<std::string> sim_scenario_names();
 
 /// Returns the preset, or nullopt if `name` is not one.
@@ -85,8 +125,12 @@ struct SimScenario {
 /// Parses "NAME" or "NAME,key=value,..." or "key=value,...". Keys:
 /// radio (lora|ble|wifi|5g), loss, dropout, outage, retries, jitter,
 /// stragglers, slowdown, skew, sps (seconds per scalar), server-speed,
-/// seed. Overrides apply on top of the preset (default: ideal). Throws
-/// precondition_error on unknown names/keys or malformed values.
+/// deadline (virtual seconds per collection round, or inf),
+/// min-responders, seed, plus per-site overrides siteN.radio,
+/// siteN.bandwidth, siteN.loss, siteN.dropout, siteN.speed. Overrides
+/// apply on top of the preset (default: ideal). Throws
+/// precondition_error on unknown names/keys and on malformed values —
+/// empty, trailing garbage, or out of range — naming the offending key.
 [[nodiscard]] SimScenario parse_scenario(const std::string& spec);
 
 }  // namespace ekm

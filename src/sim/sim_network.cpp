@@ -9,16 +9,37 @@ namespace ekm {
 
 void SimLink::send(Message msg) { net_->do_send(*this, std::move(msg)); }
 
-Message SimLink::receive() { return net_->do_receive(*this); }
+Message SimLink::receive() {
+  std::optional<Message> msg = net_->do_receive_by(*this, kNoDeadline);
+  EKM_ENSURES_MSG(msg.has_value(),
+                  "blocking receive on a frame that expired (retry budget or "
+                  "round deadline) — deadline-aware protocols must use "
+                  "receive_by and aggregate over the responders");
+  return std::move(*msg);
+}
+
+std::optional<Message> SimLink::receive_by(double deadline) {
+  return net_->do_receive_by(*this, deadline);
+}
 
 SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
     : scenario_(scenario) {
   EKM_EXPECTS(num_sites >= 1);
   EKM_EXPECTS(scenario_.radio.bandwidth_bps > 0.0);
   EKM_EXPECTS(scenario_.seconds_per_scalar >= 0.0);
+  for (const LinkModel& r : scenario_.radio_cycle) {
+    EKM_EXPECTS(r.bandwidth_bps > 0.0);
+  }
 
   sites_.resize(num_sites);
-  for (Site& s : sites_) s.radio = scenario_.radio;
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    Site& s = sites_[i];
+    s.radio = scenario_.radio_cycle.empty()
+                  ? scenario_.radio
+                  : scenario_.radio_cycle[i % scenario_.radio_cycle.size()];
+    s.loss_rate = scenario_.loss_rate;
+    s.dropout_rate = scenario_.dropout_rate;
+  }
 
   // Site heterogeneity, all drawn once from the scenario seed: an
   // optional uniform speed skew per site, then a straggler subset
@@ -38,6 +59,20 @@ SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
     for (std::size_t i = 0; i < std::min(stragglers, num_sites); ++i) {
       sites_[order[i]].compute_speed /= scenario_.straggler_slowdown;
     }
+  }
+
+  // Per-site overrides come last so they pin exact values — a
+  // siteN.speed override wins over the skew/straggler draw above.
+  // Overrides beyond num_sites are ignored by design (one scenario
+  // string serves any fleet size).
+  for (const SiteOverride& o : scenario_.site_overrides) {
+    if (o.site >= num_sites) continue;
+    Site& s = sites_[o.site];
+    if (o.radio) s.radio = *o.radio;
+    if (o.bandwidth_bps) s.radio.bandwidth_bps = *o.bandwidth_bps;
+    if (o.loss_rate) s.loss_rate = *o.loss_rate;
+    if (o.dropout_rate) s.dropout_rate = *o.dropout_rate;
+    if (o.compute_speed) s.compute_speed = *o.compute_speed;
   }
 
   up_.reserve(num_sites);
@@ -75,6 +110,15 @@ const Site& SimNetwork::site(std::size_t i) const {
   return sites_[i];
 }
 
+double SimNetwork::open_round(double deadline_seconds) {
+  EKM_EXPECTS_MSG(deadline_seconds > 0.0, "round deadline must be > 0");
+  round_deadline_ = std::isfinite(deadline_seconds)
+                        ? server_clock_ + deadline_seconds
+                        : kNoDeadline;
+  rounds_opened_ += 1;
+  return round_deadline_;
+}
+
 void SimNetwork::do_send(SimLink& link, Message msg) {
   // The paper's ledger bills goodput at send time, exactly as the
   // synchronous Channel does — fault-free runs must match it bitwise.
@@ -94,8 +138,7 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
   if (link.uplink_) {
     site.clock_s += static_cast<double>(msg.scalars) *
                     scenario_.seconds_per_scalar / site.compute_speed;
-    if (scenario_.dropout_rate > 0.0 &&
-        unif(link.rng_) < scenario_.dropout_rate) {
+    if (site.dropout_rate > 0.0 && unif(link.rng_) < site.dropout_rate) {
       // The site is in a dropout window when it reaches for the radio:
       // it sits the outage out, then proceeds.
       site.outages += 1;
@@ -110,15 +153,31 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     ready = server_clock_;
   }
 
+  // Round deadlines govern the collection direction only: an uplink
+  // attempt that would start at or after the open round's cutoff is
+  // never made (the sites know the round schedule and stop wasting the
+  // radio). Downlink broadcasts are not round-bounded.
+  const double cutoff = link.uplink_ ? round_deadline_ : kNoDeadline;
+
   // --- transmission attempts: serialize on the link, ride the radio,
-  // retransmit on loss until delivered or the retry budget is spent
-  // (then deliver anyway: the protocols are lossless at the
-  // application layer, and every attempt stays billed). ---
+  // retransmit on loss until delivered, the retry budget is spent, or
+  // the round deadline cancels the remaining attempts. A frame whose
+  // budget or deadline runs out is a first-class drop: it never
+  // delivers, and every attempt actually made stays billed. ---
   double start = std::max(ready, link.busy_until_);
+  double end = start;  ///< end of the last attempt actually made
+  bool delivered = false;
+  double abandon_at = start;
   const double base_airtime =
       bits / radio.bandwidth_bps + radio.per_message_latency_s;
   const auto energy_of = [&](double b) { return b * radio.energy_per_bit_j; };
   for (int attempt = 0;; ++attempt) {
+    if (start >= cutoff) {
+      // Deadline cancelation: the sender abandons at the moment it
+      // would have keyed the radio again.
+      abandon_at = start;
+      break;
+    }
     // The event field saturates at 16 bits; the retry *policy* must
     // not, or huge max_retries would wrap and disable loss entirely.
     const auto attempt_tag = static_cast<std::uint16_t>(
@@ -132,10 +191,8 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     if (link.uplink_) site.energy_j += energy_of(bits);  // transmit energy
     queue_.push({start, 0, SimEventType::kSendStart, link.site_, link.uplink_,
                  attempt_tag, msg.wire_bits});
-    const double end = start + airtime;
-    const bool lost = attempt < scenario_.max_retries &&
-                      scenario_.loss_rate > 0.0 &&
-                      unif(link.rng_) < scenario_.loss_rate;
+    end = start + airtime;
+    const bool lost = site.loss_rate > 0.0 && unif(link.rng_) < site.loss_rate;
     if (!lost) {
       queue_.push({end, 0, SimEventType::kDeliver, link.site_, link.uplink_,
                    attempt_tag, msg.wire_bits});
@@ -146,35 +203,94 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
       } else {
         server_clock_ = std::max(server_clock_, end);
       }
+      delivered = true;
       break;
     }
     link.stats_.drops += 1;
     link.stats_.retransmit_bits += msg.wire_bits;
     queue_.push({end, 0, SimEventType::kDrop, link.site_, link.uplink_,
                  attempt_tag, msg.wire_bits});
+    if (attempt >= scenario_.max_retries) {
+      // Retry budget spent mid-frame: a first-class drop outcome, not
+      // a magically reliable fallback. The attempt that just failed is
+      // billed like every other drop.
+      abandon_at = end;
+      break;
+    }
     // The sender detects the loss after an ack-timeout of one
     // per-frame latency, then retransmits.
     start = end + radio.per_message_latency_s;
   }
-  link.in_flight_.push_back(std::move(msg));
+
+  SimFrame frame;
+  frame.msg = std::move(msg);
+  if (delivered) {
+    frame.arrival = end;
+    frame.delivery_seq = link.deliveries_scheduled_++;
+  } else {
+    frame.arrival = abandon_at;
+    frame.expired = true;
+    link.stats_.expired += 1;
+    link.busy_until_ = std::max(link.busy_until_, end);
+    if (link.uplink_) {
+      site.clock_s = std::max(site.clock_s, end);
+    } else {
+      server_clock_ = std::max(server_clock_, end);
+    }
+    queue_.push({abandon_at, 0, SimEventType::kExpire, link.site_, link.uplink_,
+                 0, frame.msg.wire_bits});
+  }
+  link.in_flight_.push_back(std::move(frame));
 }
 
-Message SimNetwork::do_receive(SimLink& link) {
-  while (link.arrived_.empty()) {
+std::optional<Message> SimNetwork::do_receive_by(SimLink& link,
+                                                 double deadline) {
+  EKM_EXPECTS_MSG(!link.in_flight_.empty(),
+                  "receive on idle simulated network");
+  SimFrame frame = std::move(link.in_flight_.front());
+  link.in_flight_.pop_front();
+  const bool miss = frame.expired || frame.arrival > deadline;
+  // Either way the frame is consumed: a miss means the round moved on,
+  // and a late delivery must not alias the next round's frame.
+  if (miss) {
+    link.stats_.missed += 1;
+    missed_frames_ += 1;
+    // The receiver waits the round out (or, with no deadline, learns
+    // of the expiry when the sender gives up).
+    const double learn =
+        std::isfinite(deadline) ? deadline : frame.arrival;
+    if (!frame.expired) {
+      // Delivered, but after the deadline: trace the receiver-side
+      // abandonment (sender-side expiries traced their own kExpire).
+      queue_.push({learn, 0, SimEventType::kExpire, link.site_, link.uplink_,
+                   0, frame.msg.wire_bits});
+    }
+    if (link.uplink_) {
+      server_clock_ = std::max(server_clock_, learn);
+    } else {
+      Site& s = sites_[link.site_];
+      s.clock_s = std::max(s.clock_s, learn);
+    }
+    return std::nullopt;
+  }
+
+  // Hit: drain the queue until this frame's delivery event has been
+  // processed. This reproduces the pre-deadline runtime's event pop
+  // order exactly, which keeps the receive-energy accumulation order —
+  // and therefore the energy figure, bit for bit — stable.
+  while (link.deliveries_done_ <= frame.delivery_seq) {
     EKM_EXPECTS_MSG(!queue_.empty(), "receive on idle simulated network");
     advance_one_event();
   }
-  auto [arrival, msg] = std::move(link.arrived_.front());
-  link.arrived_.pop_front();
   // The reader blocks until the frame is in: receiving advances the
   // reader's clock to the arrival time (it may already be later).
   if (link.uplink_) {
-    server_clock_ = std::max(server_clock_, arrival);
+    server_clock_ = std::max(server_clock_, frame.arrival);
   } else {
     Site& s = sites_[link.site_];
-    s.clock_s = std::max(s.clock_s, arrival);
+    s.clock_s = std::max(s.clock_s, frame.arrival);
   }
-  return std::move(msg);
+  return std::move(frame.msg);
 }
 
 void SimNetwork::advance_one_event() {
@@ -182,10 +298,9 @@ void SimNetwork::advance_one_event() {
   clock_ = std::max(clock_, ev.time);
   if (ev.type == SimEventType::kDeliver) {
     SimLink& link = ev.uplink ? up_[ev.site] : down_[ev.site];
-    EKM_ENSURES_MSG(!link.in_flight_.empty(),
+    link.deliveries_done_ += 1;
+    EKM_ENSURES_MSG(link.deliveries_done_ <= link.deliveries_scheduled_,
                     "delivery event with no frame in flight");
-    link.arrived_.emplace_back(ev.time, std::move(link.in_flight_.front()));
-    link.in_flight_.pop_front();
     if (!ev.uplink) {
       // Receive energy for the downlink frame, billed at the transmit
       // rate (an upper bound; see link_model.hpp round_trip_joules).
@@ -196,8 +311,24 @@ void SimNetwork::advance_one_event() {
   log_.push_back(ev);
 }
 
+void SimNetwork::assert_link_invariants(const SimLink& l) const {
+  // Every attempt either delivered or dropped; every frame either
+  // scheduled a delivery or expired; retransmitted bits exist only if
+  // attempts dropped. Violations mean the billing paths diverged.
+  EKM_ENSURES_MSG(l.stats_.attempts == l.deliveries_scheduled_ + l.stats_.drops,
+                  "link attempt ledger out of balance");
+  EKM_ENSURES_MSG(l.ledger_.messages == l.deliveries_scheduled_ + l.stats_.expired,
+                  "link frame ledger out of balance");
+  EKM_ENSURES_MSG(l.stats_.drops > 0 || l.stats_.retransmit_bits == 0,
+                  "retransmit bits billed without drops");
+  EKM_ENSURES_MSG(l.deliveries_done_ == l.deliveries_scheduled_,
+                  "unprocessed delivery events after finish");
+}
+
 double SimNetwork::finish() {
   while (!queue_.empty()) advance_one_event();
+  for (const SimLink& l : up_) assert_link_invariants(l);
+  for (const SimLink& l : down_) assert_link_invariants(l);
   // Events are processed lazily (a site whose frame is read late may
   // have committed an earlier virtual time than events already
   // drained), so canonicalize the trace into (time, push-seq) order.

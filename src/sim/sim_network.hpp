@@ -14,6 +14,16 @@
 // bit; faults show up in airtime, energy, retransmitted bits and the
 // completion clock instead.
 //
+// Two things can now make a frame fail for good (both are first-class
+// kDrop outcomes at the frame level, traced as kExpire):
+//   * retry-budget exhaustion — all max_retries + 1 attempts were lost;
+//   * a round deadline (open_round / RoundPolicy) — retransmissions
+//     that would start after the deadline are canceled, and a frame
+//     that has not delivered by the deadline is abandoned by the
+//     receiver (receive_by returns nullopt).
+// Every attempt actually made stays billed in airtime/energy/stats;
+// the protocols aggregate over whichever sites delivered.
+//
 // Determinism: every random draw (loss, jitter, dropout, site speeds)
 // comes from per-link/per-network RNG streams derived from the
 // scenario seed, consumed on the protocol thread in program order. The
@@ -23,6 +33,7 @@
 #pragma once
 
 #include <deque>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -44,14 +55,32 @@ struct LinkStats {
   std::uint64_t drops = 0;            ///< attempts lost in flight
   std::uint64_t retransmit_bits = 0;  ///< wire bits spent on retries
   double airtime_s = 0.0;             ///< radio-on time incl. failures
+  std::uint64_t expired = 0;          ///< frames the sender gave up on
+                                      ///< (retry budget or deadline)
+  std::uint64_t missed = 0;           ///< frames the receiver abandoned
+                                      ///< (expired, or delivered late)
 
   LinkStats& operator+=(const LinkStats& o) {
     attempts += o.attempts;
     drops += o.drops;
     retransmit_bits += o.retransmit_bits;
     airtime_s += o.airtime_s;
+    expired += o.expired;
+    missed += o.missed;
     return *this;
   }
+};
+
+/// One frame's resolved fate, decided entirely at send time (every
+/// random draw happens in program order on the protocol thread).
+struct SimFrame {
+  Message msg;
+  /// Delivery time; for expired frames, the moment the sender gave up.
+  double arrival = 0.0;
+  bool expired = false;
+  /// Index among this link's delivered frames (valid when !expired);
+  /// ties the frame to its kDeliver event for the receive drain.
+  std::uint64_t delivery_seq = 0;
 };
 
 /// One direction of one site's radio, wrapping the Channel billing
@@ -59,10 +88,9 @@ struct LinkStats {
 class SimLink final : public Port {
  public:
   void send(Message msg) override;
-  [[nodiscard]] bool has_pending() const override {
-    return !arrived_.empty() || !in_flight_.empty();
-  }
+  [[nodiscard]] bool has_pending() const override { return !in_flight_.empty(); }
   [[nodiscard]] Message receive() override;
+  [[nodiscard]] std::optional<Message> receive_by(double deadline) override;
   [[nodiscard]] const TrafficLedger& ledger() const override { return ledger_; }
 
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
@@ -79,8 +107,9 @@ class SimLink final : public Port {
   LinkStats stats_;
   double busy_until_ = 0.0;  ///< the air is occupied until here
   Rng rng_;                  ///< per-link fault/jitter stream
-  std::deque<Message> in_flight_;  ///< sent, delivery event pending
-  std::deque<std::pair<double, Message>> arrived_;  ///< (arrival time, frame)
+  std::deque<SimFrame> in_flight_;  ///< sent, not yet consumed (FIFO)
+  std::uint64_t deliveries_scheduled_ = 0;  ///< kDeliver events pushed
+  std::uint64_t deliveries_done_ = 0;       ///< kDeliver events processed
 };
 
 class SimNetwork final : public Fabric {
@@ -97,6 +126,13 @@ class SimNetwork final : public Fabric {
   [[nodiscard]] Port& uplink(std::size_t source) override;
   [[nodiscard]] Port& downlink(std::size_t source) override;
 
+  /// Anchors one collection round's deadline at the server's current
+  /// virtual clock. While the round is open, uplink transmission
+  /// attempts that would start at or after the deadline are canceled
+  /// (the sites know the round schedule), so a straggling or lossy
+  /// site's frame expires instead of arriving eventually.
+  double open_round(double deadline_seconds) override;
+
   // --- inspection ---------------------------------------------------------
   [[nodiscard]] const SimLink& uplink_view(std::size_t source) const;
   [[nodiscard]] const SimLink& downlink_view(std::size_t source) const;
@@ -107,9 +143,22 @@ class SimNetwork final : public Fabric {
   [[nodiscard]] double now() const { return clock_; }
   [[nodiscard]] double server_clock() const { return server_clock_; }
 
-  /// Drains every pending event (e.g. broadcast frames no one reads)
-  /// and returns the quiescent completion time: the moment the last
-  /// clock, delivery, or radio falls silent.
+  /// Absolute deadline of the currently open round (kNoDeadline when
+  /// rounds are unbounded).
+  [[nodiscard]] double round_deadline() const { return round_deadline_; }
+
+  /// Frames a receive_by caller abandoned: expired in flight, or
+  /// delivered after the round deadline. These are the protocol-level
+  /// drops that partial aggregation absorbs.
+  [[nodiscard]] std::uint64_t missed_frames() const { return missed_frames_; }
+
+  /// Collection rounds opened so far (open_round calls).
+  [[nodiscard]] std::uint64_t rounds_opened() const { return rounds_opened_; }
+
+  /// Drains every pending event (e.g. broadcast frames no one reads),
+  /// checks the per-link ledger invariants, and returns the quiescent
+  /// completion time: the moment the last clock, delivery, or radio
+  /// falls silent.
   double finish();
 
   /// Sum of per-site transmit+receive energy (the server is mains
@@ -137,8 +186,10 @@ class SimNetwork final : public Fabric {
  private:
   friend class SimLink;
   void do_send(SimLink& link, Message msg);
-  [[nodiscard]] Message do_receive(SimLink& link);
+  [[nodiscard]] std::optional<Message> do_receive_by(SimLink& link,
+                                                     double deadline);
   void advance_one_event();
+  void assert_link_invariants(const SimLink& link) const;
 
   SimScenario scenario_;
   std::vector<Site> sites_;
@@ -148,6 +199,9 @@ class SimNetwork final : public Fabric {
   std::vector<SimEvent> log_;
   double clock_ = 0.0;         ///< latest processed event time
   double server_clock_ = 0.0;  ///< server actor's committed time
+  double round_deadline_ = kNoDeadline;  ///< current round's cutoff
+  std::uint64_t missed_frames_ = 0;
+  std::uint64_t rounds_opened_ = 0;
 };
 
 }  // namespace ekm

@@ -21,6 +21,11 @@ struct Site {
   double compute_speed = 1.0;
   /// The site's radio class (uplink and downlink ride the same radio).
   LinkModel radio;
+  /// Per-site fault rates. Seeded from SimScenario::loss_rate /
+  /// dropout_rate and then adjusted by `siteN.loss=` / `siteN.dropout=`
+  /// scenario overrides (docs/simulation.md, per-site heterogeneity).
+  double loss_rate = 0.0;
+  double dropout_rate = 0.0;
   /// Virtual time up to which this site's actions are committed.
   double clock_s = 0.0;
   /// Transmit energy spent so far, including failed attempts.

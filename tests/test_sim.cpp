@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include "common/parallel.hpp"
+#include "common/timer.hpp"
 #include "core/pipeline.hpp"
 #include "data/generators.hpp"
+#include "distributed/bklw.hpp"
 #include "net/summary_codec.hpp"
 #include "sim/coordinator.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/round_policy.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sim_network.hpp"
 
@@ -67,6 +70,87 @@ TEST(Scenario, PresetsExistAndParse) {
     EXPECT_EQ(parsed.name, name);
   }
   EXPECT_FALSE(sim_scenario_preset("no-such-scenario").has_value());
+}
+
+TEST(Scenario, ParserRejectsMalformedValues) {
+  // Trailing garbage and empty values are typos, not numbers; the
+  // error names the offending key.
+  EXPECT_THROW((void)parse_scenario("loss=0.1x"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("loss="), precondition_error);
+  EXPECT_THROW((void)parse_scenario("seed="), precondition_error);
+  EXPECT_THROW((void)parse_scenario("seed=12z"), precondition_error);
+  // Integers must be integers — retries=2.5 used to truncate silently.
+  EXPECT_THROW((void)parse_scenario("retries=2.5"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("min-responders=1.5"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("min-responders=0"), precondition_error);
+  // Range checks, including the non-finite values strtod accepts.
+  EXPECT_THROW((void)parse_scenario("deadline=0"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("deadline=-1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("deadline=nan"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("outage=inf"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("sps=nan"), precondition_error);
+  try {
+    (void)parse_scenario("lora-field,loss=0.1x");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'loss'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Scenario, ParserHandlesDeadlineAndSiteOverrides) {
+  const SimScenario s = parse_scenario(
+      "radio=wifi,deadline=2.5,min-responders=3,"
+      "site1.radio=lora,site1.loss=0.5,site0.speed=0.25,"
+      "site0.bandwidth=1000,site2.dropout=0.75");
+  EXPECT_TRUE(s.round.active());
+  EXPECT_DOUBLE_EQ(s.round.deadline_s, 2.5);
+  EXPECT_EQ(s.round.min_responders, 3u);
+  ASSERT_EQ(s.site_overrides.size(), 5u);
+  EXPECT_EQ(s.site_overrides[0].site, 1u);
+  ASSERT_TRUE(s.site_overrides[0].radio.has_value());
+  EXPECT_EQ(s.site_overrides[0].radio->name, "LoRa SF7");
+  EXPECT_EQ(s.site_overrides[2].site, 0u);
+  EXPECT_DOUBLE_EQ(s.site_overrides[2].compute_speed.value(), 0.25);
+
+  // "inf" explicitly turns deadline rounds back off.
+  EXPECT_FALSE(parse_scenario("deadline-fleet,deadline=inf").round.active());
+  EXPECT_TRUE(parse_scenario("deadline-fleet").round.active());
+  // hetero-mesh carries a mixed radio cycle; an explicit fleet-wide
+  // radio= override replaces it instead of being silently ignored.
+  EXPECT_EQ(parse_scenario("hetero-mesh").radio_cycle.size(), 3u);
+  const SimScenario homog = parse_scenario("hetero-mesh,radio=5g");
+  EXPECT_TRUE(homog.radio_cycle.empty());
+  EXPECT_EQ(homog.radio.name, "5G sub-6");
+
+  // Malformed per-site keys fail loudly.
+  EXPECT_THROW((void)parse_scenario("site1.frob=1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("sitex.loss=0.1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site1.loss="), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site1.speed=0"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site.loss=0.1"), precondition_error);
+}
+
+TEST(Scenario, SiteOverridesShapeTheFleet) {
+  const SimScenario s = parse_scenario(
+      "radio=wifi,loss=0.1,site1.radio=lora,site1.loss=0.5,"
+      "site0.speed=0.25,site0.bandwidth=1000,site9.loss=0.9");
+  SimNetwork net(3, s);  // the site9 override is out of range: ignored
+  EXPECT_EQ(net.site(0).radio.name, "Wi-Fi 802.11n");
+  EXPECT_DOUBLE_EQ(net.site(0).radio.bandwidth_bps, 1000.0);
+  EXPECT_DOUBLE_EQ(net.site(0).compute_speed, 0.25);
+  EXPECT_DOUBLE_EQ(net.site(0).loss_rate, 0.1);  // fleet default
+  EXPECT_EQ(net.site(1).radio.name, "LoRa SF7");
+  EXPECT_DOUBLE_EQ(net.site(1).loss_rate, 0.5);
+  EXPECT_DOUBLE_EQ(net.site(2).loss_rate, 0.1);
+  EXPECT_FALSE(s.fault_free());
+
+  // hetero-mesh assigns radios round-robin from the cycle.
+  SimNetwork hetero(4, parse_scenario("hetero-mesh"));
+  EXPECT_EQ(hetero.site(0).radio.name, "Wi-Fi 802.11n");
+  EXPECT_EQ(hetero.site(1).radio.name, "BLE 1M");
+  EXPECT_EQ(hetero.site(2).radio.name, "LoRa SF7");
+  EXPECT_EQ(hetero.site(3).radio.name, "Wi-Fi 802.11n");
 }
 
 TEST(Scenario, ParserAppliesOverrides) {
@@ -283,6 +367,282 @@ TEST(Sim, ReceiveOnIdleNetworkThrows) {
   SimNetwork net(2, parse_scenario("ideal"));
   EXPECT_THROW((void)net.uplink(0).receive(), precondition_error);
   EXPECT_THROW((void)net.uplink(2), precondition_error);
+}
+
+// --- deadline rounds (RoundPolicy) ----------------------------------------
+
+TEST(Deadline, ZeroFaultDeadlineRunsMatchSynchronousNetwork) {
+  // A generous finite deadline over a fault-free scenario exercises the
+  // whole open_round/receive_by machinery, and still must reproduce the
+  // synchronous Network — and the unbounded simulated run — bit for bit.
+  const auto parts = make_parts(5, 1500, 24, 11);
+  const PipelineConfig cfg = base_config();
+  const Coordinator bounded(parse_scenario("ideal,deadline=1e6"));
+  const Coordinator unbounded(parse_scenario("ideal"));
+  for (const PipelineKind kind :
+       {PipelineKind::kNoReduction, PipelineKind::kBklw,
+        PipelineKind::kJlBklw}) {
+    const PipelineResult sync = run_distributed_pipeline(kind, parts, cfg);
+    const SimReport dl = bounded.run(kind, parts, cfg);
+    const SimReport free_run = unbounded.run(kind, parts, cfg);
+    EXPECT_EQ(dl.result.uplink, sync.uplink) << pipeline_name(kind);
+    EXPECT_EQ(dl.result.downlink, sync.downlink) << pipeline_name(kind);
+    EXPECT_EQ(dl.result.centers, sync.centers) << pipeline_name(kind);
+    EXPECT_EQ(dl.deadline_misses, 0u);
+    EXPECT_EQ(dl.sites_dropped, 0u);
+    EXPECT_GT(dl.rounds, 0u);
+    // The deadline machinery must not perturb the virtual clocks either.
+    EXPECT_EQ(dl.completion_seconds, free_run.completion_seconds);
+    EXPECT_EQ(dl.energy_joules, free_run.energy_joules);
+    ASSERT_EQ(dl.event_log.size(), free_run.event_log.size());
+  }
+}
+
+TEST(Deadline, DropsExactlyTheForcedStraggler) {
+  // Site 2 computes 50x slower than the rest of a compute-bound fleet;
+  // a 2-second round budget drops it and only it.
+  const std::size_t m = 4;
+  const auto parts = make_parts(m, 1200, 16, 77);
+  const PipelineConfig cfg = base_config(77);
+  const Coordinator coord(parse_scenario(
+      "radio=5g,sps=1e-3,deadline=2,site2.speed=0.02,seed=77"));
+  const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+
+  EXPECT_GT(report.deadline_misses, 0u);
+  EXPECT_EQ(report.sites_dropped, 1u);
+  // Every expiry in the trace belongs to site 2's uplink.
+  std::size_t expire_events = 0;
+  for (const SimEvent& ev : report.event_log) {
+    if (ev.type != SimEventType::kExpire) continue;
+    expire_events += 1;
+    EXPECT_EQ(ev.site, 2u);
+    EXPECT_TRUE(ev.uplink);
+  }
+  EXPECT_GT(expire_events, 0u);
+  // The partial aggregate is still a full model...
+  EXPECT_EQ(report.result.centers.rows(), cfg.k);
+  // ...and the server finished without waiting for the straggler, whose
+  // own clock dominates the quiescence time.
+  EXPECT_LT(report.server_completion_seconds, report.completion_seconds);
+
+  // The same fleet with no deadline waits for everyone.
+  const Coordinator patient(
+      parse_scenario("radio=5g,sps=1e-3,site2.speed=0.02,seed=77"));
+  const SimReport full = patient.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_EQ(full.deadline_misses, 0u);
+  EXPECT_LT(report.server_completion_seconds,
+            full.server_completion_seconds);
+}
+
+TEST(Deadline, PartialCoresetWeightsSumOverResponders) {
+  const std::size_t m = 4;
+  const auto parts = make_parts(m, 1600, 12, 91);
+  SimNetwork net(m, parse_scenario(
+      "radio=5g,sps=1e-3,deadline=2,site1.speed=0.02,seed=91"));
+  Stopwatch device_work;
+  BklwOptions opts;
+  opts.k = 3;
+  opts.epsilon = 0.3;
+  opts.intrinsic_dim = 6;
+  opts.total_samples = 150;
+  opts.round_deadline_s = 2.0;
+  const Coreset cs = bklw_coreset(parts, opts, net, device_work, 91);
+  (void)net.finish();  // also asserts the ledger invariants
+
+  // Site 1 must have missed at least one round; everyone else none.
+  EXPECT_GT(net.uplink_view(1).stats().missed, 0u);
+  double responder_mass = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == 1) continue;
+    EXPECT_EQ(net.uplink_view(i).stats().missed, 0u) << "site " << i;
+    for (std::size_t p = 0; p < parts[i].size(); ++p) {
+      responder_mass += parts[i].weight(p);
+    }
+  }
+  // Each local coreset's weights sum to exactly its shard's mass, so
+  // the union's mass is the responders' mass — no more, no less.
+  double coreset_mass = 0.0;
+  for (std::size_t p = 0; p < cs.size(); ++p) {
+    coreset_mass += cs.points.weight(p);
+  }
+  EXPECT_NEAR(coreset_mass, responder_mass, 1e-6 * responder_mass);
+
+  // The full-responder construction covers the whole fleet's mass.
+  SimNetwork full_net(m, parse_scenario("radio=5g,seed=91"));
+  Stopwatch full_work;
+  BklwOptions full_opts = opts;
+  full_opts.round_deadline_s = kNoDeadline;
+  const Coreset full = bklw_coreset(parts, full_opts, full_net, full_work, 91);
+  double full_mass = 0.0, fleet_mass = 0.0;
+  for (std::size_t p = 0; p < full.size(); ++p) {
+    full_mass += full.points.weight(p);
+  }
+  for (const Dataset& part : parts) {
+    for (std::size_t p = 0; p < part.size(); ++p) fleet_mass += part.weight(p);
+  }
+  EXPECT_NEAR(full_mass, fleet_mass, 1e-6 * fleet_mass);
+  EXPECT_GT(fleet_mass, responder_mass);
+}
+
+TEST(Deadline, AvailabilityFloorThrows) {
+  const std::size_t m = 3;
+  const auto parts = make_parts(m, 900, 8, 13);
+  PipelineConfig cfg = base_config(13);
+  // Two of three sites straggle past the budget; requiring all three
+  // responders must throw instead of aggregating a sliver.
+  const Coordinator coord(parse_scenario(
+      "radio=5g,sps=1e-3,deadline=2,min-responders=3,"
+      "site0.speed=0.02,site2.speed=0.02,seed=13"));
+  EXPECT_THROW((void)coord.run(PipelineKind::kBklw, parts, cfg),
+               invariant_error);
+}
+
+TEST(Deadline, EventOrderDeterministicAcrossThreadCounts) {
+  // The determinism contract extends to deadline rounds: faults, drops
+  // and partial aggregation included.
+  const auto parts = make_parts(4, 1200, 16, 29);
+  const PipelineConfig cfg = base_config(29);
+  const Coordinator coord(parse_scenario(
+      "lossy-mesh,stragglers=0.25,slowdown=64,sps=1e-5,deadline=1,seed=29"));
+
+  set_parallel_threads(1);
+  const SimReport one = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(8);
+  const SimReport eight = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(0);
+
+  ASSERT_EQ(one.event_log.size(), eight.event_log.size());
+  for (std::size_t i = 0; i < one.event_log.size(); ++i) {
+    EXPECT_EQ(one.event_log[i], eight.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(one.deadline_misses, eight.deadline_misses);
+  EXPECT_EQ(one.sites_dropped, eight.sites_dropped);
+  EXPECT_EQ(one.completion_seconds, eight.completion_seconds);
+  EXPECT_EQ(one.server_completion_seconds, eight.server_completion_seconds);
+  EXPECT_EQ(one.result.centers, eight.result.centers);
+}
+
+TEST(Deadline, StreamingKeepsStaleSummariesForLateSites) {
+  const std::size_t m = 3, rounds = 4;
+  const auto parts = make_parts(m, 1500, 12, 37);
+  PipelineConfig cfg = base_config(37);
+  StreamingCoresetOptions sopts;
+  sopts.k = cfg.k;
+  sopts.leaf_size = 128;
+  sopts.coreset_size = 64;
+  sopts.seed = 37;
+  // Site 0 cannot finish a summary inside any round's budget; the
+  // deployment keeps serving models from the other sites' summaries.
+  const Coordinator coord(parse_scenario(
+      "radio=wifi,sps=1e-4,deadline=0.5,site0.speed=0.001,seed=37"));
+  const SimReport report = coord.run_streaming(parts, sopts, cfg, rounds);
+  EXPECT_EQ(report.result.uplink.messages, m * rounds);  // sends still billed
+  EXPECT_EQ(report.deadline_misses, rounds);  // site 0 missed every round
+  EXPECT_EQ(report.sites_dropped, 1u);
+  EXPECT_EQ(report.result.centers.rows(), cfg.k);
+  EXPECT_GT(report.result.summary_points, 0u);
+}
+
+// --- retry-budget exhaustion (first-class frame drops) --------------------
+
+TEST(Exhaustion, SpentRetryBudgetIsAFirstClassDrop) {
+  // loss=0.9 with a single retry: most frames burn both attempts and
+  // expire. The ledgers must balance exactly: every attempt delivered
+  // or dropped, every frame delivered or expired, and the trace agrees.
+  SimNetwork net(2, parse_scenario("radio=wifi,loss=0.9,retries=1,seed=5"));
+  Port& up = net.uplink(0);
+  const std::size_t frames = 50;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < frames; ++i) {
+    Message msg;
+    msg.payload.resize(64);
+    msg.wire_bits = 512;
+    msg.scalars = 8;
+    up.send(std::move(msg));
+    delivered += up.receive_by(kNoDeadline).has_value();
+  }
+  (void)net.finish();  // asserts the per-link ledger invariants
+
+  const LinkStats& stats = net.uplink_view(0).stats();
+  const TrafficLedger& ledger = net.uplink_view(0).ledger();
+  EXPECT_EQ(ledger.messages, frames);
+  EXPECT_GT(stats.expired, 0u);  // p(no expiry in 50 frames) ~ 1e-4
+  EXPECT_LT(delivered, frames);
+  EXPECT_EQ(delivered + stats.expired, frames);
+  EXPECT_EQ(stats.missed, stats.expired);
+  // Attempt-level balance: attempts = deliveries + drops, and expired
+  // frames burned the full budget (2 attempts each).
+  EXPECT_EQ(stats.attempts, delivered + stats.drops);
+  EXPECT_EQ(stats.retransmit_bits, stats.drops * 512);
+
+  std::size_t deliver_events = 0, drop_events = 0, expire_events = 0;
+  for (const SimEvent& ev : net.event_log()) {
+    deliver_events += ev.type == SimEventType::kDeliver;
+    drop_events += ev.type == SimEventType::kDrop;
+    expire_events += ev.type == SimEventType::kExpire;
+  }
+  EXPECT_EQ(deliver_events, delivered);
+  EXPECT_EQ(drop_events, stats.drops);
+  EXPECT_EQ(expire_events, stats.expired);
+}
+
+TEST(Exhaustion, BlockingReceiveOnExpiredFrameThrowsLoudly) {
+  // A protocol that insists on the lossless contract while frames can
+  // expire is a configuration bug; it must fail fast, not hang.
+  SimNetwork net(1, parse_scenario("radio=wifi,loss=0.999,retries=0,seed=3"));
+  Port& up = net.uplink(0);
+  for (int i = 0; i < 20; ++i) {
+    Message msg;
+    msg.wire_bits = 256;
+    msg.scalars = 4;
+    up.send(std::move(msg));
+  }
+  // p(all 20 frames dodge a 99.9% single-attempt loss) ~ 1e-60.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 20; ++i) (void)up.receive();
+      },
+      invariant_error);
+}
+
+TEST(Exhaustion, ProtocolsSurviveExpiredFramesWithoutDeadlines) {
+  // Even with no round deadline, a spent retry budget drops sites from
+  // rounds instead of wedging the protocol — receive_by(kNoDeadline)
+  // reports the expiry and the aggregation is partial. refine_iters
+  // additionally regression-tests frame alignment: a site knocked out
+  // by a lost basis broadcast must still drain its downlink FIFO, or
+  // the refine round would decode the stale allocation as centers.
+  const auto parts = make_parts(5, 1000, 12, 47);
+  PipelineConfig cfg = base_config(47);
+  cfg.refine_iters = 2;
+  // ~12% of frames burn all three attempts and expire — enough for
+  // several expiries per run without starving a whole round.
+  const Coordinator coord(
+      parse_scenario("radio=wifi,loss=0.5,retries=2,seed=47"));
+  const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_GT(report.uplink_stats.expired + report.downlink_stats.expired, 0u);
+  EXPECT_GT(report.deadline_misses, 0u);
+  EXPECT_GT(report.sites_dropped, 0u);
+  EXPECT_EQ(report.result.centers.rows(), cfg.k);
+}
+
+TEST(Exhaustion, EmptyShardWithRefineStaysFrameAligned) {
+  // An empty site never projects or samples, but it still receives
+  // every broadcast (basis, allocation, refine centers). Each must be
+  // consumed in its own phase — a stale frame left queued would be
+  // decoded as the next phase's payload. Bit-parity with the
+  // synchronous Network proves the alignment.
+  auto parts = make_parts(3, 900, 8, 57);
+  parts.emplace_back();  // one empty site
+  PipelineConfig cfg = base_config(57);
+  cfg.refine_iters = 2;
+  const PipelineResult sync =
+      run_distributed_pipeline(PipelineKind::kBklw, parts, cfg);
+  const Coordinator coord(parse_scenario("ideal"));
+  const SimReport sim = coord.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_EQ(sim.result.centers, sync.centers);
+  EXPECT_EQ(sim.result.uplink, sync.uplink);
+  EXPECT_EQ(sim.result.downlink, sync.downlink);
 }
 
 }  // namespace

@@ -22,17 +22,32 @@
 //   --sim SPEC            run the multi-source path over the discrete-event
 //                         simulator: SPEC is a named scenario (ideal,
 //                         wifi-office, ble-swarm, lora-field, nr5g-fleet,
-//                         lossy-mesh) optionally followed by key=value
-//                         overrides, e.g. "lora-field,loss=0.1,dropout=0.2".
+//                         lossy-mesh, hetero-mesh, deadline-fleet) optionally
+//                         followed by key=value overrides, e.g.
+//                         "lora-field,loss=0.1,site2.radio=ble".
 //                         Algorithms: nr | bklw | jl+bklw | stream.
 //   --rounds R            uplink rounds for --algorithm stream (default 4)
+//   --deadline SECONDS    per-collection-round deadline on the virtual
+//                         clock (sim only); sites that miss it are dropped
+//                         from the round and the server aggregates over the
+//                         responders. "inf" (the default) waits for everyone.
+//
+// Every numeric flag goes through a checked parse: trailing garbage,
+// empty values, and out-of-range numbers exit 2 with a message naming
+// the flag, instead of the silent atoi-zero they once produced.
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "common/parse_num.hpp"
 #include "core/pipeline.hpp"
 #include "data/generators.hpp"
 #include "data/loaders.hpp"
@@ -61,13 +76,64 @@ struct CliArgs {
   std::uint64_t seed = 1;
   std::string sim;
   std::size_t rounds = 4;
+  double deadline = std::numeric_limits<double>::infinity();
+  bool deadline_set = false;
   bool help = false;
 };
+
+// --- checked numeric parsing, shared by every numeric flag ----------------
+// Validation lives in common/parse_num.hpp (the scenario parser uses
+// the same core); these wrappers only add the flag-naming stderr
+// message and the exit-2 contract.
+
+bool parse_u64(const char* flag, const char* value, std::uint64_t& out) {
+  const auto v = parse_full_ull(value);
+  if (!v.has_value()) {
+    std::fprintf(stderr,
+                 "invalid value for %s: '%s' (expected a non-negative integer)\n",
+                 flag, value);
+    return false;
+  }
+  out = *v;
+  return true;
+}
+
+bool parse_size(const char* flag, const char* value, std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(flag, value, v)) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_i32(const char* flag, const char* value, int& out) {
+  const auto v = parse_full_ll(value);
+  if (!v.has_value() || *v < INT_MIN || *v > INT_MAX) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (expected an integer)\n",
+                 flag, value);
+    return false;
+  }
+  out = static_cast<int>(*v);
+  return true;
+}
+
+bool parse_f64(const char* flag, const char* value, double& out) {
+  const auto v = parse_full_double(value);
+  if (!v.has_value()) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (expected a number)\n",
+                 flag, value);
+    return false;
+  }
+  out = *v;
+  return true;
+}
 
 std::optional<CliArgs> parse(int argc, char** argv) {
   CliArgs a;
   auto next = [&](int& i) -> const char* {
-    if (i + 1 >= argc) return nullptr;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
@@ -84,29 +150,57 @@ std::optional<CliArgs> parse(int argc, char** argv) {
     } else if (want("--output")) {
       if (const char* v = next(i)) a.output = v; else return std::nullopt;
     } else if (want("--n")) {
-      if (const char* v = next(i)) a.n = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_size(flag, v, a.n)) return std::nullopt;
     } else if (want("--d")) {
-      if (const char* v = next(i)) a.d = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_size(flag, v, a.d)) return std::nullopt;
     } else if (want("--k")) {
-      if (const char* v = next(i)) a.k = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_size(flag, v, a.k)) return std::nullopt;
     } else if (want("--sources")) {
-      if (const char* v = next(i)) a.sources = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_size(flag, v, a.sources)) return std::nullopt;
     } else if (want("--coreset-size")) {
-      if (const char* v = next(i)) a.coreset_size = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_size(flag, v, a.coreset_size)) return std::nullopt;
     } else if (want("--jl-dim")) {
-      if (const char* v = next(i)) a.jl_dim = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_size(flag, v, a.jl_dim)) return std::nullopt;
     } else if (want("--pca-dim")) {
-      if (const char* v = next(i)) a.pca_dim = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_size(flag, v, a.pca_dim)) return std::nullopt;
     } else if (want("--qt-bits")) {
-      if (const char* v = next(i)) a.qt_bits = std::atoi(v); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_i32(flag, v, a.qt_bits)) return std::nullopt;
+      if (a.qt_bits < 1 || a.qt_bits > 52) {
+        std::fprintf(stderr, "--qt-bits must be in [1, 52] (52 = off), got %d\n",
+                     a.qt_bits);
+        return std::nullopt;
+      }
     } else if (want("--refine")) {
-      if (const char* v = next(i)) a.refine = std::atoi(v); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_i32(flag, v, a.refine)) return std::nullopt;
+      if (a.refine < 0) {
+        std::fprintf(stderr, "--refine must be >= 0, got %d\n", a.refine);
+        return std::nullopt;
+      }
     } else if (want("--seed")) {
-      if (const char* v = next(i)) a.seed = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_u64(flag, v, a.seed)) return std::nullopt;
     } else if (want("--sim")) {
       if (const char* v = next(i)) a.sim = v; else return std::nullopt;
     } else if (want("--rounds")) {
-      if (const char* v = next(i)) a.rounds = std::strtoull(v, nullptr, 10); else return std::nullopt;
+      const char* v = next(i);
+      if (v == nullptr || !parse_size(flag, v, a.rounds)) return std::nullopt;
+    } else if (want("--deadline")) {
+      const char* v = next(i);
+      if (v == nullptr || !parse_f64(flag, v, a.deadline)) return std::nullopt;
+      if (!(a.deadline > 0.0)) {  // rejects 0, negatives and NaN
+        std::fprintf(stderr, "--deadline must be > 0 seconds (or inf), got %s\n", v);
+        return std::nullopt;
+      }
+      a.deadline_set = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag);
       return std::nullopt;
@@ -168,10 +262,15 @@ constexpr const char* kUsage =
     "  --k K  --sources M  --coreset-size S  --jl-dim D1  --pca-dim T\n"
     "  --qt-bits S  --refine ITERS  --seed SEED  --output centers.csv\n"
     "  --sim SCENARIO[,key=value...]  (scenarios: ideal wifi-office\n"
-    "    ble-swarm lora-field nr5g-fleet lossy-mesh; keys: radio loss\n"
-    "    dropout outage retries jitter stragglers slowdown skew sps\n"
-    "    server-speed seed; sim algorithms: nr bklw jl+bklw stream)\n"
-    "  --rounds R   uplink rounds for --algorithm stream (default 4)\n";
+    "    ble-swarm lora-field nr5g-fleet lossy-mesh hetero-mesh\n"
+    "    deadline-fleet; keys: radio loss dropout outage retries jitter\n"
+    "    stragglers slowdown skew sps server-speed deadline\n"
+    "    min-responders seed siteN.{radio,bandwidth,loss,dropout,speed};\n"
+    "    sim algorithms: nr bklw jl+bklw stream)\n"
+    "  --rounds R   uplink rounds for --algorithm stream (default 4)\n"
+    "  --deadline SECONDS   per-round deadline on the virtual clock (sim\n"
+    "    only): sites that miss it are dropped from that round and the\n"
+    "    server aggregates over the responders; inf waits for everyone\n";
 
 }  // namespace
 
@@ -212,6 +311,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--sim supports nr|bklw|jl+bklw|stream\n");
     return 2;
   }
+  if (args->deadline_set && args->sim.empty()) {
+    std::fprintf(stderr, "--deadline needs --sim (deadlines live on the "
+                         "simulator's virtual clock)\n");
+    return 2;
+  }
 
   const Dataset data = make_input(*args);
   std::printf("input: %zu points x %zu dims\n", data.size(), data.dim());
@@ -237,20 +341,28 @@ int main(int argc, char** argv) {
     }
     // The master seed drives the scenario too unless the spec pins one.
     if (args->sim.find("seed=") == std::string::npos) scenario.seed = args->seed;
+    // --deadline overrides whatever the scenario string or preset set.
+    if (args->deadline_set) scenario.round.deadline_s = args->deadline;
 
     Rng rng = make_rng(args->seed, 0x9a87ULL);
     const std::vector<Dataset> parts =
         partition_random(data, args->sources, rng);
     const Coordinator coord(scenario);
     SimReport report;
-    if (streaming) {
-      StreamingCoresetOptions sopts;
-      sopts.k = args->k;
-      sopts.coreset_size = args->coreset_size;
-      sopts.seed = derive_seed(args->seed, 0x57ea3ULL);
-      report = coord.run_streaming(parts, sopts, cfg, args->rounds);
-    } else {
-      report = coord.run(*kind, parts, cfg);
+    try {
+      if (streaming) {
+        StreamingCoresetOptions sopts;
+        sopts.k = args->k;
+        sopts.coreset_size = args->coreset_size;
+        sopts.seed = derive_seed(args->seed, 0x57ea3ULL);
+        report = coord.run_streaming(parts, sopts, cfg, args->rounds);
+      } else {
+        report = coord.run(*kind, parts, cfg);
+      }
+    } catch (const invariant_error& e) {
+      // E.g. a round deadline so tight it fell below min-responders.
+      std::fprintf(stderr, "simulation failed: %s\n", e.what());
+      return 1;
     }
     res = std::move(report.result);
     const LinkStats& up = report.uplink_stats;
@@ -269,6 +381,13 @@ int main(int argc, char** argv) {
     std::printf("events         : %zu (%llu site outages)\n",
                 report.event_log.size(),
                 static_cast<unsigned long long>(report.outages));
+    if (scenario.round.active()) {
+      std::printf("deadline       : %.6g s/round over %llu round(s), "
+                  "%llu dropped frame(s)\n",
+                  scenario.round.deadline_s,
+                  static_cast<unsigned long long>(report.rounds),
+                  static_cast<unsigned long long>(report.deadline_misses));
+    }
   } else if (args->sources > 1) {
     Rng rng = make_rng(args->seed, 0x9a87ULL);
     const std::vector<Dataset> parts = partition_random(data, args->sources, rng);

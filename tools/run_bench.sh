@@ -7,6 +7,11 @@
 #   EKM_THREADS caps the pool for the multi-threaded series.
 #   BENCH_sim.json is bitwise deterministic for a fixed seed at any
 #   EKM_THREADS (it lives on the simulator's virtual clock).
+#
+# Each bench writes to a temp file that is moved into place only after
+# the binary exits cleanly: a crashing bench fails this script loudly
+# and leaves the previously committed JSON untouched, instead of
+# shipping a partial or stale trajectory.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,8 +21,20 @@ shift || true
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" --target bench_assign_kernel bench_sim_scenarios -j >/dev/null
 
-"$build_dir/bench_assign_kernel" --json "$repo_root/BENCH_assign.json" "$@"
-echo "wrote $repo_root/BENCH_assign.json"
+run_bench() {
+  local binary="$1" target="$2"
+  shift 2
+  local tmp
+  # No suffix after the Xs: BSD/macOS mktemp rejects templates with one.
+  tmp="$(mktemp "$target.XXXXXX")"
+  if ! "$binary" --json "$tmp" "$@" || [[ ! -s "$tmp" ]]; then
+    rm -f "$tmp"
+    echo "error: $(basename "$binary") failed — $target left untouched" >&2
+    return 1
+  fi
+  mv "$tmp" "$target"
+  echo "wrote $target"
+}
 
-"$build_dir/bench_sim_scenarios" --json "$repo_root/BENCH_sim.json"
-echo "wrote $repo_root/BENCH_sim.json"
+run_bench "$build_dir/bench_assign_kernel" "$repo_root/BENCH_assign.json" "$@"
+run_bench "$build_dir/bench_sim_scenarios" "$repo_root/BENCH_sim.json"
