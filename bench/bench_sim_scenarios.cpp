@@ -3,7 +3,10 @@
 // BKLW multi-source pipeline, followed by a deadline sweep — a
 // straggler-heavy fleet under lossy-mesh faults with per-round deadlines
 // from infinity down to aggressive, tracing the responders-vs-accuracy
-// trade of partial aggregation. Emits per-cell deployment metrics —
+// trade of partial aggregation — and a realloc sweep, comparing the
+// server-side coreset size and cost ratio with deadline-aware budget
+// reallocation off vs on across a fault grid. Emits per-cell deployment
+// metrics —
 // virtual completion time, site energy, goodput vs retransmitted bits,
 // attempt/drop counts, responder counts, and the k-means cost ratio
 // against the NR (ship-everything) baseline — as BENCH_sim.json so
@@ -181,6 +184,77 @@ int main(int argc, char** argv) {
     dcells.push_back(std::move(cell));
   }
 
+  // --- realloc sweep: budget conservation under faults. A compute-
+  // bound straggler fleet (deadline-fleet shaped) whose slow quarter
+  // reports costs in time but blows the summary round, so its sample
+  // allocation is at stake every round — swept across frame-loss rates
+  // with deadline-aware budget reallocation off (PR 3's renormalize-
+  // over-responders) and on (the within-round re-split wave). The
+  // column to watch is summary_points: with reallocation on, the
+  // server's coreset holds ≈ the full sample budget the scenario paid
+  // for, instead of shrinking with every dropped site.
+  struct ReallocCell {
+    double fault = 0.0;
+    bool realloc = false;
+    SimReport report;
+    double cost_ratio = 0.0;
+    bool feasible = true;
+  };
+  constexpr const char* kReallocBase =
+      "radio=5g,sps=1e-3,stragglers=0.25,slowdown=16,deadline=8,"
+      "realloc-reserve=0.5,outage=2";
+  const std::vector<double> realloc_faults = {0.0, 0.05, 0.2};
+  std::vector<ReallocCell> rcells;
+  std::printf("\nrealloc sweep  scenario=5g+stragglers,deadline=8 pipeline=BKLW\n");
+  // "miss_sites" (not "responders"): sites_dropped counts any site with
+  // an abandoned frame, including a responder whose wave *supplement*
+  // missed while its first-wave coreset stands — so it upper-bounds
+  // actual data loss in realloc=on cells (see SimReport::sites_dropped).
+  // Likewise the JSON emits "uplink_bits" (not "goodput_bits"): with
+  // realloc=on the uplink total includes superseded first-wave coresets
+  // the server replaced, so bits are a *cost* column here; the benefit
+  // column is summary_points.
+  std::printf("%-6s %-8s %12s %14s %9s %7s %10s %10s\n", "fault", "realloc",
+              "miss_sites", "summary_pts", "misses", "waves", "retx_bits",
+              "cost_ratio");
+  for (double fault : realloc_faults) {
+    for (int realloc_on = 0; realloc_on <= 1; ++realloc_on) {
+      char spec_buf[224];
+      std::snprintf(spec_buf, sizeof spec_buf,
+                    "%s,loss=%.3f,dropout=%.3f,jitter=%.3f,realloc=%s,seed=%llu",
+                    kReallocBase, fault, fault / 2.0, fault / 2.0,
+                    realloc_on ? "on" : "off",
+                    static_cast<unsigned long long>(seed));
+      const Coordinator coord(parse_scenario(spec_buf));
+      ReallocCell cell;
+      cell.fault = fault;
+      cell.realloc = realloc_on != 0;
+      try {
+        cell.report = coord.run(PipelineKind::kBklw, parts, cfg);
+        cell.cost_ratio =
+            kmeans_cost(data, cell.report.result.centers) / nr_cost;
+      } catch (const invariant_error&) {
+        cell.feasible = false;
+      }
+      if (!cell.feasible) {
+        std::printf("%-6.2f %-8s %12s\n", fault, realloc_on ? "on" : "off",
+                    "infeasible");
+        rcells.push_back(std::move(cell));
+        continue;
+      }
+      std::printf("%-6.2f %-8s %8llu/%-3zu %14zu %9llu %7llu %10llu %10.4f\n",
+                  fault, realloc_on ? "on" : "off",
+                  static_cast<unsigned long long>(cell.report.sites_dropped),
+                  sources, cell.report.result.summary_points,
+                  static_cast<unsigned long long>(cell.report.deadline_misses),
+                  static_cast<unsigned long long>(cell.report.realloc_waves),
+                  static_cast<unsigned long long>(
+                      cell.report.uplink_stats.retransmit_bits),
+                  cell.cost_ratio);
+      rcells.push_back(std::move(cell));
+    }
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -262,6 +336,45 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(up.drops),
           static_cast<unsigned long long>(up.expired),
           c.cost_ratio, i + 1 < dcells.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "    ]\n  },\n"
+                 "  \"realloc_sweep\": {\n"
+                 "    \"scenario\": \"%s\",\n"
+                 "    \"pipeline\": \"bklw\",\n"
+                 "    \"cells\": [\n",
+                 kReallocBase);
+    for (std::size_t i = 0; i < rcells.size(); ++i) {
+      const ReallocCell& c = rcells[i];
+      if (!c.feasible) {
+        std::fprintf(f,
+                     "      {\"fault_rate\": %.3f, \"realloc\": %s,"
+                     " \"feasible\": false}%s\n",
+                     c.fault, c.realloc ? "true" : "false",
+                     i + 1 < rcells.size() ? "," : "");
+        continue;
+      }
+      std::fprintf(
+          f,
+          "      {\"fault_rate\": %.3f, \"realloc\": %s, \"feasible\": true,\n"
+          "       \"sites_with_misses\": %llu, \"sources\": %zu,\n"
+          "       \"summary_points\": %zu, \"realloc_waves\": %llu,\n"
+          "       \"deadline_misses\": %llu, \"rounds\": %llu,\n"
+          "       \"completion_seconds\": %.17g,\n"
+          "       \"server_completion_seconds\": %.17g,\n"
+          "       \"uplink_bits\": %llu, \"retransmit_bits\": %llu,\n"
+          "       \"cost_ratio_vs_nr\": %.17g}%s\n",
+          c.fault, c.realloc ? "true" : "false",
+          static_cast<unsigned long long>(c.report.sites_dropped),
+          sources, c.report.result.summary_points,
+          static_cast<unsigned long long>(c.report.realloc_waves),
+          static_cast<unsigned long long>(c.report.deadline_misses),
+          static_cast<unsigned long long>(c.report.rounds),
+          c.report.completion_seconds, c.report.server_completion_seconds,
+          static_cast<unsigned long long>(c.report.result.uplink.bits),
+          static_cast<unsigned long long>(
+              c.report.uplink_stats.retransmit_bits),
+          c.cost_ratio, i + 1 < rcells.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <optional>
 #include <string>
@@ -16,13 +17,26 @@
 namespace ekm {
 
 /// Full-token double. Accepts what strtod accepts ("0.5", "1e-3",
-/// "inf", "nan") — range/finiteness policy stays with the caller.
+/// "inf", "nan") with one exception: a finite-looking token that
+/// overflows double ("1e999" → ±inf with errno ERANGE) is rejected —
+/// the user wrote a finite number the type cannot hold, and letting it
+/// alias infinity silently turned e.g. `loss=1e999` into "wait
+/// forever" semantics downstream. Explicit "inf"/"nan" tokens still
+/// parse (strtod sets no errno for them); whether a caller *accepts*
+/// a non-finite value stays that caller's policy — the scenario
+/// parser's per-key range checks and the CLI's flag checks both let
+/// "inf" through only where infinity is meaningful (deadlines) and
+/// reject NaN everywhere via ordinary comparisons. Underflow to zero
+/// or a denormal (also ERANGE) is NOT an error: the token names a
+/// representable magnitude, just a tiny one.
 [[nodiscard]] inline std::optional<double> parse_full_double(
     const std::string& value) {
   if (value.empty()) return std::nullopt;
+  errno = 0;
   char* end = nullptr;
   const double v = std::strtod(value.c_str(), &end);
   if (end == value.c_str() || *end != '\0') return std::nullopt;
+  if (errno == ERANGE && std::isinf(v)) return std::nullopt;  // overflow
   return v;
 }
 

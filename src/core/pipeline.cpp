@@ -116,8 +116,8 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
         mass[c] += src[d];
       }
     }
-    EKM_ENSURES_MSG(responders >= cfg.min_round_responders,
-                    "refine round fell below the availability floor");
+    enforce_availability_floor(responders, cfg.min_round_responders,
+                               "refine round");
     for (std::size_t c = 0; c < k; ++c) {
       if (mass[c] > 0.0) {
         auto row = centers.row(c);
@@ -358,8 +358,8 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
         Matrix part = decode_matrix(*frame);
         if (part.rows() > 0) all.append_rows(part);
       }
-      EKM_ENSURES_MSG(responders >= cfg.min_round_responders,
-                      "NR round fell below the availability floor");
+      enforce_availability_floor(responders, cfg.min_round_responders,
+                                 "NR round");
       EKM_ENSURES_MSG(all.rows() > 0,
                       "no data source delivered before the round deadline");
       const KMeansResult res = kmeans(Dataset(std::move(all)), solver_options(cfg));
@@ -383,6 +383,8 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       opts.significant_bits = cfg.significant_bits;
       opts.round_deadline_s = cfg.round_deadline_s;
       opts.min_responders = cfg.min_round_responders;
+      opts.reallocate = cfg.reallocate_budget;
+      opts.realloc_reserve = cfg.realloc_reserve;
       Coreset cs = bklw_coreset(parts, opts, net, device_work, cfg.seed);
       // QT on the server-held coreset is a no-op for communication (the
       // billing happened inside disSS); the points were quantized by each
@@ -427,6 +429,8 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       opts.significant_bits = cfg.significant_bits;
       opts.round_deadline_s = cfg.round_deadline_s;
       opts.min_responders = cfg.min_round_responders;
+      opts.reallocate = cfg.reallocate_budget;
+      opts.realloc_reserve = cfg.realloc_reserve;
       Coreset cs = bklw_coreset(projected, opts, net, device_work, cfg.seed);
       if (cfg.significant_bits < kDoubleSignificandBits) {
         quantize_points(cs, cfg.significant_bits);

@@ -80,6 +80,19 @@ struct PipelineConfig {
   /// responding sites than this throws instead of aggregating a
   /// degenerate summary.
   std::size_t min_round_responders = 1;
+  /// Deadline-aware budget reallocation (disSS step 4b): when a site
+  /// misses the summary round, re-split its sample allocation among
+  /// the responders in a second within-round wave so the server's
+  /// coreset keeps ≈ the full sample budget. A round with no misses
+  /// never opens a wave, so this cannot perturb fault-free or
+  /// infinite-deadline runs. Scenario key `realloc=` can veto it.
+  bool reallocate_budget = true;
+  /// Fraction of a finite round budget reserved for the wave (see
+  /// RoundPolicy::realloc_reserve). 0 (the default) keeps finite-
+  /// deadline rounds exactly PR 3-shaped — the wave then only acts on
+  /// unbounded rounds; the scenario (`realloc-reserve=`, or the
+  /// deadline-fleet preset) schedules a positive reserve explicitly.
+  double realloc_reserve = 0.0;
 
   /// Optional device-side center refinement (an extension beyond the
   /// paper's protocol; 0 = off = paper-faithful).

@@ -85,8 +85,8 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
     const Matrix local = decode_matrix(*frame);
     if (local.rows() > 0) candidates.append_rows(local);
   }
-  EKM_ENSURES_MSG(seed_responders >= opts.min_responders,
-                  "seeding round fell below the availability floor");
+  enforce_availability_floor(seed_responders, opts.min_responders,
+                             "seeding round");
   EKM_ENSURES(candidates.rows() >= 1);
   Rng server_rng = make_rng(opts.seed, 0x5eedULL);
   Matrix centers(std::min<std::size_t>(k, candidates.rows()), d);
@@ -143,8 +143,7 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
         round_cost += row[d + 1];
       }
     }
-    EKM_ENSURES_MSG(responders >= opts.min_responders,
-                    "Lloyd round fell below the availability floor");
+    enforce_availability_floor(responders, opts.min_responders, "Lloyd round");
     for (std::size_t c = 0; c < centers.rows(); ++c) {
       if (mass[c] > 0.0) {
         auto row = centers.row(c);
@@ -219,8 +218,7 @@ DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
       all_mass.push_back(payload(c, d));
     }
   }
-  EKM_ENSURES_MSG(responders >= opts.min_responders,
-                  "map round fell below the availability floor");
+  enforce_availability_floor(responders, opts.min_responders, "map round");
   EKM_ENSURES(all_centers.rows() >= 1);
   KMeansOptions reduce;
   reduce.k = opts.k;

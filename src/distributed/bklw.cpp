@@ -69,6 +69,8 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
   sopts.significant_bits = opts.significant_bits;
   sopts.round_deadline_s = opts.round_deadline_s;
   sopts.min_responders = opts.min_responders;
+  sopts.reallocate = opts.reallocate;
+  sopts.realloc_reserve = opts.realloc_reserve;
   Coreset coreset = disss(projected, sopts, net, device_work, seed);
 
   coreset.delta = 0.0;

@@ -34,6 +34,13 @@ struct BklwOptions {
   double round_deadline_s = kNoDeadline;
   /// Minimum sources that must make each round; fewer throws.
   std::size_t min_responders = 1;
+  /// Forwarded to DisSsOptions::reallocate: re-split a summary-round
+  /// dropout's sample allocation among the responders inside the same
+  /// round (disSS step 4b) instead of shrinking the coreset.
+  bool reallocate = true;
+  /// Forwarded to DisSsOptions::realloc_reserve (0 = no first-wave
+  /// sub-deadline; finite-deadline rounds then skip the wave).
+  double realloc_reserve = 0.0;
 };
 
 /// Runs the BKLW coreset construction over `parts` through `net`. The

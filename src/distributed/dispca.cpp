@@ -72,8 +72,7 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
     }
     y.append_rows(yi);
   }
-  EKM_ENSURES_MSG(responders >= opts.min_responders,
-                  "disPCA round fell below the availability floor");
+  enforce_availability_floor(responders, opts.min_responders, "disPCA round");
   EKM_ENSURES_MSG(y.rows() > 0, "all sources empty or dropped at the deadline");
 
   const std::size_t t2 = std::min({opts.t2, y.rows(), d});

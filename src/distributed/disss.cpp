@@ -9,12 +9,110 @@
 #include "qt/quantizer.hpp"
 
 namespace ekm {
+namespace {
+
+/// Per-site sampling state retained across the summary round's waves:
+/// the assignment/contribution scan of step 3 plus every pick drawn so
+/// far, so a reallocation wave can *extend* the sample (continuing the
+/// site's RNG stream) instead of re-scanning the shard.
+struct SiteSample {
+  std::vector<std::size_t> assign;   ///< nearest local center per point
+  std::vector<double> contrib;       ///< w(p) · d²(p, X_i) per point
+  std::vector<double> cluster_weight;  ///< shard mass per local center
+  double cost = 0.0;                 ///< Σ contrib
+  std::vector<std::size_t> picks;    ///< sampled point indices, draw order
+  std::size_t target_rows = 0;       ///< sample rows in the last coreset
+  Rng rng;                           ///< stream 2i+1, persists across waves
+};
+
+/// Draws `count` additional cost-proportional picks into `st.picks`.
+/// The linear subtract-scan consumes the RNG stream exactly like the
+/// pre-wave code, with one deliberate divergence: the rounding
+/// fallback below picks the last *positive-contribution* point where
+/// the old code used the raw last index — which, when that point was
+/// itself a bicriteria center (contrib == 0), reweighted by 1/0 and
+/// injected an inf weight into the coreset.
+void draw_picks(SiteSample& st, const Dataset& p, std::size_t count) {
+  if (count == 0 || st.cost <= 0.0) return;
+  const std::size_t n = p.size();
+  // Rounding fallback for draws that land within an ulp of st.cost:
+  // the last point with positive contribution, never a zero-contrib
+  // point (e.g. a data point that is itself a bicriteria center) whose
+  // reweighting would divide by zero.
+  std::size_t fallback = n - 1;
+  while (fallback > 0 && st.contrib[fallback] <= 0.0) --fallback;
+  std::uniform_real_distribution<double> unif(0.0, st.cost);
+  for (std::size_t s = 0; s < count; ++s) {
+    double r = unif(st.rng);
+    std::size_t pick = fallback;
+    for (std::size_t j = 0; j < n; ++j) {
+      r -= st.contrib[j];
+      if (r <= 0.0) {
+        pick = j;
+        break;
+      }
+    }
+    st.picks.push_back(pick);
+  }
+}
+
+/// Builds the site's local coreset from everything picked so far:
+/// sampled points with the unbiased reweighting of [4], per-cluster
+/// overshoot rescale, then the bicriteria-center top-up that keeps the
+/// total weight exactly equal to the shard's mass — which is what makes
+/// the union's mass invariant under who responds and how often a wave
+/// re-extends a sample.
+Dataset coreset_from_picks(const Dataset& p, const Matrix& xi,
+                           const SiteSample& st, double total_cost,
+                           std::size_t total_samples) {
+  const std::size_t b = xi.rows();
+  Matrix pts(st.target_rows + b, p.dim());
+  std::vector<double> weights(st.target_rows + b, 0.0);
+  std::vector<double> sampled_mass(b, 0.0);
+  std::vector<std::size_t> assign_of_pick(st.picks.size(), 0);
+  for (std::size_t s = 0; s < st.picks.size(); ++s) {
+    const std::size_t pick = st.picks[s];
+    auto src = p.point(pick);
+    std::copy(src.begin(), src.end(), pts.row(s).begin());
+    // Reweighting of [4]: across sources the union is a
+    // cost-proportional sample of size `total_samples`, so the
+    // unbiased weight is w(p) · total_cost / (total_samples ·
+    // contrib(p)) with contrib(p) = w(p) d²(p, X_i).
+    weights[s] = p.weight(pick) * total_cost /
+                 (static_cast<double>(total_samples) * st.contrib[pick]);
+    assign_of_pick[s] = st.assign[pick];
+    sampled_mass[st.assign[pick]] += weights[s];
+  }
+  // Step 3's "weights set to match the number of points per cluster":
+  // rescale overshooting clusters, then top residual mass up via the
+  // bicriteria centers, keeping the total weight exact.
+  for (std::size_t c = 0; c < b; ++c) {
+    if (sampled_mass[c] > st.cluster_weight[c] && sampled_mass[c] > 0.0) {
+      const double scale = st.cluster_weight[c] / sampled_mass[c];
+      for (std::size_t s = 0; s < st.picks.size(); ++s) {
+        if (assign_of_pick[s] == c) weights[s] *= scale;
+      }
+      sampled_mass[c] = st.cluster_weight[c];
+    }
+  }
+  for (std::size_t c = 0; c < b; ++c) {
+    auto src = xi.row(c);
+    std::copy(src.begin(), src.end(), pts.row(st.target_rows + c).begin());
+    weights[st.target_rows + c] =
+        std::max(0.0, st.cluster_weight[c] - sampled_mass[c]);
+  }
+  return {std::move(pts), std::move(weights)};
+}
+
+}  // namespace
 
 Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
               Fabric& net, Stopwatch& device_work, std::uint64_t seed) {
   EKM_EXPECTS(!parts.empty());
   EKM_EXPECTS(parts.size() == net.num_sources());
   EKM_EXPECTS(opts.total_samples >= parts.size());
+  EKM_EXPECTS_MSG(opts.realloc_reserve >= 0.0 && opts.realloc_reserve < 1.0,
+                  "realloc_reserve must be in [0, 1)");
   const std::size_t m = parts.size();
 
   // --- step 1: local bicriteria solutions, uplink local costs. ---
@@ -52,8 +150,8 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
     cost_responders += 1;
     total_cost += decode_scalar(*frame);
   }
-  EKM_ENSURES_MSG(cost_responders >= opts.min_responders,
-                  "disSS cost round fell below the availability floor");
+  enforce_availability_floor(cost_responders, opts.min_responders,
+                             "disSS cost round");
   std::vector<std::size_t> alloc(m, 0);
   for (std::size_t i = 0; i < m; ++i) {
     if (!in_round[i]) {
@@ -70,6 +168,28 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
 
   // --- step 3: sources sample ∝ cost({p}, X_i), uplink S_i ∪ X_i. ---
   const double summary_deadline = net.open_round(opts.round_deadline_s);
+  // The server only learns who missed a finite round when the
+  // collection deadline passes, so a wave opened at the round cutoff
+  // itself could never deliver. Reallocation under a finite deadline
+  // therefore requires an explicitly scheduled reserve: first-wave
+  // summaries are then due at `deadline − reserve × budget` and the
+  // tail of the round belongs to the wave. With no reserve (the
+  // default) the first wave collects at the full round deadline —
+  // exactly PR 3's schedule — and the wave is skipped; with an
+  // unbounded round the server learns of a miss the moment the
+  // sender's retry budget dies, and the wave runs without a reserve.
+  // (The sites schedule transmissions against the *round* cutoff
+  // either way — the wave split is the server's internal affair.)
+  const bool reserve_scheduled =
+      std::isfinite(opts.round_deadline_s) && opts.realloc_reserve > 0.0;
+  const bool realloc_armed =
+      opts.reallocate &&
+      (!std::isfinite(opts.round_deadline_s) || reserve_scheduled);
+  const double wave1_deadline =
+      opts.reallocate && reserve_scheduled
+          ? summary_deadline - opts.realloc_reserve * opts.round_deadline_s
+          : summary_deadline;
+  std::vector<SiteSample> samples(m);
   std::vector<char> sent(m, 0);
   for (std::size_t i = 0; i < m; ++i) {
     if (parts[i].empty()) {
@@ -91,74 +211,34 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
     Coreset local;
     {
       auto scope = device_work.measure();
-      Rng rng = make_rng(seed, 2 * i + 1);
+      SiteSample& st = samples[i];
+      st.rng = make_rng(seed, 2 * i + 1);
       const Dataset& p = parts[i];
       const std::size_t n = p.size();
       const Matrix& xi = local_centers[i];
-      const std::size_t b = xi.rows();
 
-      std::vector<std::size_t> assign(n);
-      std::vector<double> contrib(n);
-      std::vector<double> cluster_weight(b, 0.0);
-      double cost_i = 0.0;
+      st.assign.resize(n);
+      st.contrib.resize(n);
+      st.cluster_weight.assign(xi.rows(), 0.0);
       for (std::size_t j = 0; j < n; ++j) {
         const NearestCenter nc = nearest_center(p.point(j), xi);
-        assign[j] = nc.index;
-        contrib[j] = p.weight(j) * nc.sq_dist;
-        cost_i += contrib[j];
-        cluster_weight[nc.index] += p.weight(j);
+        st.assign[j] = nc.index;
+        st.contrib[j] = p.weight(j) * nc.sq_dist;
+        st.cost += st.contrib[j];
+        st.cluster_weight[nc.index] += p.weight(j);
       }
 
-      const std::size_t rows = std::min(si, n);
-      Matrix pts(rows + b, p.dim());
-      std::vector<double> weights(rows + b, 0.0);
-      std::vector<double> sampled_mass(b, 0.0);
-      std::vector<std::size_t> assign_of_pick(rows, 0);
-      if (rows > 0 && cost_i > 0.0) {
-        std::uniform_real_distribution<double> unif(0.0, cost_i);
-        for (std::size_t s = 0; s < rows; ++s) {
-          double r = unif(rng);
-          std::size_t pick = n - 1;
-          for (std::size_t j = 0; j < n; ++j) {
-            r -= contrib[j];
-            if (r <= 0.0) {
-              pick = j;
-              break;
-            }
-          }
-          auto src = p.point(pick);
-          std::copy(src.begin(), src.end(), pts.row(s).begin());
-          // Reweighting of [4]: across sources the union is a
-          // cost-proportional sample of size `total_samples`, so the
-          // unbiased weight is w(p) · total_cost / (total_samples ·
-          // contrib(p)) with contrib(p) = w(p) d²(p, X_i).
-          weights[s] = p.weight(pick) * total_cost /
-                       (static_cast<double>(opts.total_samples) * contrib[pick]);
-          assign_of_pick[s] = assign[pick];
-          sampled_mass[assign[pick]] += weights[s];
-        }
-      }
-      // Step 3's "weights set to match the number of points per cluster":
-      // rescale overshooting clusters, then top residual mass up via the
-      // bicriteria centers, keeping the total weight exact.
-      for (std::size_t c = 0; c < b; ++c) {
-        if (sampled_mass[c] > cluster_weight[c] && sampled_mass[c] > 0.0) {
-          const double scale = cluster_weight[c] / sampled_mass[c];
-          for (std::size_t s = 0; s < rows; ++s) {
-            if (assign_of_pick[s] == c) weights[s] *= scale;
-          }
-          sampled_mass[c] = cluster_weight[c];
-        }
-      }
-      for (std::size_t c = 0; c < b; ++c) {
-        auto src = xi.row(c);
-        std::copy(src.begin(), src.end(), pts.row(rows + c).begin());
-        weights[rows + c] = std::max(0.0, cluster_weight[c] - sampled_mass[c]);
-      }
-      local.points = Dataset(std::move(pts), std::move(weights));
+      st.target_rows = std::min(si, n);
+      draw_picks(st, p, st.target_rows);
+      local.points =
+          coreset_from_picks(p, xi, st, total_cost, opts.total_samples);
     }
     net.uplink(i).send(encode_coreset(local, opts.significant_bits));
     sent[i] = 1;
+    // The scan/pick state exists only for the reallocation wave; when
+    // no wave can run, release it now instead of holding O(n) per site
+    // through the rest of the round.
+    if (!realloc_armed) samples[i] = SiteSample{};
   }
 
   // --- step 4: server unions the local coresets that made the
@@ -166,19 +246,112 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   // shard's mass (the per-cluster top-up in step 3 guarantees it), so
   // a dropped source costs only its mass — the union stays a valid
   // weighted summary of the responders' data. ---
-  Coreset merged;
-  std::vector<Dataset> pieces;
+  std::vector<Dataset> piece(m);
+  std::vector<char> got(m, 0);
   std::size_t summary_responders = 0;
   for (std::size_t i = 0; i < m; ++i) {
     if (!sent[i]) continue;
-    auto frame = net.uplink(i).receive_by(summary_deadline);
+    auto frame = net.uplink(i).receive_by(wave1_deadline);
     if (!frame.has_value()) continue;
+    got[i] = 1;
     summary_responders += 1;
     Coreset local = decode_coreset(*frame);
-    if (local.size() > 0) pieces.push_back(std::move(local.points));
+    if (local.size() > 0) piece[i] = std::move(local.points);
   }
-  EKM_ENSURES_MSG(summary_responders >= opts.min_responders,
-                  "disSS summary round fell below the availability floor");
+  // Distinct-site floor, checked once per round: the reallocation wave
+  // below never increments it (a responder that also delivers a
+  // supplement is still one site) and never decrements it (a responder
+  // whose supplement misses keeps its first-wave coreset).
+  enforce_availability_floor(summary_responders, opts.min_responders,
+                             "disSS summary round");
+
+  // --- step 4b: deadline-aware budget reallocation. A source that was
+  // allocated part of the sample budget but fell out of the summary
+  // round (deadline, or a spent retry budget) paid for samples that
+  // never arrived; renormalizing over responders (PR 3) kept the
+  // weights honest but delivered a smaller coreset than the round's
+  // budget bought. Here the server re-splits the lost allocation
+  // ∝ cost among the still-live responders in a second within-round
+  // wave: each receiver extends its sample (continuing its own RNG
+  // stream), rebuilds the rescale/top-up over the combined picks —
+  // keeping its mass exactly its shard's — and uplinks a replacement
+  // coreset under the same round cutoff (Fabric::open_subround). A
+  // supplement that misses leaves the first-wave coreset in place, so
+  // reallocation can only add resolution, never cost liveness. ---
+  if (realloc_armed) {
+    std::size_t lost_budget = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (in_round[i] && !got[i]) lost_budget += alloc[i];
+    }
+    double recv_cost = 0.0;
+    std::size_t receivers = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (got[i] && !parts[i].empty()) {
+        recv_cost += local_cost[i];
+        receivers += 1;
+      }
+    }
+    std::vector<std::size_t> extra(m, 0);
+    std::size_t extra_total = 0;
+    if (lost_budget > 0 && receivers > 0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!got[i] || parts[i].empty()) continue;
+        extra[i] = recv_cost > 0.0
+                       ? static_cast<std::size_t>(std::llround(
+                             static_cast<double>(lost_budget) *
+                             local_cost[i] / recv_cost))
+                       : lost_budget / receivers;
+        extra_total += extra[i];
+      }
+    }
+    // Open (and count) a wave only when rounding left something to
+    // transfer — a wave that moves zero samples would still show up in
+    // realloc_waves and contradict the budget-conservation metric.
+    if (extra_total > 0) {
+      const double wave_deadline = net.open_subround(summary_deadline);
+      std::vector<char> wave_sent(m, 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (extra[i] > 0) {
+          net.downlink(i).send(encode_scalar(static_cast<double>(extra[i])));
+        }
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!got[i] || parts[i].empty() || extra[i] == 0) continue;
+        // A receiver that loses the wave broadcast sits the wave out —
+        // its first-wave coreset already stands.
+        auto wave_frame = net.downlink(i).receive_by(kNoDeadline);
+        if (!wave_frame.has_value()) continue;
+        const auto more =
+            static_cast<std::size_t>(decode_scalar(*wave_frame));
+        Coreset supplement;
+        {
+          auto scope = device_work.measure();
+          SiteSample& st = samples[i];
+          const std::size_t n = parts[i].size();
+          const std::size_t new_target = std::min(st.target_rows + more, n);
+          draw_picks(st, parts[i], new_target - st.picks.size());
+          st.target_rows = new_target;
+          supplement.points = coreset_from_picks(
+              parts[i], local_centers[i], st, total_cost, opts.total_samples);
+        }
+        net.uplink(i).send(encode_coreset(supplement, opts.significant_bits));
+        wave_sent[i] = 1;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!wave_sent[i]) continue;
+        auto frame = net.uplink(i).receive_by(wave_deadline);
+        if (!frame.has_value()) continue;  // keep the first-wave coreset
+        Coreset supplement = decode_coreset(*frame);
+        if (supplement.size() > 0) piece[i] = std::move(supplement.points);
+      }
+    }
+  }
+
+  Coreset merged;
+  std::vector<Dataset> pieces;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (piece[i].size() > 0) pieces.push_back(std::move(piece[i]));
+  }
   EKM_ENSURES_MSG(!pieces.empty(), "disSS produced an empty coreset");
   merged.points = concatenate(pieces);
   return merged;

@@ -37,8 +37,34 @@ struct DisSsOptions {
   /// the budget and weights are normalized over the cost-round
   /// responders either way. Infinity = wait for everyone.
   double round_deadline_s = kNoDeadline;
-  /// Minimum sources that must make each round; fewer throws.
+  /// Minimum sources that must make each round; fewer throws. Counted
+  /// over distinct sites — the reallocation wave neither adds to nor
+  /// subtracts from a round's responder count.
   std::size_t min_responders = 1;
+  /// Deadline-aware budget reallocation (step 4b): when a source that
+  /// was allocated samples misses the summary round, re-split its
+  /// allocation ∝ cost among the responders in a second within-round
+  /// wave (each extends its sample and uplinks a replacement coreset
+  /// under the same round cutoff). The union then carries ≈ the full
+  /// `total_samples` budget instead of shrinking with every dropped
+  /// site; per-shard mass is unchanged either way. A round with no
+  /// misses never opens a wave, so fault-free runs are bitwise
+  /// identical with this on or off.
+  bool reallocate = true;
+  /// Fraction of a *finite* round budget reserved for the wave: the
+  /// server collects first-wave summaries by `deadline − reserve ×
+  /// budget` and spends the reserve on the reallocation wave. A wave
+  /// opened at the round cutoff could never complete — the server
+  /// only learns who missed when the deadline passes — so reallocation
+  /// under a finite deadline necessarily trades first-wave waiting
+  /// time for budget conservation (a site that would have arrived
+  /// inside the reserve window is dropped and its budget re-split).
+  /// 0 (the default) schedules no reserve: finite-deadline rounds then
+  /// collect at the full deadline, bit-identical to PR 3, and skip the
+  /// wave (it could never deliver). Ignored when the deadline is
+  /// infinite: there the server learns of a miss the moment the
+  /// sender gives up, and the wave is unbounded.
+  double realloc_reserve = 0.0;
 };
 
 /// Runs disSS over `parts` through `net`; returns the server-side coreset

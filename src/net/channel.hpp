@@ -25,6 +25,7 @@
 #include <deque>
 #include <limits>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/expects.hpp"
@@ -34,6 +35,20 @@ namespace ekm {
 /// Absolute deadline meaning "wait forever" — the paper's synchronous
 /// protocol, and the default for every deadline-aware receive.
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// Availability floor shared by every deadline-driven collection round:
+/// a round that leaves fewer *distinct* responding sites than `floor`
+/// throws invariant_error instead of aggregating a degenerate summary.
+/// Callers count each site at most once per round — a site that also
+/// delivers a reallocation-wave supplement is still one responder, and
+/// one that misses the wave after responding stays counted.
+inline void enforce_availability_floor(std::size_t responders,
+                                       std::size_t floor,
+                                       const char* round_name) {
+  EKM_ENSURES_MSG(responders >= floor,
+                  std::string(round_name) +
+                      " fell below the availability floor");
+}
 
 /// One framed message in flight.
 struct Message {
@@ -115,6 +130,19 @@ class Fabric {
   /// comes back regardless of `deadline_seconds`.
   virtual double open_round(double deadline_seconds) {
     (void)deadline_seconds;
+    return kNoDeadline;
+  }
+
+  /// Opens a sub-deadline *inside* the currently open round: a second
+  /// collection wave (e.g. disSS's budget-reallocation wave) that must
+  /// respect the enclosing round's cutoff. `absolute_deadline` is an
+  /// absolute virtual time (typically the value open_round returned);
+  /// a time-aware fabric clamps the open round's cutoff to
+  /// min(current cutoff, absolute_deadline) and returns it, so the
+  /// wave can never outlive its round. On the idealized synchronous
+  /// star every frame already arrived and kNoDeadline comes back.
+  virtual double open_subround(double absolute_deadline) {
+    (void)absolute_deadline;
     return kNoDeadline;
   }
 

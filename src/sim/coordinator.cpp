@@ -39,6 +39,7 @@ SimReport make_report(const SimScenario& scenario, std::string pipeline,
   report.downlink_stats = net.total_downlink_stats();
   report.rounds = net.rounds_opened();
   report.deadline_misses = net.missed_frames();
+  report.realloc_waves = net.subrounds_opened();
   for (std::size_t i = 0; i < net.num_sources(); ++i) {
     // A site is dropped if any round abandoned one of its uplink
     // frames, or if it lost a broadcast (basis/allocation/centers) and
@@ -52,12 +53,19 @@ SimReport make_report(const SimScenario& scenario, std::string pipeline,
 
 /// The scenario's RoundPolicy backfills config defaults; an explicit
 /// config setting (a finite deadline, a floor above 1) always wins.
+/// Budget reallocation is on by default on both sides, so either side
+/// saying `off` (scenario `realloc=off`, or a config that cleared
+/// reallocate_budget) turns it off.
 PipelineConfig apply_round_policy(PipelineConfig cfg, const RoundPolicy& round) {
   if (!std::isfinite(cfg.round_deadline_s)) {
     cfg.round_deadline_s = round.deadline_s;
   }
   if (cfg.min_round_responders <= 1) {
     cfg.min_round_responders = round.min_responders;
+  }
+  cfg.reallocate_budget = cfg.reallocate_budget && round.reallocate;
+  if (cfg.realloc_reserve <= 0.0) {
+    cfg.realloc_reserve = round.realloc_reserve;
   }
   return cfg;
 }

@@ -48,9 +48,16 @@ struct SimReport {
 
   // --- deadline rounds (RoundPolicy) --------------------------------------
   std::uint64_t rounds = 0;           ///< collection rounds opened
-  std::uint64_t deadline_misses = 0;  ///< frames dropped from a round:
-                                      ///< expired in flight or late
-  std::uint64_t sites_dropped = 0;    ///< sites that missed >= 1 round
+  /// Frames dropped from a round: expired in flight or delivered late.
+  /// Counts every abandoned frame, including a reallocation-wave
+  /// supplement whose site's first-wave coreset still stands — so this
+  /// (and sites_dropped below) is an upper bound on actual data loss,
+  /// not an exact one, when waves run.
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t sites_dropped = 0;    ///< sites with >= 1 abandoned frame
+  std::uint64_t realloc_waves = 0;    ///< within-round budget-reallocation
+                                      ///< waves opened (open_subround);
+                                      ///< 0 on every miss-free run
 };
 
 class Coordinator {

@@ -96,6 +96,11 @@ SimScenario deadline_fleet() {
   // comfortable margin.
   s.seconds_per_scalar = 1e-3;
   s.round.deadline_s = 8.0;
+  // Half the round budget is reserved for the budget-reallocation
+  // wave: fast sites finish well inside the 4-second first-wave
+  // window, and a dropped straggler's sample allocation comes back as
+  // responder-side resolution instead of vanishing.
+  s.round.realloc_reserve = 0.5;
   return s;
 }
 
@@ -107,6 +112,22 @@ LinkModel radio_by_name(const std::string& key, const std::string& name) {
   EKM_EXPECTS_MSG(false, "unknown radio class '" + name + "' for scenario key '" +
                              key + "' (expected lora|ble|wifi|5g)");
   return {};
+}
+
+RetryStrategy retry_by_name(const std::string& key, const std::string& name) {
+  const auto strategy = retry_strategy_from_name(name);
+  EKM_EXPECTS_MSG(strategy.has_value(),
+                  "unknown retry strategy '" + name + "' for scenario key '" +
+                      key + "' (expected fixed|backoff|giveup)");
+  return *strategy;
+}
+
+bool bool_by_name(const std::string& key, const std::string& value) {
+  if (value == "on" || value == "1" || value == "true") return true;
+  if (value == "off" || value == "0" || value == "false") return false;
+  EKM_EXPECTS_MSG(false, "malformed boolean for scenario key '" + key +
+                             "': '" + value + "' (expected on|off)");
+  return false;
 }
 
 /// Checked double parse (common/parse_num.hpp): the whole token must be
@@ -140,9 +161,10 @@ long long parse_int(const std::string& key, const std::string& value) {
 void apply_site_override(SimScenario& s, const std::string& key,
                          const std::string& value) {
   const std::size_t dot = key.find('.');
-  EKM_EXPECTS_MSG(dot != std::string::npos && dot > 4,
-                  "malformed per-site scenario key '" + key +
-                      "' (expected siteN.radio|bandwidth|loss|dropout|speed)");
+  EKM_EXPECTS_MSG(
+      dot != std::string::npos && dot > 4,
+      "malformed per-site scenario key '" + key +
+          "' (expected siteN.radio|bandwidth|loss|dropout|speed|retry)");
   const long long index = parse_int(key, key.substr(4, dot - 4));
   EKM_EXPECTS_MSG(index >= 0, "site index must be >= 0 in scenario key '" +
                                   key + "'");
@@ -168,10 +190,13 @@ void apply_site_override(SimScenario& s, const std::string& key,
     o.compute_speed = parse_double(key, value);
     EKM_EXPECTS_MSG(std::isfinite(*o.compute_speed) && *o.compute_speed > 0.0,
                     "speed must be > 0 in scenario key '" + key + "'");
+  } else if (field == "retry") {
+    o.retry = retry_by_name(key, value);
   } else {
-    EKM_EXPECTS_MSG(false, "unknown per-site field '" + field +
-                               "' in scenario key '" + key +
-                               "' (expected radio|bandwidth|loss|dropout|speed)");
+    EKM_EXPECTS_MSG(false,
+                    "unknown per-site field '" + field + "' in scenario key '" +
+                        key +
+                        "' (expected radio|bandwidth|loss|dropout|speed|retry)");
   }
   s.site_overrides.push_back(std::move(o));
 }
@@ -237,6 +262,29 @@ void apply_override(SimScenario& s, const std::string& key,
     const long long v = parse_int(key, value);
     EKM_EXPECTS_MSG(v >= 1, "min-responders must be >= 1");
     s.round.min_responders = static_cast<std::size_t>(v);
+  } else if (key == "realloc") {
+    s.round.reallocate = bool_by_name(key, value);
+  } else if (key == "realloc-reserve") {
+    s.round.realloc_reserve = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.round.realloc_reserve >= 0.0 &&
+                        s.round.realloc_reserve < 1.0,
+                    "realloc-reserve must be in [0, 1)");
+  } else if (key == "retry") {
+    s.retry.strategy = retry_by_name(key, value);
+  } else if (key == "backoff-base") {
+    s.retry.backoff_base = parse_double(key, value);
+    EKM_EXPECTS_MSG(std::isfinite(s.retry.backoff_base) &&
+                        s.retry.backoff_base >= 1.0,
+                    "backoff-base must be >= 1");
+  } else if (key == "backoff-cap") {
+    s.retry.backoff_cap = parse_double(key, value);
+    EKM_EXPECTS_MSG(std::isfinite(s.retry.backoff_cap) &&
+                        s.retry.backoff_cap >= 1.0,
+                    "backoff-cap must be >= 1");
+  } else if (key == "backoff-jitter") {
+    s.retry.backoff_jitter = parse_double(key, value);
+    EKM_EXPECTS_MSG(s.retry.backoff_jitter >= 0.0 && s.retry.backoff_jitter < 1.0,
+                    "backoff-jitter must be in [0, 1)");
   } else if (key == "seed") {
     // Full 64-bit parse — a double round-trip would collapse seeds
     // above 2^53 and overflow into UB near 2^64.
@@ -251,6 +299,13 @@ void apply_override(SimScenario& s, const std::string& key,
 }
 
 }  // namespace
+
+std::optional<RetryStrategy> retry_strategy_from_name(const std::string& name) {
+  if (name == "fixed") return RetryStrategy::kFixed;
+  if (name == "backoff") return RetryStrategy::kBackoff;
+  if (name == "giveup") return RetryStrategy::kGiveUp;
+  return std::nullopt;
+}
 
 std::vector<std::string> sim_scenario_names() {
   return {"ideal",      "wifi-office", "ble-swarm",   "lora-field",

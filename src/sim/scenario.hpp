@@ -31,6 +31,7 @@ struct SiteOverride {
   std::optional<double> dropout_rate;    ///< siteN.dropout=P
   std::optional<double> compute_speed;   ///< siteN.speed=REL (pins the
                                          ///< speed, after skew/stragglers)
+  std::optional<RetryStrategy> retry;    ///< siteN.retry=fixed|backoff|giveup
 };
 
 struct SimScenario {
@@ -51,6 +52,13 @@ struct SimScenario {
   /// default — no deadline — reproduces the paper's wait-for-everyone
   /// protocol bit for bit.
   RoundPolicy round;
+
+  /// Retransmission policy (round_policy.hpp): what a sender does
+  /// between attempts of one frame. The default fixed ack-timeout is
+  /// the PR 2/3 behavior bit for bit; `retry=backoff` and
+  /// `retry=giveup` (per-site `siteN.retry=`) change only how faults
+  /// cost clock/airtime, never the goodput ledgers.
+  RetryPolicy retry;
 
   // --- faults -------------------------------------------------------------
   /// Probability that one transmission attempt is lost in flight. Lost
@@ -104,6 +112,13 @@ struct SimScenario {
   }
 };
 
+/// Single source of truth for the retry-strategy grammar, shared by
+/// the scenario parser (`retry=`, `siteN.retry=`) and the CLI
+/// (`--retry`): "fixed" | "backoff" | "giveup", nullopt on anything
+/// else.
+[[nodiscard]] std::optional<RetryStrategy> retry_strategy_from_name(
+    const std::string& name);
+
 /// Named presets, each an opinionated deployment sketch:
 ///   ideal          — Wi-Fi, no faults (ledger-equivalent to Network)
 ///   wifi-office    — Wi-Fi, light loss and jitter
@@ -126,11 +141,16 @@ struct SimScenario {
 /// radio (lora|ble|wifi|5g), loss, dropout, outage, retries, jitter,
 /// stragglers, slowdown, skew, sps (seconds per scalar), server-speed,
 /// deadline (virtual seconds per collection round, or inf),
-/// min-responders, seed, plus per-site overrides siteN.radio,
-/// siteN.bandwidth, siteN.loss, siteN.dropout, siteN.speed. Overrides
-/// apply on top of the preset (default: ideal). Throws
-/// precondition_error on unknown names/keys and on malformed values —
-/// empty, trailing garbage, or out of range — naming the offending key.
+/// min-responders, realloc (on|off: deadline-aware budget
+/// reallocation), realloc-reserve (fraction of a finite round budget
+/// scheduled for the reallocation wave), retry (fixed|backoff|giveup),
+/// backoff-base, backoff-cap, backoff-jitter, seed, plus per-site overrides
+/// siteN.radio, siteN.bandwidth, siteN.loss, siteN.dropout,
+/// siteN.speed, siteN.retry. Overrides apply on top of the preset
+/// (default: ideal). Throws precondition_error on unknown names/keys
+/// and on malformed values — empty, trailing garbage, or out of range
+/// (including finite-looking tokens that overflow double, e.g.
+/// `loss=1e999`) — naming the offending key.
 [[nodiscard]] SimScenario parse_scenario(const std::string& spec);
 
 }  // namespace ekm

@@ -39,6 +39,7 @@ SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
                   : scenario_.radio_cycle[i % scenario_.radio_cycle.size()];
     s.loss_rate = scenario_.loss_rate;
     s.dropout_rate = scenario_.dropout_rate;
+    s.retry = scenario_.retry.strategy;
   }
 
   // Site heterogeneity, all drawn once from the scenario seed: an
@@ -73,6 +74,7 @@ SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
     if (o.loss_rate) s.loss_rate = *o.loss_rate;
     if (o.dropout_rate) s.dropout_rate = *o.dropout_rate;
     if (o.compute_speed) s.compute_speed = *o.compute_speed;
+    if (o.retry) s.retry = *o.retry;
   }
 
   up_.reserve(num_sites);
@@ -116,6 +118,16 @@ double SimNetwork::open_round(double deadline_seconds) {
                         ? server_clock_ + deadline_seconds
                         : kNoDeadline;
   rounds_opened_ += 1;
+  return round_deadline_;
+}
+
+double SimNetwork::open_subround(double absolute_deadline) {
+  EKM_EXPECTS_MSG(!std::isnan(absolute_deadline),
+                  "sub-round deadline must not be NaN");
+  // A wave can only tighten the enclosing round's cutoff, never extend
+  // it past the round boundary the sites already scheduled around.
+  round_deadline_ = std::min(round_deadline_, absolute_deadline);
+  subrounds_opened_ += 1;
   return round_deadline_;
 }
 
@@ -163,7 +175,15 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
   // retransmit on loss until delivered, the retry budget is spent, or
   // the round deadline cancels the remaining attempts. A frame whose
   // budget or deadline runs out is a first-class drop: it never
-  // delivers, and every attempt actually made stays billed. ---
+  // delivers, and every attempt actually made stays billed. What a
+  // sender waits between attempts is its RetryPolicy (fixed
+  // ack-timeout, exponential backoff + jitter, or deadline-aware
+  // give-up); policy draws come from the same per-link RNG stream as
+  // loss/jitter, on the protocol thread, so every strategy is
+  // thread-count deterministic — and consumes no draws on a clean
+  // first attempt, keeping fault-free runs bitwise identical across
+  // strategies. ---
+  const RetryStrategy strategy = site.retry;
   double start = std::max(ready, link.busy_until_);
   double end = start;  ///< end of the last attempt actually made
   bool delivered = false;
@@ -175,6 +195,16 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     if (start >= cutoff) {
       // Deadline cancelation: the sender abandons at the moment it
       // would have keyed the radio again.
+      abandon_at = start;
+      break;
+    }
+    if (strategy == RetryStrategy::kGiveUp && start + base_airtime > cutoff) {
+      // Deadline-aware give-up: even the unjittered airtime cannot
+      // complete before the round cutoff, so keying the radio would
+      // only burn energy on a frame the server will abandon. Expire
+      // now, attempt never made, nothing billed for it. (Judged on
+      // the expected airtime — drawing jitter for a canceled attempt
+      // would shift the loss stream of every later frame.)
       abandon_at = start;
       break;
     }
@@ -218,8 +248,21 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
       break;
     }
     // The sender detects the loss after an ack-timeout of one
-    // per-frame latency, then retransmits.
-    start = end + radio.per_message_latency_s;
+    // per-frame latency; what it waits beyond that is the retry
+    // policy's call.
+    double delay = radio.per_message_latency_s;
+    if (strategy == RetryStrategy::kBackoff) {
+      const double factor =
+          std::min(std::pow(scenario_.retry.backoff_base,
+                            static_cast<double>(attempt)),
+                   scenario_.retry.backoff_cap);
+      delay *= factor;
+      if (scenario_.retry.backoff_jitter > 0.0) {
+        delay *= 1.0 +
+                 scenario_.retry.backoff_jitter * (2.0 * unif(link.rng_) - 1.0);
+      }
+    }
+    start = end + delay;
   }
 
   SimFrame frame;
@@ -323,6 +366,12 @@ void SimNetwork::assert_link_invariants(const SimLink& l) const {
                   "retransmit bits billed without drops");
   EKM_ENSURES_MSG(l.deliveries_done_ == l.deliveries_scheduled_,
                   "unprocessed delivery events after finish");
+  // A receiver can only abandon frames that exist: every miss was an
+  // expired frame or a late delivery. Reallocation-wave supplements
+  // and give-up expiries must keep this balanced — a double-billed
+  // wave frame would show up here.
+  EKM_ENSURES_MSG(l.stats_.missed <= l.stats_.expired + l.deliveries_scheduled_,
+                  "missed frames exceed expiries plus deliveries");
 }
 
 double SimNetwork::finish() {

@@ -24,6 +24,13 @@
 // Every attempt actually made stays billed in airtime/energy/stats;
 // the protocols aggregate over whichever sites delivered.
 //
+// What happens *between* attempts is the site's RetryPolicy
+// (round_policy.hpp, scenario `retry=` / `siteN.retry=`): the default
+// fixed ack-timeout (PR 2/3, bit for bit), exponential backoff with
+// jitter, or deadline-aware give-up, which skips an attempt whose
+// unjittered airtime cannot complete before the open round's cutoff —
+// expiring the frame without keying the radio.
+//
 // Determinism: every random draw (loss, jitter, dropout, site speeds)
 // comes from per-link/per-network RNG streams derived from the
 // scenario seed, consumed on the protocol thread in program order. The
@@ -133,6 +140,12 @@ class SimNetwork final : public Fabric {
   /// site's frame expires instead of arriving eventually.
   double open_round(double deadline_seconds) override;
 
+  /// Opens a sub-deadline inside the current round (the budget
+  /// reallocation wave): clamps the open round's cutoff to
+  /// min(current, absolute_deadline) so the wave respects the round
+  /// boundary, and counts the wave in subrounds_opened().
+  double open_subround(double absolute_deadline) override;
+
   // --- inspection ---------------------------------------------------------
   [[nodiscard]] const SimLink& uplink_view(std::size_t source) const;
   [[nodiscard]] const SimLink& downlink_view(std::size_t source) const;
@@ -154,6 +167,12 @@ class SimNetwork final : public Fabric {
 
   /// Collection rounds opened so far (open_round calls).
   [[nodiscard]] std::uint64_t rounds_opened() const { return rounds_opened_; }
+
+  /// Within-round reallocation waves opened so far (open_subround
+  /// calls). Zero on every fault-free or miss-free run.
+  [[nodiscard]] std::uint64_t subrounds_opened() const {
+    return subrounds_opened_;
+  }
 
   /// Drains every pending event (e.g. broadcast frames no one reads),
   /// checks the per-link ledger invariants, and returns the quiescent
@@ -202,6 +221,7 @@ class SimNetwork final : public Fabric {
   double round_deadline_ = kNoDeadline;  ///< current round's cutoff
   std::uint64_t missed_frames_ = 0;
   std::uint64_t rounds_opened_ = 0;
+  std::uint64_t subrounds_opened_ = 0;
 };
 
 }  // namespace ekm

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "net/link_model.hpp"
+#include "sim/round_policy.hpp"
 
 namespace ekm {
 
@@ -26,6 +27,11 @@ struct Site {
   /// scenario overrides (docs/simulation.md, per-site heterogeneity).
   double loss_rate = 0.0;
   double dropout_rate = 0.0;
+  /// Retransmission strategy of this site's radio stack (both
+  /// directions of its link). Seeded from SimScenario::retry and then
+  /// adjusted by `siteN.retry=` overrides; the fleet-wide backoff
+  /// knobs stay on the scenario.
+  RetryStrategy retry = RetryStrategy::kFixed;
   /// Virtual time up to which this site's actions are committed.
   double clock_s = 0.0;
   /// Transmit energy spent so far, including failed attempts.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/expects.hpp"
+#include "common/parse_num.hpp"
 #include "common/rng.hpp"
 #include "common/serial.hpp"
 #include "common/stats.hpp"
@@ -34,6 +35,53 @@ TEST(Expects, MessageNamesLocation) {
     EXPECT_NE(what.find("context info"), std::string::npos);
     EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
   }
+}
+
+TEST(ParseNum, DoubleOverflowInfNanRegressionTable) {
+  // Regression for the ERANGE hole: "1e999" used to parse as +inf with
+  // errno never checked, silently turning a typo'd finite value into
+  // wait-forever/always-true semantics downstream. The policy table:
+  //   * finite-looking overflow  -> rejected
+  //   * explicit inf / nan       -> parsed (range checks decide per key)
+  //   * underflow to 0/denormal  -> parsed (representable magnitude)
+  struct Row {
+    const char* token;
+    bool accepted;
+  };
+  const Row rows[] = {
+      {"1e999", false},   {"-1e999", false},   {"1e99999", false},
+      {"2e308", false},   {"-1.8e308", false},
+      {"1e308", true},    {"-1e308", true},    {"0.5", true},
+      {"1e-3", true},     {"1e-320", true},    {"1e-999", true},
+      {"inf", true},      {"+inf", true},      {"-inf", true},
+      {"infinity", true}, {"nan", true},       {"-nan", true},
+      {"", false},        {"1e", false},       {"0.1x", false},
+  };
+  for (const Row& row : rows) {
+    const auto v = parse_full_double(row.token);
+    EXPECT_EQ(v.has_value(), row.accepted) << "token '" << row.token << "'";
+  }
+  // The accepted non-finite tokens really are inf/nan (not clamped).
+  EXPECT_TRUE(std::isinf(*parse_full_double("inf")));
+  EXPECT_TRUE(std::isinf(*parse_full_double("-inf")));
+  EXPECT_TRUE(std::isnan(*parse_full_double("nan")));
+  // Underflow keeps its (tiny or zero) magnitude instead of erroring.
+  EXPECT_GE(*parse_full_double("1e-320"), 0.0);
+  EXPECT_EQ(*parse_full_double("1e-999"), 0.0);
+}
+
+TEST(ParseNum, IntegerRangeRegressionTable) {
+  // The integer parsers already checked ERANGE; pin the behavior so the
+  // double fix cannot regress them.
+  EXPECT_EQ(parse_full_ll("9223372036854775807").value_or(0),
+            9223372036854775807LL);
+  EXPECT_FALSE(parse_full_ll("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_full_ll("-9223372036854775809").has_value());
+  EXPECT_FALSE(parse_full_ll("2.5").has_value());
+  EXPECT_EQ(parse_full_ull("18446744073709551615").value_or(0),
+            18446744073709551615ULL);
+  EXPECT_FALSE(parse_full_ull("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_full_ull("-1").has_value());  // no wraparound
 }
 
 TEST(Stats, SummarizeBasics) {

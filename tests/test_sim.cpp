@@ -6,6 +6,9 @@
 // deployment path.
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <utility>
+
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/pipeline.hpp"
@@ -624,6 +627,329 @@ TEST(Exhaustion, ProtocolsSurviveExpiredFramesWithoutDeadlines) {
   EXPECT_GT(report.deadline_misses, 0u);
   EXPECT_GT(report.sites_dropped, 0u);
   EXPECT_EQ(report.result.centers.rows(), cfg.k);
+}
+
+// --- retry policies (RetryPolicy) -----------------------------------------
+
+TEST(Scenario, ParserHandlesRetryReallocAndOverflow) {
+  const SimScenario s = parse_scenario(
+      "radio=wifi,retry=backoff,backoff-base=3,backoff-cap=8,"
+      "backoff-jitter=0.25,realloc=off,site2.retry=giveup");
+  EXPECT_EQ(s.retry.strategy, RetryStrategy::kBackoff);
+  EXPECT_DOUBLE_EQ(s.retry.backoff_base, 3.0);
+  EXPECT_DOUBLE_EQ(s.retry.backoff_cap, 8.0);
+  EXPECT_DOUBLE_EQ(s.retry.backoff_jitter, 0.25);
+  EXPECT_FALSE(s.round.reallocate);
+  ASSERT_EQ(s.site_overrides.size(), 1u);
+  EXPECT_EQ(s.site_overrides[0].retry.value(), RetryStrategy::kGiveUp);
+  // The fleet default and the per-site override both materialize.
+  SimNetwork net(3, s);
+  EXPECT_EQ(net.site(0).retry, RetryStrategy::kBackoff);
+  EXPECT_EQ(net.site(1).retry, RetryStrategy::kBackoff);
+  EXPECT_EQ(net.site(2).retry, RetryStrategy::kGiveUp);
+  EXPECT_TRUE(parse_scenario("realloc=on").round.reallocate);
+  EXPECT_EQ(parse_scenario("ideal").retry.strategy, RetryStrategy::kFixed);
+  // The wave's reserve is part of the round schedule: default 0, the
+  // deadline-fleet preset opts in, and the key parses/range-checks.
+  EXPECT_DOUBLE_EQ(parse_scenario("ideal").round.realloc_reserve, 0.0);
+  EXPECT_DOUBLE_EQ(parse_scenario("deadline-fleet").round.realloc_reserve, 0.5);
+  EXPECT_DOUBLE_EQ(parse_scenario("realloc-reserve=0.25").round.realloc_reserve,
+                   0.25);
+  EXPECT_THROW((void)parse_scenario("realloc-reserve=1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("realloc-reserve=-0.1"),
+               precondition_error);
+
+  EXPECT_THROW((void)parse_scenario("retry=sometimes"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("realloc=2"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("realloc="), precondition_error);
+  EXPECT_THROW((void)parse_scenario("backoff-base=0.5"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("backoff-jitter=1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site1.retry=nope"), precondition_error);
+
+  // Overflowing tokens are typos, not infinities (the parse_num ERANGE
+  // fix): they throw naming the key, while an explicit "inf" stays
+  // valid exactly where infinity means something (deadline).
+  EXPECT_THROW((void)parse_scenario("loss=1e999"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("deadline=1e999"), precondition_error);
+  try {
+    (void)parse_scenario("sps=1e999");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'sps'"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(parse_scenario("deadline-fleet,deadline=inf").round.active());
+}
+
+TEST(Retry, FaultFreeStrategiesMatchFixedBitwise) {
+  // With no losses a retry policy never acts (and never draws), so
+  // backoff and give-up runs must reproduce the fixed-policy run —
+  // events, clocks, energy, ledgers, centers — bit for bit.
+  const auto parts = make_parts(4, 1200, 16, 19);
+  const PipelineConfig cfg = base_config(19);
+  const Coordinator fixed(parse_scenario("ideal"));
+  const SimReport base = fixed.run(PipelineKind::kBklw, parts, cfg);
+  for (const char* spec : {"ideal,retry=backoff", "ideal,retry=giveup"}) {
+    const Coordinator coord(parse_scenario(spec));
+    const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+    ASSERT_EQ(report.event_log.size(), base.event_log.size()) << spec;
+    for (std::size_t i = 0; i < report.event_log.size(); ++i) {
+      EXPECT_EQ(report.event_log[i], base.event_log[i]) << spec << " " << i;
+    }
+    EXPECT_EQ(report.completion_seconds, base.completion_seconds) << spec;
+    EXPECT_EQ(report.energy_joules, base.energy_joules) << spec;
+    EXPECT_EQ(report.result.uplink, base.result.uplink) << spec;
+    EXPECT_EQ(report.result.centers, base.result.centers) << spec;
+  }
+}
+
+TEST(Retry, BackoffDelaysRetriesWithoutTouchingGoodput) {
+  // backoff-jitter=0 keeps the RNG stream identical to the fixed run,
+  // so both nets see the same loss pattern attempt for attempt; only
+  // the retransmission timing differs, and only from the second retry
+  // of a frame on (backoff factor 2^k vs always 1).
+  const auto run = [](const char* spec) {
+    SimNetwork net(1, parse_scenario(spec));
+    const double deadline = net.open_round(kNoDeadline);
+    Port& up = net.uplink(0);
+    std::size_t delivered = 0;
+    for (int i = 0; i < 20; ++i) {
+      Message msg;
+      msg.payload.resize(64);
+      msg.wire_bits = 512;
+      msg.scalars = 8;
+      up.send(std::move(msg));
+      delivered += up.receive_by(deadline).has_value();
+    }
+    const double completion = net.finish();  // asserts ledger invariants
+    return std::tuple(net.uplink_view(0).stats(),
+                      net.uplink_view(0).ledger(), delivered, completion);
+  };
+  const auto [fixed_stats, fixed_ledger, fixed_delivered, fixed_done] =
+      run("radio=wifi,loss=0.9,retries=8,seed=6");
+  const auto [bo_stats, bo_ledger, bo_delivered, bo_done] =
+      run("radio=wifi,loss=0.9,retries=8,retry=backoff,backoff-jitter=0,"
+          "seed=6");
+  // Same fault pattern, same goodput, same attempt/drop accounting.
+  EXPECT_EQ(bo_delivered, fixed_delivered);
+  EXPECT_EQ(bo_stats.attempts, fixed_stats.attempts);
+  EXPECT_EQ(bo_stats.drops, fixed_stats.drops);
+  EXPECT_EQ(bo_stats.expired, fixed_stats.expired);
+  EXPECT_EQ(bo_stats.retransmit_bits, fixed_stats.retransmit_bits);
+  EXPECT_EQ(bo_ledger, fixed_ledger);
+  // At 90% loss over 20 frames some frame certainly burned >= 2
+  // retries, and each such retry waits strictly longer under backoff.
+  EXPECT_GT(fixed_stats.drops, fixed_stats.attempts - 20);  // multi-drop frames
+  EXPECT_GT(bo_done, fixed_done);
+}
+
+TEST(Retry, BackoffIsDeterministicAcrossThreadCountsAndLossless) {
+  const auto parts = make_parts(4, 1200, 16, 23);
+  const PipelineConfig cfg = base_config(23);
+  const Coordinator coord(
+      parse_scenario("radio=wifi,loss=0.5,retries=16,retry=backoff,seed=23"));
+
+  set_parallel_threads(1);
+  const SimReport one = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(8);
+  const SimReport eight = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(0);
+  ASSERT_EQ(one.event_log.size(), eight.event_log.size());
+  for (std::size_t i = 0; i < one.event_log.size(); ++i) {
+    EXPECT_EQ(one.event_log[i], eight.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(one.completion_seconds, eight.completion_seconds);
+  EXPECT_EQ(one.energy_joules, eight.energy_joules);
+  EXPECT_EQ(one.result.centers, eight.result.centers);
+
+  // Without a deadline the app layer stays lossless under backoff too:
+  // same goodput and centers as the fixed-policy run of the same fleet.
+  const Coordinator fixed(
+      parse_scenario("radio=wifi,loss=0.5,retries=16,seed=23"));
+  const SimReport base = fixed.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_EQ(one.result.uplink, base.result.uplink);
+  EXPECT_EQ(one.result.centers, base.result.centers);
+  EXPECT_GT(one.uplink_stats.drops + one.downlink_stats.drops, 0u);
+}
+
+TEST(Retry, GiveUpSkipsAttemptsThatCannotMakeTheDeadline) {
+  // One site behind a 1 kbps link, a 2-second round, a 1 Mbit frame:
+  // the fixed sender keys the radio for ~1000 s of futile airtime (the
+  // frame is delivered long after the receiver abandoned it); the
+  // give-up sender sees start + airtime > cutoff and never transmits.
+  const auto run = [](const char* spec) {
+    SimNetwork net(1, parse_scenario(spec));
+    const double deadline = net.open_round(2.0);
+    Message msg;
+    msg.payload.resize(1 << 17);
+    msg.wire_bits = 1'000'000;
+    msg.scalars = 4;
+    net.uplink(0).send(std::move(msg));
+    EXPECT_FALSE(net.uplink(0).receive_by(deadline).has_value());
+    (void)net.finish();  // asserts the attempt/frame ledger invariants
+    return std::pair(net.uplink_view(0).stats(), net.energy_joules());
+  };
+  const auto [fixed_stats, fixed_energy] =
+      run("radio=wifi,site0.bandwidth=1000");
+  const auto [giveup_stats, giveup_energy] =
+      run("radio=wifi,site0.bandwidth=1000,retry=giveup");
+
+  // Fixed: one attempt, delivered late, abandoned by the receiver.
+  EXPECT_EQ(fixed_stats.attempts, 1u);
+  EXPECT_EQ(fixed_stats.expired, 0u);
+  EXPECT_EQ(fixed_stats.missed, 1u);
+  EXPECT_GT(fixed_stats.airtime_s, 900.0);
+  EXPECT_GT(fixed_energy, 0.0);
+  // Give-up: no attempt, frame expired, radio never keyed.
+  EXPECT_EQ(giveup_stats.attempts, 0u);
+  EXPECT_EQ(giveup_stats.expired, 1u);
+  EXPECT_EQ(giveup_stats.missed, 1u);
+  EXPECT_EQ(giveup_stats.airtime_s, 0.0);
+  EXPECT_EQ(giveup_energy, 0.0);
+}
+
+// --- deadline-aware budget reallocation (disSS step 4b) -------------------
+
+TEST(Realloc, WaveRestoresBudgetAndConservesMass) {
+  // Site 1 reports its cost in time (one scalar is cheap even at 2% of
+  // reference speed) but cannot compute+ship its summary inside the
+  // round, so its sample allocation is lost. With reallocation off the
+  // union shrinks by that allocation (PR 3); with it on, the server
+  // re-splits the lost budget among the responders inside the same
+  // round and the union keeps ~ the full budget. Either way every
+  // local coreset's weights sum to exactly its shard's mass, so the
+  // union's mass is the responders' mass — reallocation buys sample
+  // resolution, never phantom mass.
+  const std::size_t m = 4;
+  const auto parts = make_parts(m, 1600, 12, 91);
+  const char* spec = "radio=5g,sps=1e-3,deadline=2,site1.speed=0.02,seed=91";
+  BklwOptions opts;
+  opts.k = 3;
+  opts.epsilon = 0.3;
+  opts.intrinsic_dim = 6;
+  opts.total_samples = 150;
+  opts.round_deadline_s = 2.0;
+  opts.realloc_reserve = 0.5;  // schedule the wave's share of the round
+
+  SimNetwork net_off(m, parse_scenario(spec));
+  Stopwatch work_off;
+  BklwOptions opts_off = opts;
+  opts_off.reallocate = false;
+  const Coreset off = bklw_coreset(parts, opts_off, net_off, work_off, 91);
+  (void)net_off.finish();
+  EXPECT_EQ(net_off.subrounds_opened(), 0u);
+  EXPECT_GT(net_off.uplink_view(1).stats().missed, 0u);
+
+  SimNetwork net_on(m, parse_scenario(spec));
+  Stopwatch work_on;
+  const Coreset on = bklw_coreset(parts, opts, net_on, work_on, 91);
+  (void)net_on.finish();
+  EXPECT_GE(net_on.subrounds_opened(), 1u);
+  EXPECT_GT(net_on.uplink_view(1).stats().missed, 0u);
+
+  // Budget conservation: the reallocated union carries strictly more
+  // samples than the responder-only union — the lost allocation came
+  // back as responder-side resolution.
+  EXPECT_GT(on.size(), off.size());
+
+  // Mass conservation: both unions weigh exactly the responders' data.
+  double responder_mass = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == 1) continue;
+    for (std::size_t p = 0; p < parts[i].size(); ++p) {
+      responder_mass += parts[i].weight(p);
+    }
+  }
+  const auto mass_of = [](const Coreset& cs) {
+    double mass = 0.0;
+    for (std::size_t p = 0; p < cs.size(); ++p) {
+      mass += cs.points.weight(p);
+    }
+    return mass;
+  };
+  EXPECT_NEAR(mass_of(off), responder_mass, 1e-6 * responder_mass);
+  EXPECT_NEAR(mass_of(on), responder_mass, 1e-6 * responder_mass);
+}
+
+TEST(Realloc, NoReserveKeepsFiniteDeadlineRoundsPr3Shaped) {
+  // Regression: with no reserve scheduled (the default), default-on
+  // reallocation must not change a finite-deadline round at all — the
+  // first wave collects at the full round deadline and the wave is
+  // skipped (it could never deliver). In particular a fault-free fleet
+  // whose summaries land late in the round must NOT be dropped against
+  // a shrunken sub-deadline (this exact shape once threw the
+  // availability floor with realloc=on while realloc=off succeeded).
+  const auto parts = make_parts(4, 1500, 8, 7);
+  PipelineConfig cfg = base_config(7);
+  const Coordinator on(parse_scenario("radio=5g,sps=4e-3,deadline=6,seed=7"));
+  const Coordinator off(
+      parse_scenario("radio=5g,sps=4e-3,deadline=6,realloc=off,seed=7"));
+  const SimReport a = on.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = off.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_EQ(a.realloc_waves, 0u);
+  EXPECT_EQ(b.realloc_waves, 0u);
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    EXPECT_EQ(a.event_log[i], b.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(a.result.centers, b.result.centers);
+  EXPECT_EQ(a.result.summary_points, b.result.summary_points);
+  EXPECT_EQ(a.completion_seconds, b.completion_seconds);
+}
+
+TEST(Realloc, FloorCountsDistinctSitesNotWaveFrames) {
+  // 3 of 4 sites respond; the wave then collects up to 3 supplemental
+  // frames from the same sites. A floor of 3 must hold (3 distinct
+  // responders) and a floor of 4 must throw — wave supplements never
+  // top the responder count up.
+  const std::size_t m = 4;
+  const auto parts = make_parts(m, 1600, 12, 91);
+  PipelineConfig cfg = base_config(91);
+  const char* base_spec =
+      "radio=5g,sps=1e-3,deadline=4,realloc-reserve=0.5,"
+      "site1.speed=0.02,seed=91,min-responders=";
+  const Coordinator ok(parse_scenario(std::string(base_spec) + "3"));
+  const SimReport report = ok.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_GE(report.realloc_waves, 1u);
+  EXPECT_EQ(report.sites_dropped, 1u);
+  const Coordinator strict(parse_scenario(std::string(base_spec) + "4"));
+  EXPECT_THROW((void)strict.run(PipelineKind::kBklw, parts, cfg),
+               invariant_error);
+}
+
+TEST(Realloc, WaveIsDeterministicAcrossThreadCounts) {
+  const std::size_t m = 4;
+  const auto parts = make_parts(m, 1600, 12, 91);
+  const PipelineConfig cfg = base_config(91);
+  const Coordinator coord(parse_scenario(
+      "radio=5g,sps=1e-3,deadline=4,realloc-reserve=0.5,"
+      "site1.speed=0.02,seed=91"));
+
+  set_parallel_threads(1);
+  const SimReport one = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(8);
+  const SimReport eight = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(0);
+
+  // The wave actually ran, and ran identically at both thread counts.
+  EXPECT_GE(one.realloc_waves, 1u);
+  EXPECT_EQ(one.realloc_waves, eight.realloc_waves);
+  ASSERT_EQ(one.event_log.size(), eight.event_log.size());
+  for (std::size_t i = 0; i < one.event_log.size(); ++i) {
+    EXPECT_EQ(one.event_log[i], eight.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(one.completion_seconds, eight.completion_seconds);
+  EXPECT_EQ(one.server_completion_seconds, eight.server_completion_seconds);
+  EXPECT_EQ(one.result.centers, eight.result.centers);
+  EXPECT_EQ(one.result.summary_points, eight.result.summary_points);
+
+  // realloc=off is PR 3's behavior: no waves, fewer summary points.
+  const Coordinator off(parse_scenario(
+      "radio=5g,sps=1e-3,deadline=4,realloc-reserve=0.5,"
+      "site1.speed=0.02,seed=91,realloc=off"));
+  const SimReport pr3 = off.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_EQ(pr3.realloc_waves, 0u);
+  EXPECT_GT(one.result.summary_points, pr3.result.summary_points);
 }
 
 TEST(Exhaustion, EmptyShardWithRefineStaysFrameAligned) {

@@ -31,6 +31,10 @@
 //                         clock (sim only); sites that miss it are dropped
 //                         from the round and the server aggregates over the
 //                         responders. "inf" (the default) waits for everyone.
+//   --retry STRATEGY      retransmission policy (sim only): fixed (default),
+//                         backoff (exponential + jitter), or giveup
+//                         (deadline-aware: skip attempts that cannot finish
+//                         before the round cutoff).
 //
 // Every numeric flag goes through a checked parse: trailing garbage,
 // empty values, and out-of-range numbers exit 2 with a message naming
@@ -78,6 +82,7 @@ struct CliArgs {
   std::size_t rounds = 4;
   double deadline = std::numeric_limits<double>::infinity();
   bool deadline_set = false;
+  std::string retry;  // empty = keep the scenario's strategy
   bool help = false;
 };
 
@@ -116,6 +121,11 @@ bool parse_i32(const char* flag, const char* value, int& out) {
   return true;
 }
 
+// Non-finite policy (see parse_full_double): an explicit "inf" token
+// parses and is meaningful for --deadline (wait forever); a
+// finite-looking token that overflows double ("1e999") is rejected in
+// the parser itself; "nan" parses but fails every flag's range check
+// (NaN compares false), so it exits 2 like any other bad value.
 bool parse_f64(const char* flag, const char* value, double& out) {
   const auto v = parse_full_double(value);
   if (!v.has_value()) {
@@ -201,6 +211,16 @@ std::optional<CliArgs> parse(int argc, char** argv) {
         return std::nullopt;
       }
       a.deadline_set = true;
+    } else if (want("--retry")) {
+      // Grammar shared with the scenario parser (retry_strategy_from_name)
+      // so the CLI can never drift from `retry=` / `siteN.retry=`.
+      if (const char* v = next(i)) a.retry = v; else return std::nullopt;
+      if (!retry_strategy_from_name(a.retry).has_value()) {
+        std::fprintf(stderr,
+                     "--retry must be fixed|backoff|giveup, got '%s'\n",
+                     a.retry.c_str());
+        return std::nullopt;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag);
       return std::nullopt;
@@ -265,12 +285,18 @@ constexpr const char* kUsage =
     "    ble-swarm lora-field nr5g-fleet lossy-mesh hetero-mesh\n"
     "    deadline-fleet; keys: radio loss dropout outage retries jitter\n"
     "    stragglers slowdown skew sps server-speed deadline\n"
-    "    min-responders seed siteN.{radio,bandwidth,loss,dropout,speed};\n"
+    "    min-responders realloc realloc-reserve retry backoff-base\n"
+    "    backoff-cap backoff-jitter seed\n"
+    "    siteN.{radio,bandwidth,loss,dropout,speed,retry};\n"
     "    sim algorithms: nr bklw jl+bklw stream)\n"
     "  --rounds R   uplink rounds for --algorithm stream (default 4)\n"
     "  --deadline SECONDS   per-round deadline on the virtual clock (sim\n"
     "    only): sites that miss it are dropped from that round and the\n"
-    "    server aggregates over the responders; inf waits for everyone\n";
+    "    server aggregates over the responders; inf waits for everyone\n"
+    "  --retry fixed|backoff|giveup   retransmission policy (sim only):\n"
+    "    fixed ack-timeout, exponential backoff + jitter, or\n"
+    "    deadline-aware give-up that keeps the radio off for attempts\n"
+    "    that cannot complete before the round cutoff\n";
 
 }  // namespace
 
@@ -316,6 +342,11 @@ int main(int argc, char** argv) {
                          "simulator's virtual clock)\n");
     return 2;
   }
+  if (!args->retry.empty() && args->sim.empty()) {
+    std::fprintf(stderr, "--retry needs --sim (retransmission policies live "
+                         "on the simulated radio)\n");
+    return 2;
+  }
 
   const Dataset data = make_input(*args);
   std::printf("input: %zu points x %zu dims\n", data.size(), data.dim());
@@ -343,6 +374,11 @@ int main(int argc, char** argv) {
     if (args->sim.find("seed=") == std::string::npos) scenario.seed = args->seed;
     // --deadline overrides whatever the scenario string or preset set.
     if (args->deadline_set) scenario.round.deadline_s = args->deadline;
+    // --retry overrides the scenario's fleet-wide strategy (per-site
+    // siteN.retry= overrides still win, matching --deadline's layering).
+    if (!args->retry.empty()) {
+      scenario.retry.strategy = *retry_strategy_from_name(args->retry);
+    }
 
     Rng rng = make_rng(args->seed, 0x9a87ULL);
     const std::vector<Dataset> parts =
@@ -383,10 +419,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.outages));
     if (scenario.round.active()) {
       std::printf("deadline       : %.6g s/round over %llu round(s), "
-                  "%llu dropped frame(s)\n",
+                  "%llu dropped frame(s), %llu realloc wave(s)\n",
                   scenario.round.deadline_s,
                   static_cast<unsigned long long>(report.rounds),
-                  static_cast<unsigned long long>(report.deadline_misses));
+                  static_cast<unsigned long long>(report.deadline_misses),
+                  static_cast<unsigned long long>(report.realloc_waves));
+    }
+    if (scenario.retry.strategy != RetryStrategy::kFixed) {
+      std::printf("retry policy   : %s\n",
+                  retry_strategy_name(scenario.retry.strategy));
     }
   } else if (args->sources > 1) {
     Rng rng = make_rng(args->seed, 0x9a87ULL);

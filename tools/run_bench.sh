@@ -18,6 +18,17 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 shift || true
 
+# Any temp file not yet renamed into place is removed on exit — a bench
+# that crashes (or a Ctrl-C mid-run) must not leave BENCH_*.json.XXXXXX
+# litter next to the committed trajectories. `mv` removes the source, so
+# cleaning up an already-promoted tmp is a harmless no-op.
+tmp_files=()
+cleanup() {
+  ((${#tmp_files[@]})) && rm -f "${tmp_files[@]}"
+  return 0
+}
+trap cleanup EXIT
+
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" --target bench_assign_kernel bench_sim_scenarios -j >/dev/null
 
@@ -27,6 +38,7 @@ run_bench() {
   local tmp
   # No suffix after the Xs: BSD/macOS mktemp rejects templates with one.
   tmp="$(mktemp "$target.XXXXXX")"
+  tmp_files+=("$tmp")
   if ! "$binary" --json "$tmp" "$@" || [[ ! -s "$tmp" ]]; then
     rm -f "$tmp"
     echo "error: $(basename "$binary") failed — $target left untouched" >&2
