@@ -5,8 +5,12 @@
 // from infinity down to aggressive, tracing the responders-vs-accuracy
 // trade of partial aggregation — and a realloc sweep, comparing the
 // server-side coreset size and cost ratio with deadline-aware budget
-// reallocation off vs on across a fault grid. Emits per-cell deployment
-// metrics —
+// reallocation off vs on across a fault grid — and an overlap sweep:
+// a deadline-bound fleet with a growing set of link-constrained
+// stragglers, run with phase-overlap scheduling off vs on, tracing the
+// server time-to-model the expiry-NAK commit rule buys (event logging
+// off: a sweep of lossy multi-round runs has no use for full traces in
+// memory). Emits per-cell deployment metrics —
 // virtual completion time, site energy, goodput vs retransmitted bits,
 // attempt/drop counts, responder counts, and the k-means cost ratio
 // against the NR (ship-everything) baseline — as BENCH_sim.json so
@@ -255,6 +259,69 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- overlap sweep: phase-overlap scheduling vs the lock-step
+  // barriers. A 3-second-round give-up fleet where 0/1/2 sites sit
+  // behind 2 kbps links: their multi-kilobit summaries can never make
+  // a round, so they expire at compute-ready time — with overlap off
+  // the server still waits every round out; with overlap on the expiry
+  // NAK commits each merge barrier at its last final input and the
+  // fast sites' next phase starts early. The protocol actions are
+  // identical either way (same frames, responders, RNG draws), so the
+  // columns to watch are pure timing: server_completion_seconds and
+  // completion_seconds. The 0-straggler rows are the control: overlap
+  // must change nothing there.
+  struct OverlapCell {
+    std::size_t slow_sites = 0;
+    bool overlap = false;
+    SimReport report;
+    double cost_ratio = 0.0;
+    bool feasible = true;
+  };
+  constexpr const char* kOverlapBase =
+      "radio=wifi,sps=1e-4,deadline=3,retry=giveup,event-log=off";
+  std::vector<OverlapCell> ocells;
+  std::printf("\noverlap sweep  scenario=wifi+2kbps-stragglers,deadline=3 "
+              "pipeline=BKLW\n");
+  std::printf("%-6s %-8s %14s %14s %12s %9s %7s %10s\n", "slow", "overlap",
+              "server_done_s", "completion_s", "energy_J", "misses", "suppl",
+              "cost_ratio");
+  for (std::size_t slow = 0; slow <= 2; ++slow) {
+    for (int overlap_on = 0; overlap_on <= 1; ++overlap_on) {
+      std::string spec = kOverlapBase;
+      for (std::size_t j = 0; j < slow; ++j) {
+        spec += ",site" + std::to_string(j) + ".bandwidth=2000";
+      }
+      spec += std::string(",overlap=") + (overlap_on ? "on" : "off");
+      spec += ",seed=" + std::to_string(seed);
+      const Coordinator coord(parse_scenario(spec));
+      OverlapCell cell;
+      cell.slow_sites = slow;
+      cell.overlap = overlap_on != 0;
+      try {
+        cell.report = coord.run(PipelineKind::kBklw, parts, cfg);
+        cell.cost_ratio =
+            kmeans_cost(data, cell.report.result.centers) / nr_cost;
+      } catch (const invariant_error&) {
+        cell.feasible = false;
+      }
+      if (!cell.feasible) {
+        std::printf("%-6zu %-8s %14s\n", slow, overlap_on ? "on" : "off",
+                    "infeasible");
+        ocells.push_back(std::move(cell));
+        continue;
+      }
+      std::printf("%-6zu %-8s %14.4f %14.4f %12.4e %9llu %7llu %10.4f\n", slow,
+                  overlap_on ? "on" : "off",
+                  cell.report.server_completion_seconds,
+                  cell.report.completion_seconds, cell.report.energy_joules,
+                  static_cast<unsigned long long>(cell.report.deadline_misses),
+                  static_cast<unsigned long long>(
+                      cell.report.supplemental_misses),
+                  cell.cost_ratio);
+      ocells.push_back(std::move(cell));
+    }
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -375,6 +442,45 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(
               c.report.uplink_stats.retransmit_bits),
           c.cost_ratio, i + 1 < rcells.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "    ]\n  },\n"
+                 "  \"overlap_sweep\": {\n"
+                 "    \"scenario\": \"%s\",\n"
+                 "    \"pipeline\": \"bklw\",\n"
+                 "    \"straggler_bandwidth_bps\": 2000,\n"
+                 "    \"cells\": [\n",
+                 kOverlapBase);
+    for (std::size_t i = 0; i < ocells.size(); ++i) {
+      const OverlapCell& c = ocells[i];
+      if (!c.feasible) {
+        std::fprintf(f,
+                     "      {\"slow_sites\": %zu, \"overlap\": %s,"
+                     " \"feasible\": false}%s\n",
+                     c.slow_sites, c.overlap ? "true" : "false",
+                     i + 1 < ocells.size() ? "," : "");
+        continue;
+      }
+      std::fprintf(
+          f,
+          "      {\"slow_sites\": %zu, \"overlap\": %s, \"feasible\": true,\n"
+          "       \"server_completion_seconds\": %.17g,\n"
+          "       \"completion_seconds\": %.17g,\n"
+          "       \"energy_joules\": %.17g,\n"
+          "       \"deadline_misses\": %llu, \"supplemental_misses\": %llu,\n"
+          "       \"sites_dropped\": %llu, \"sites_data_dropped\": %llu,\n"
+          "       \"rounds\": %llu, \"events\": %zu,\n"
+          "       \"cost_ratio_vs_nr\": %.17g}%s\n",
+          c.slow_sites, c.overlap ? "true" : "false",
+          c.report.server_completion_seconds, c.report.completion_seconds,
+          c.report.energy_joules,
+          static_cast<unsigned long long>(c.report.deadline_misses),
+          static_cast<unsigned long long>(c.report.supplemental_misses),
+          static_cast<unsigned long long>(c.report.sites_dropped),
+          static_cast<unsigned long long>(c.report.sites_data_dropped),
+          static_cast<unsigned long long>(c.report.rounds),
+          c.report.event_log.size(), c.cost_ratio,
+          i + 1 < ocells.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);

@@ -6,9 +6,17 @@
 #include "distributed/disss.hpp"
 #include "dr/pca.hpp"
 #include "net/summary_codec.hpp"
+#include "sched/scheduler.hpp"
 
 namespace ekm {
 
+// BKLW composes the two task-graph protocols (disPCA, disSS) with a
+// projection phase between them — itself a small per-site graph: each
+// site's basis collect feeds its local projection, with no cross-site
+// dependency at all. That independence is the point of phase overlap:
+// on the simulated fabric a fast site's basis arrives, it projects and
+// enters disSS on its own clock, regardless of what a straggler's
+// timeline is still doing.
 Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
                      Fabric& net, Stopwatch& device_work, std::uint64_t seed) {
   EKM_EXPECTS(!parts.empty());
@@ -37,26 +45,39 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
   // orthonormal, and it is what keeps the disSS uplink at t2 scalars per
   // point.)
   std::vector<Dataset> projected(parts.size());
+  TaskGraph graph;
   for (std::size_t i = 0; i < parts.size(); ++i) {
     if (parts[i].empty()) {
-      // Even an empty site consumes its copy of the broadcast: a frame
-      // left queued would alias the next downlink read on this link
-      // (disSS's allocation, or a refine round's centers).
-      (void)net.downlink(i).receive_by(kNoDeadline);
+      (void)graph.add({TaskKind::kCollect, i, "bklw/drain-basis",
+                       [&net, i] {
+                         // Even an empty site consumes its copy of the
+                         // broadcast: a frame left queued would alias
+                         // the next downlink read on this link (disSS's
+                         // allocation, or a refine round's centers).
+                         (void)net.downlink(i).receive_by(kNoDeadline);
+                       },
+                       {}});
       continue;
     }
-    auto scope = device_work.measure();
-    // A site whose basis broadcast expired on the downlink cannot
-    // project; it enters disSS as an empty source (transmitting only
-    // the empty-summary sentinel) instead of wedging the protocol.
-    auto basis_frame = net.downlink(i).receive_by(kNoDeadline);
-    if (!basis_frame.has_value()) continue;
-    const Matrix v = decode_matrix(*basis_frame);
-    Matrix coords = matmul(parts[i].points(), v);
-    projected[i] = parts[i].is_weighted()
-                       ? Dataset(std::move(coords), *parts[i].weights())
-                       : Dataset(std::move(coords));
+    (void)graph.add(
+        {TaskKind::kCompute, i, "bklw/project",
+         [&, i] {
+           auto scope = device_work.measure();
+           // A site whose basis broadcast expired on the downlink cannot
+           // project; it enters disSS as an empty source (transmitting
+           // only the empty-summary sentinel) instead of wedging the
+           // protocol.
+           auto basis_frame = net.downlink(i).receive_by(kNoDeadline);
+           if (!basis_frame.has_value()) return;
+           const Matrix v = decode_matrix(*basis_frame);
+           Matrix coords = matmul(parts[i].points(), v);
+           projected[i] = parts[i].is_weighted()
+                              ? Dataset(std::move(coords), *parts[i].weights())
+                              : Dataset(std::move(coords));
+         },
+         {}});
   }
+  PhaseScheduler(net).run(graph);
 
   // --- disSS on the projected data. ---
   DisSsOptions sopts;

@@ -4,13 +4,24 @@
 
 #include "linalg/svd.hpp"
 #include "net/summary_codec.hpp"
+#include "sched/scheduler.hpp"
 
 namespace ekm {
 
+// disPCA as a task graph (src/sched/): per-site local-SVD compute
+// feeding a two-frame uplink, one server collect per site, the global
+// merge barrier, and the basis broadcast fan-out. Tasks are added in
+// the program order of the PR 4 loop, so the scheduler's execution is
+// bitwise identical to it; what the graph buys is the explicit
+// dependency structure — the merge barrier commits on *final* inputs,
+// which under phase overlap (SimNetwork expiry NAKs) happens as soon
+// as every site's frames are delivered or known-expired instead of at
+// the round cutoff.
 DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
                     Fabric& net, Stopwatch& device_work) {
   EKM_EXPECTS(!parts.empty());
   EKM_EXPECTS(parts.size() == net.num_sources());
+  const std::size_t m = parts.size();
   std::size_t d = 0;
   for (const Dataset& p : parts) {
     if (!p.empty()) {
@@ -19,73 +30,114 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
     }
   }
   EKM_EXPECTS_MSG(d > 0, "all sources empty");
+  for (const Dataset& p : parts) {
+    EKM_EXPECTS_MSG(p.empty() || p.dim() == d,
+                    "sources disagree on dimension");
+  }
 
-  // --- data sources: local SVD, uplink (Σ^(t1), V^(t1)). ---
+  // Shared round state, written by the tasks below in dependency order.
+  double deadline = kNoDeadline;
+  std::vector<Matrix> sigma(m);  // 1 x t1 each
+  std::vector<Matrix> v(m);      // d x t1 each
+  Matrix y;                      // (Σ_responders t1_i) x d
+  std::size_t responders = 0;
+  DisPcaResult result;
+
+  TaskGraph graph;
+
   // The round opens before the first uplink so a time-aware fabric can
   // cancel retransmissions that would outlive the deadline.
-  const double deadline = net.open_round(opts.round_deadline_s);
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    EKM_EXPECTS_MSG(parts[i].empty() || parts[i].dim() == d,
-                    "sources disagree on dimension");
+  const TaskId open = graph.add(
+      {TaskKind::kBarrier, kServerActor, "disPCA/open-round",
+       [&] { deadline = net.open_round(opts.round_deadline_s); },
+       {}});
+
+  // --- data sources: local SVD, uplink (Σ^(t1), V^(t1)). ---
+  std::vector<TaskId> uplinks(m);
+  for (std::size_t i = 0; i < m; ++i) {
     if (parts[i].empty()) {
-      net.uplink(i).send(encode_matrix(Matrix(0, 0)));
-      net.uplink(i).send(encode_matrix(Matrix(0, 0)));
+      uplinks[i] = graph.add({TaskKind::kUplink, i, "disPCA/uplink-empty",
+                              [&net, i] {
+                                net.uplink(i).send(encode_matrix(Matrix(0, 0)));
+                                net.uplink(i).send(encode_matrix(Matrix(0, 0)));
+                              },
+                              {open}});
       continue;
     }
-    Matrix sigma_row;  // 1 x t1
-    Matrix v_t1;       // d x t1
-    {
-      auto scope = device_work.measure();
-      const std::size_t t1 =
-          std::min({opts.t1, parts[i].size(), parts[i].dim()});
-      Svd svd = truncated_svd(parts[i].points(), t1);
-      sigma_row = Matrix(1, svd.rank());
-      for (std::size_t j = 0; j < svd.rank(); ++j) sigma_row(0, j) = svd.sigma[j];
-      v_t1 = svd.v;
-    }
-    net.uplink(i).send(encode_matrix(sigma_row));
-    net.uplink(i).send(encode_matrix(v_t1));
+    const TaskId compute = graph.add(
+        {TaskKind::kCompute, i, "disPCA/local-svd",
+         [&, i] {
+           auto scope = device_work.measure();
+           const std::size_t t1 =
+               std::min({opts.t1, parts[i].size(), parts[i].dim()});
+           Svd svd = truncated_svd(parts[i].points(), t1);
+           sigma[i] = Matrix(1, svd.rank());
+           for (std::size_t j = 0; j < svd.rank(); ++j) {
+             sigma[i](0, j) = svd.sigma[j];
+           }
+           v[i] = svd.v;
+         },
+         {open}});
+    uplinks[i] = graph.add({TaskKind::kUplink, i, "disPCA/uplink-frames",
+                            [&, i] {
+                              net.uplink(i).send(encode_matrix(sigma[i]));
+                              net.uplink(i).send(encode_matrix(v[i]));
+                            },
+                            {compute}});
   }
 
   // --- server: stack Y_i = Σ_i^(t1) V_i^(t1)^T over whichever sources
   // delivered by the deadline, global SVD. A dropped source's subspace
   // simply does not shape this round's merge — the availability /
   // accuracy trade the deadline buys. ---
-  Matrix y;  // (Σ_responders t1_i) x d
-  std::size_t responders = 0;
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    // Both frames must be consumed either way, or a late V would alias
-    // the next round's traffic on this link.
-    auto sigma_frame = net.uplink(i).receive_by(deadline);
-    auto v_frame = net.uplink(i).receive_by(deadline);
-    if (!sigma_frame.has_value() || !v_frame.has_value()) continue;
-    responders += 1;
-    const Matrix sigma_row = decode_matrix(*sigma_frame);
-    const Matrix v_t1 = decode_matrix(*v_frame);
-    if (sigma_row.size() == 0) continue;
-    // Y_i rows: sigma_j * (column j of V)^T.
-    Matrix yi(sigma_row.cols(), d);
-    for (std::size_t j = 0; j < sigma_row.cols(); ++j) {
-      for (std::size_t c = 0; c < d; ++c) {
-        yi(j, c) = sigma_row(0, j) * v_t1(c, j);
-      }
-    }
-    y.append_rows(yi);
+  std::vector<TaskId> collects(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    collects[i] = graph.add(
+        {TaskKind::kCollect, kServerActor, "disPCA/collect",
+         [&, i] {
+           // The Σ/V pair is one summary: both frames are consumed
+           // either way, and a half-arrived pair is one site miss —
+           // never half-aggregated (receive_frames_by).
+           auto frames = receive_frames_by(net.uplink(i), 2, deadline);
+           if (!frames.has_value()) return;
+           responders += 1;
+           const Matrix sigma_row = decode_matrix((*frames)[0]);
+           const Matrix v_t1 = decode_matrix((*frames)[1]);
+           if (sigma_row.size() == 0) return;
+           // Y_i rows: sigma_j * (column j of V)^T.
+           Matrix yi(sigma_row.cols(), d);
+           for (std::size_t j = 0; j < sigma_row.cols(); ++j) {
+             for (std::size_t c = 0; c < d; ++c) {
+               yi(j, c) = sigma_row(0, j) * v_t1(c, j);
+             }
+           }
+           y.append_rows(yi);
+         },
+         {uplinks[i]}});
   }
-  enforce_availability_floor(responders, opts.min_responders, "disPCA round");
-  EKM_ENSURES_MSG(y.rows() > 0, "all sources empty or dropped at the deadline");
 
-  const std::size_t t2 = std::min({opts.t2, y.rows(), d});
-  Svd global = truncated_svd(y, t2);
-
-  DisPcaResult result;
-  result.v = global.v;  // d x t2
+  const TaskId merge = graph.add(
+      {TaskKind::kBarrier, kServerActor, "disPCA/merge-basis",
+       [&] {
+         enforce_availability_floor(responders, opts.min_responders,
+                                    "disPCA round");
+         EKM_ENSURES_MSG(y.rows() > 0,
+                         "all sources empty or dropped at the deadline");
+         const std::size_t t2 = std::min({opts.t2, y.rows(), d});
+         Svd global = truncated_svd(y, t2);
+         result.v = global.v;  // d x t2
+       },
+       collects});
 
   // --- server -> sources: broadcast the merged basis (downlink, not
   // counted by the paper's metric but measured by the ledger). ---
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    net.downlink(i).send(encode_matrix(result.v));
+  for (std::size_t i = 0; i < m; ++i) {
+    (void)graph.add({TaskKind::kBroadcast, kServerActor, "disPCA/broadcast",
+                     [&, i] { net.downlink(i).send(encode_matrix(result.v)); },
+                     {merge}});
   }
+
+  PhaseScheduler(net).run(graph);
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "kmeans/cost.hpp"
 #include "net/summary_codec.hpp"
 #include "qt/quantizer.hpp"
+#include "sched/scheduler.hpp"
 
 namespace ekm {
 namespace {
@@ -106,6 +107,17 @@ Dataset coreset_from_picks(const Dataset& p, const Matrix& xi,
 
 }  // namespace
 
+// disSS as a task graph (src/sched/): two collection rounds — the cost
+// round (bicriteria + one-scalar uplink, budget-split barrier, NAK or
+// allocation broadcast) and the summary round (sample + coreset
+// uplink, union barrier) — plus a *dynamically added* continuation:
+// the budget-reallocation wave only exists once the union barrier
+// knows who missed, so its tasks (open_subround, per-receiver
+// broadcast, supplement compute/uplink, collect, final union) are
+// appended to the running graph by the barrier's action. Creation
+// order mirrors the PR 4 loops statement for statement, so execution
+// (lowest-ready-id) is bitwise identical to them; barriers commit on
+// final inputs, which is what the overlap commit rule accelerates.
 Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
               Fabric& net, Stopwatch& device_work, std::uint64_t seed) {
   EKM_EXPECTS(!parts.empty());
@@ -115,24 +127,62 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
                   "realloc_reserve must be in [0, 1)");
   const std::size_t m = parts.size();
 
-  // --- step 1: local bicriteria solutions, uplink local costs. ---
-  const double cost_deadline = net.open_round(opts.round_deadline_s);
+  // Shared protocol state, written by the tasks in dependency order.
+  double cost_deadline = kNoDeadline;
   std::vector<Matrix> local_centers(m);
   std::vector<double> local_cost(m, 0.0);
+  std::vector<char> in_round(m, 0);
+  double total_cost = 0.0;
+  std::size_t cost_responders = 0;
+  std::vector<std::size_t> alloc(m, 0);
+  double summary_deadline = kNoDeadline;
+  double wave1_deadline = kNoDeadline;
+  std::vector<SiteSample> samples(m);
+  std::vector<char> sent(m, 0);
+  std::vector<Dataset> piece(m);
+  std::vector<char> got(m, 0);
+  std::size_t summary_responders = 0;
+  Coreset merged;
+
+  // The wave schedule is a pure function of the options (see the
+  // summary-round open task below for the timing rationale).
+  const bool reserve_scheduled =
+      std::isfinite(opts.round_deadline_s) && opts.realloc_reserve > 0.0;
+  const bool realloc_armed =
+      opts.reallocate &&
+      (!std::isfinite(opts.round_deadline_s) || reserve_scheduled);
+
+  TaskGraph graph;
+
+  // --- step 1: local bicriteria solutions, uplink local costs. ---
+  const TaskId cost_open = graph.add(
+      {TaskKind::kBarrier, kServerActor, "disSS/open-cost-round",
+       [&] { cost_deadline = net.open_round(opts.round_deadline_s); },
+       {}});
+  std::vector<TaskId> cost_uplinks(m);
   for (std::size_t i = 0; i < m; ++i) {
     if (parts[i].empty()) {
-      net.uplink(i).send(encode_scalar(0.0));
+      cost_uplinks[i] =
+          graph.add({TaskKind::kUplink, i, "disSS/uplink-cost-empty",
+                     [&net, i] { net.uplink(i).send(encode_scalar(0.0)); },
+                     {cost_open}});
       continue;
     }
-    Rng rng = make_rng(seed, 2 * i);
-    {
-      auto scope = device_work.measure();
-      BicriteriaOptions bopts = opts.bicriteria;
-      bopts.k = opts.k;
-      local_centers[i] = bicriteria_centers(parts[i], bopts, rng);
-      local_cost[i] = kmeans_cost(parts[i], local_centers[i]);
-    }
-    net.uplink(i).send(encode_scalar(local_cost[i]));
+    const TaskId compute = graph.add(
+        {TaskKind::kCompute, i, "disSS/bicriteria",
+         [&, i] {
+           Rng rng = make_rng(seed, 2 * i);
+           auto scope = device_work.measure();
+           BicriteriaOptions bopts = opts.bicriteria;
+           bopts.k = opts.k;
+           local_centers[i] = bicriteria_centers(parts[i], bopts, rng);
+           local_cost[i] = kmeans_cost(parts[i], local_centers[i]);
+         },
+         {cost_open}});
+    cost_uplinks[i] = graph.add(
+        {TaskKind::kUplink, i, "disSS/uplink-cost",
+         [&, i] { net.uplink(i).send(encode_scalar(local_cost[i])); },
+         {compute}});
   }
 
   // --- step 2: server allocates the sample budget ∝ cost, over the
@@ -140,105 +190,124 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   // NAK'd (allocation -1) so they stay silent in step 3; total_cost —
   // and with it every sample weight — is renormalized over the
   // responders. ---
-  std::vector<char> in_round(m, 0);
-  double total_cost = 0.0;
-  std::size_t cost_responders = 0;
+  std::vector<TaskId> cost_collects(m);
   for (std::size_t i = 0; i < m; ++i) {
-    auto frame = net.uplink(i).receive_by(cost_deadline);
-    if (!frame.has_value()) continue;
-    in_round[i] = 1;
-    cost_responders += 1;
-    total_cost += decode_scalar(*frame);
+    cost_collects[i] = graph.add(
+        {TaskKind::kCollect, kServerActor, "disSS/collect-cost",
+         [&, i] {
+           auto frames = receive_frames_by(net.uplink(i), 1, cost_deadline);
+           if (!frames.has_value()) return;
+           in_round[i] = 1;
+           cost_responders += 1;
+           total_cost += decode_scalar((*frames)[0]);
+         },
+         {cost_uplinks[i]}});
   }
-  enforce_availability_floor(cost_responders, opts.min_responders,
-                             "disSS cost round");
-  std::vector<std::size_t> alloc(m, 0);
+  const TaskId budget_split = graph.add(
+      {TaskKind::kBarrier, kServerActor, "disSS/budget-split",
+       [&] {
+         enforce_availability_floor(cost_responders, opts.min_responders,
+                                    "disSS cost round");
+       },
+       cost_collects});
+  std::vector<TaskId> alloc_broadcasts(m);
   for (std::size_t i = 0; i < m; ++i) {
-    if (!in_round[i]) {
-      net.downlink(i).send(encode_scalar(-1.0));
-      continue;
-    }
-    alloc[i] = total_cost > 0.0
-                   ? static_cast<std::size_t>(std::llround(
-                         static_cast<double>(opts.total_samples) *
-                         local_cost[i] / total_cost))
-                   : opts.total_samples / cost_responders;
-    net.downlink(i).send(encode_scalar(static_cast<double>(alloc[i])));
+    alloc_broadcasts[i] = graph.add(
+        {TaskKind::kBroadcast, kServerActor, "disSS/broadcast-alloc",
+         [&, i] {
+           if (!in_round[i]) {
+             net.downlink(i).send(encode_scalar(-1.0));
+             return;
+           }
+           alloc[i] = total_cost > 0.0
+                          ? static_cast<std::size_t>(std::llround(
+                                static_cast<double>(opts.total_samples) *
+                                local_cost[i] / total_cost))
+                          : opts.total_samples / cost_responders;
+           net.downlink(i).send(encode_scalar(static_cast<double>(alloc[i])));
+         },
+         {budget_split}});
   }
 
   // --- step 3: sources sample ∝ cost({p}, X_i), uplink S_i ∪ X_i. ---
-  const double summary_deadline = net.open_round(opts.round_deadline_s);
-  // The server only learns who missed a finite round when the
-  // collection deadline passes, so a wave opened at the round cutoff
-  // itself could never deliver. Reallocation under a finite deadline
-  // therefore requires an explicitly scheduled reserve: first-wave
-  // summaries are then due at `deadline − reserve × budget` and the
-  // tail of the round belongs to the wave. With no reserve (the
-  // default) the first wave collects at the full round deadline —
-  // exactly PR 3's schedule — and the wave is skipped; with an
-  // unbounded round the server learns of a miss the moment the
-  // sender's retry budget dies, and the wave runs without a reserve.
-  // (The sites schedule transmissions against the *round* cutoff
-  // either way — the wave split is the server's internal affair.)
-  const bool reserve_scheduled =
-      std::isfinite(opts.round_deadline_s) && opts.realloc_reserve > 0.0;
-  const bool realloc_armed =
-      opts.reallocate &&
-      (!std::isfinite(opts.round_deadline_s) || reserve_scheduled);
-  const double wave1_deadline =
-      opts.reallocate && reserve_scheduled
-          ? summary_deadline - opts.realloc_reserve * opts.round_deadline_s
-          : summary_deadline;
-  std::vector<SiteSample> samples(m);
-  std::vector<char> sent(m, 0);
+  const TaskId summary_open = graph.add(
+      {TaskKind::kBarrier, kServerActor, "disSS/open-summary-round",
+       [&] {
+         summary_deadline = net.open_round(opts.round_deadline_s);
+         // The server only learns who missed a finite round when the
+         // collection deadline passes, so a wave opened at the round
+         // cutoff itself could never deliver. Reallocation under a
+         // finite deadline therefore requires an explicitly scheduled
+         // reserve: first-wave summaries are then due at `deadline −
+         // reserve × budget` and the tail of the round belongs to the
+         // wave. With no reserve (the default) the first wave collects
+         // at the full round deadline — exactly PR 3's schedule — and
+         // the wave is skipped; with an unbounded round the server
+         // learns of a miss the moment the sender's retry budget dies,
+         // and the wave runs without a reserve. (The sites schedule
+         // transmissions against the *round* cutoff either way — the
+         // wave split is the server's internal affair.)
+         wave1_deadline =
+             opts.reallocate && reserve_scheduled
+                 ? summary_deadline - opts.realloc_reserve * opts.round_deadline_s
+                 : summary_deadline;
+       },
+       alloc_broadcasts});
+  std::vector<TaskId> summary_uplinks(m);
   for (std::size_t i = 0; i < m; ++i) {
-    if (parts[i].empty()) {
-      // Consume the allocation frame even though its value is moot —
-      // leaving it queued would alias the next downlink read on this
-      // link (e.g. a refine round's pushed centers).
-      (void)net.downlink(i).receive_by(kNoDeadline);
-      net.uplink(i).send(encode_coreset(Coreset{}, opts.significant_bits));
-      sent[i] = 1;
-      continue;
-    }
-    // A NAK'd source — or one whose allocation frame expired on the
-    // downlink — sits this round out and transmits nothing.
-    auto alloc_frame = net.downlink(i).receive_by(kNoDeadline);
-    const double si_signed =
-        alloc_frame.has_value() ? decode_scalar(*alloc_frame) : -1.0;
-    if (si_signed < 0.0) continue;
-    const auto si = static_cast<std::size_t>(si_signed);
-    Coreset local;
-    {
-      auto scope = device_work.measure();
-      SiteSample& st = samples[i];
-      st.rng = make_rng(seed, 2 * i + 1);
-      const Dataset& p = parts[i];
-      const std::size_t n = p.size();
-      const Matrix& xi = local_centers[i];
+    summary_uplinks[i] = graph.add(
+        {TaskKind::kCompute, i, "disSS/sample+uplink",
+         [&, i] {
+           if (parts[i].empty()) {
+             // Consume the allocation frame even though its value is
+             // moot — leaving it queued would alias the next downlink
+             // read on this link (e.g. a refine round's pushed
+             // centers).
+             (void)net.downlink(i).receive_by(kNoDeadline);
+             net.uplink(i).send(encode_coreset(Coreset{}, opts.significant_bits));
+             sent[i] = 1;
+             return;
+           }
+           // A NAK'd source — or one whose allocation frame expired on
+           // the downlink — sits this round out and transmits nothing.
+           auto alloc_frame = net.downlink(i).receive_by(kNoDeadline);
+           const double si_signed =
+               alloc_frame.has_value() ? decode_scalar(*alloc_frame) : -1.0;
+           if (si_signed < 0.0) return;
+           const auto si = static_cast<std::size_t>(si_signed);
+           Coreset local;
+           {
+             auto scope = device_work.measure();
+             SiteSample& st = samples[i];
+             st.rng = make_rng(seed, 2 * i + 1);
+             const Dataset& p = parts[i];
+             const std::size_t n = p.size();
+             const Matrix& xi = local_centers[i];
 
-      st.assign.resize(n);
-      st.contrib.resize(n);
-      st.cluster_weight.assign(xi.rows(), 0.0);
-      for (std::size_t j = 0; j < n; ++j) {
-        const NearestCenter nc = nearest_center(p.point(j), xi);
-        st.assign[j] = nc.index;
-        st.contrib[j] = p.weight(j) * nc.sq_dist;
-        st.cost += st.contrib[j];
-        st.cluster_weight[nc.index] += p.weight(j);
-      }
+             st.assign.resize(n);
+             st.contrib.resize(n);
+             st.cluster_weight.assign(xi.rows(), 0.0);
+             for (std::size_t j = 0; j < n; ++j) {
+               const NearestCenter nc = nearest_center(p.point(j), xi);
+               st.assign[j] = nc.index;
+               st.contrib[j] = p.weight(j) * nc.sq_dist;
+               st.cost += st.contrib[j];
+               st.cluster_weight[nc.index] += p.weight(j);
+             }
 
-      st.target_rows = std::min(si, n);
-      draw_picks(st, p, st.target_rows);
-      local.points =
-          coreset_from_picks(p, xi, st, total_cost, opts.total_samples);
-    }
-    net.uplink(i).send(encode_coreset(local, opts.significant_bits));
-    sent[i] = 1;
-    // The scan/pick state exists only for the reallocation wave; when
-    // no wave can run, release it now instead of holding O(n) per site
-    // through the rest of the round.
-    if (!realloc_armed) samples[i] = SiteSample{};
+             st.target_rows = std::min(si, n);
+             draw_picks(st, p, st.target_rows);
+             local.points =
+                 coreset_from_picks(p, xi, st, total_cost, opts.total_samples);
+           }
+           net.uplink(i).send(encode_coreset(local, opts.significant_bits));
+           sent[i] = 1;
+           // The scan/pick state exists only for the reallocation wave;
+           // when no wave can run, release it now instead of holding
+           // O(n) per site through the rest of the round.
+           if (!realloc_armed) samples[i] = SiteSample{};
+         },
+         {summary_open}});
   }
 
   // --- step 4: server unions the local coresets that made the
@@ -246,24 +315,43 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   // shard's mass (the per-cluster top-up in step 3 guarantees it), so
   // a dropped source costs only its mass — the union stays a valid
   // weighted summary of the responders' data. ---
-  std::vector<Dataset> piece(m);
-  std::vector<char> got(m, 0);
-  std::size_t summary_responders = 0;
+  std::vector<TaskId> summary_collects(m);
   for (std::size_t i = 0; i < m; ++i) {
-    if (!sent[i]) continue;
-    auto frame = net.uplink(i).receive_by(wave1_deadline);
-    if (!frame.has_value()) continue;
-    got[i] = 1;
-    summary_responders += 1;
-    Coreset local = decode_coreset(*frame);
-    if (local.size() > 0) piece[i] = std::move(local.points);
+    summary_collects[i] = graph.add(
+        {TaskKind::kCollect, kServerActor, "disSS/collect-summary",
+         [&, i] {
+           if (!sent[i]) return;
+           auto frames = receive_frames_by(net.uplink(i), 1, wave1_deadline);
+           if (!frames.has_value()) return;
+           got[i] = 1;
+           summary_responders += 1;
+           Coreset local = decode_coreset((*frames)[0]);
+           if (local.size() > 0) piece[i] = std::move(local.points);
+         },
+         {summary_uplinks[i]}});
   }
-  // Distinct-site floor, checked once per round: the reallocation wave
-  // below never increments it (a responder that also delivers a
-  // supplement is still one site) and never decrements it (a responder
-  // whose supplement misses keeps its first-wave coreset).
-  enforce_availability_floor(summary_responders, opts.min_responders,
-                             "disSS summary round");
+
+  // The union task is appended by the barrier below — after the wave's
+  // tasks when a wave runs, directly otherwise. Its dependency list
+  // always encodes the true dataflow (the summary collects, the
+  // barrier itself, and any wave collects), even though most of those
+  // tasks are already done at append time: the graph must stay correct
+  // for any topological executor, not just the creation-order replay.
+  const auto add_union_task = [&](std::vector<TaskId> deps) {
+    (void)graph.add({TaskKind::kBarrier, kServerActor, "disSS/union",
+                     [&] {
+                       std::vector<Dataset> pieces;
+                       for (std::size_t i = 0; i < m; ++i) {
+                         if (piece[i].size() > 0) {
+                           pieces.push_back(std::move(piece[i]));
+                         }
+                       }
+                       EKM_ENSURES_MSG(!pieces.empty(),
+                                       "disSS produced an empty coreset");
+                       merged.points = concatenate(pieces);
+                     },
+                     std::move(deps)});
+  };
 
   // --- step 4b: deadline-aware budget reallocation. A source that was
   // allocated part of the sample budget but fell out of the summary
@@ -277,83 +365,143 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   // keeping its mass exactly its shard's — and uplinks a replacement
   // coreset under the same round cutoff (Fabric::open_subround). A
   // supplement that misses leaves the first-wave coreset in place, so
-  // reallocation can only add resolution, never cost liveness. ---
-  if (realloc_armed) {
-    std::size_t lost_budget = 0;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (in_round[i] && !got[i]) lost_budget += alloc[i];
-    }
-    double recv_cost = 0.0;
-    std::size_t receivers = 0;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (got[i] && !parts[i].empty()) {
-        recv_cost += local_cost[i];
-        receivers += 1;
-      }
-    }
-    std::vector<std::size_t> extra(m, 0);
-    std::size_t extra_total = 0;
-    if (lost_budget > 0 && receivers > 0) {
-      for (std::size_t i = 0; i < m; ++i) {
-        if (!got[i] || parts[i].empty()) continue;
-        extra[i] = recv_cost > 0.0
-                       ? static_cast<std::size_t>(std::llround(
-                             static_cast<double>(lost_budget) *
-                             local_cost[i] / recv_cost))
-                       : lost_budget / receivers;
-        extra_total += extra[i];
-      }
-    }
-    // Open (and count) a wave only when rounding left something to
-    // transfer — a wave that moves zero samples would still show up in
-    // realloc_waves and contradict the budget-conservation metric.
-    if (extra_total > 0) {
-      const double wave_deadline = net.open_subround(summary_deadline);
-      std::vector<char> wave_sent(m, 0);
-      for (std::size_t i = 0; i < m; ++i) {
-        if (extra[i] > 0) {
-          net.downlink(i).send(encode_scalar(static_cast<double>(extra[i])));
-        }
-      }
-      for (std::size_t i = 0; i < m; ++i) {
-        if (!got[i] || parts[i].empty() || extra[i] == 0) continue;
-        // A receiver that loses the wave broadcast sits the wave out —
-        // its first-wave coreset already stands.
-        auto wave_frame = net.downlink(i).receive_by(kNoDeadline);
-        if (!wave_frame.has_value()) continue;
-        const auto more =
-            static_cast<std::size_t>(decode_scalar(*wave_frame));
-        Coreset supplement;
-        {
-          auto scope = device_work.measure();
-          SiteSample& st = samples[i];
-          const std::size_t n = parts[i].size();
-          const std::size_t new_target = std::min(st.target_rows + more, n);
-          draw_picks(st, parts[i], new_target - st.picks.size());
-          st.target_rows = new_target;
-          supplement.points = coreset_from_picks(
-              parts[i], local_centers[i], st, total_cost, opts.total_samples);
-        }
-        net.uplink(i).send(encode_coreset(supplement, opts.significant_bits));
-        wave_sent[i] = 1;
-      }
-      for (std::size_t i = 0; i < m; ++i) {
-        if (!wave_sent[i]) continue;
-        auto frame = net.uplink(i).receive_by(wave_deadline);
-        if (!frame.has_value()) continue;  // keep the first-wave coreset
-        Coreset supplement = decode_coreset(*frame);
-        if (supplement.size() > 0) piece[i] = std::move(supplement.points);
-      }
-    }
-  }
+  // reallocation can only add resolution, never cost liveness. The
+  // wave's tasks are appended to the *running* graph here: they exist
+  // only once this barrier knows who missed. ---
+  struct WaveState {
+    double deadline = kNoDeadline;
+    std::vector<std::size_t> extra;
+    std::vector<char> sent;
+  };
+  WaveState wave;
+  // The barrier's own id, captured so the tasks its action appends can
+  // name it as a dependency (assigned right after the add below; the
+  // action only runs once the scheduler pops the task, well after).
+  TaskId summary_barrier = 0;
+  // Deps of the union task up to the barrier: every summary collect,
+  // plus the barrier itself.
+  const auto barrier_deps = [&] {
+    std::vector<TaskId> deps = summary_collects;
+    deps.push_back(summary_barrier);
+    return deps;
+  };
+  summary_barrier = graph.add(
+      {TaskKind::kBarrier, kServerActor, "disSS/summary-barrier",
+       [&] {
+         // Distinct-site floor, checked once per round: the
+         // reallocation wave never increments it (a responder that also
+         // delivers a supplement is still one site) and never
+         // decrements it (a responder whose supplement misses keeps its
+         // first-wave coreset).
+         enforce_availability_floor(summary_responders, opts.min_responders,
+                                    "disSS summary round");
+         if (!realloc_armed) {
+           add_union_task(barrier_deps());
+           return;
+         }
+         std::size_t lost_budget = 0;
+         for (std::size_t i = 0; i < m; ++i) {
+           if (in_round[i] && !got[i]) lost_budget += alloc[i];
+         }
+         double recv_cost = 0.0;
+         std::size_t receivers = 0;
+         for (std::size_t i = 0; i < m; ++i) {
+           if (got[i] && !parts[i].empty()) {
+             recv_cost += local_cost[i];
+             receivers += 1;
+           }
+         }
+         wave.extra.assign(m, 0);
+         wave.sent.assign(m, 0);
+         std::size_t extra_total = 0;
+         if (lost_budget > 0 && receivers > 0) {
+           for (std::size_t i = 0; i < m; ++i) {
+             if (!got[i] || parts[i].empty()) continue;
+             wave.extra[i] =
+                 recv_cost > 0.0
+                     ? static_cast<std::size_t>(std::llround(
+                           static_cast<double>(lost_budget) * local_cost[i] /
+                           recv_cost))
+                     : lost_budget / receivers;
+             extra_total += wave.extra[i];
+           }
+         }
+         // Open (and count) a wave only when rounding left something to
+         // transfer — a wave that moves zero samples would still show
+         // up in realloc_waves and contradict the budget-conservation
+         // metric.
+         if (extra_total == 0) {
+           add_union_task(barrier_deps());
+           return;
+         }
+         const TaskId wave_open = graph.add(
+             {TaskKind::kBarrier, kServerActor, "disSS/open-wave",
+              [&] { wave.deadline = net.open_subround(summary_deadline); },
+              {summary_barrier}});
+         std::vector<TaskId> wave_broadcasts;
+         for (std::size_t i = 0; i < m; ++i) {
+           if (wave.extra[i] == 0) continue;
+           wave_broadcasts.push_back(graph.add(
+               {TaskKind::kBroadcast, kServerActor, "disSS/broadcast-extra",
+                [&net, &wave, i] {
+                  net.downlink(i).send(
+                      encode_scalar(static_cast<double>(wave.extra[i])));
+                },
+                {wave_open}}));
+         }
+         std::vector<TaskId> wave_uplinks;
+         std::vector<TaskId> wave_collects;
+         for (std::size_t i = 0; i < m; ++i) {
+           if (!got[i] || parts[i].empty() || wave.extra[i] == 0) continue;
+           wave_uplinks.push_back(graph.add(
+               {TaskKind::kCompute, i, "disSS/supplement",
+                [&, i] {
+                  // A receiver that loses the wave broadcast sits the
+                  // wave out — its first-wave coreset already stands.
+                  auto wave_frame = net.downlink(i).receive_by(kNoDeadline);
+                  if (!wave_frame.has_value()) return;
+                  const auto more =
+                      static_cast<std::size_t>(decode_scalar(*wave_frame));
+                  Coreset supplement;
+                  {
+                    auto scope = device_work.measure();
+                    SiteSample& st = samples[i];
+                    const std::size_t n = parts[i].size();
+                    const std::size_t new_target =
+                        std::min(st.target_rows + more, n);
+                    draw_picks(st, parts[i], new_target - st.picks.size());
+                    st.target_rows = new_target;
+                    supplement.points =
+                        coreset_from_picks(parts[i], local_centers[i], st,
+                                           total_cost, opts.total_samples);
+                  }
+                  net.uplink(i).send(
+                      encode_coreset(supplement, opts.significant_bits));
+                  wave.sent[i] = 1;
+                },
+                wave_broadcasts}));
+         }
+         for (std::size_t i = 0; i < m; ++i) {
+           if (!got[i] || parts[i].empty() || wave.extra[i] == 0) continue;
+           wave_collects.push_back(graph.add(
+               {TaskKind::kCollect, kServerActor, "disSS/collect-supplement",
+                [&, i] {
+                  if (!wave.sent[i]) return;
+                  auto frames =
+                      receive_frames_by(net.uplink(i), 1, wave.deadline);
+                  if (!frames.has_value()) return;  // first-wave coreset stands
+                  Coreset supplement = decode_coreset((*frames)[0]);
+                  if (supplement.size() > 0) {
+                    piece[i] = std::move(supplement.points);
+                  }
+                },
+                wave_uplinks}));
+         }
+         add_union_task(std::move(wave_collects));
+       },
+       summary_collects});
 
-  Coreset merged;
-  std::vector<Dataset> pieces;
-  for (std::size_t i = 0; i < m; ++i) {
-    if (piece[i].size() > 0) pieces.push_back(std::move(piece[i]));
-  }
-  EKM_ENSURES_MSG(!pieces.empty(), "disSS produced an empty coreset");
-  merged.points = concatenate(pieces);
+  PhaseScheduler(net).run(graph);
   return merged;
 }
 

@@ -111,6 +111,33 @@ class Port {
   }
 };
 
+/// Receives one site's round uplink of `count` frames under a shared
+/// deadline. Every frame is consumed regardless of outcome (a late
+/// frame left queued would alias the next round's traffic on this
+/// link); the group is all-or-nothing — if any member misses, nullopt
+/// comes back and the site counts as ONE round miss. This is what
+/// keeps a multi-frame summary (disPCA's Σ/V pair) from being
+/// half-aggregated when only part of it arrived in time. The
+/// dispca/disss round collects all go through this helper; the other
+/// single-frame collection loops (NR, refine, the baselines,
+/// streaming) still call receive_by directly.
+[[nodiscard]] inline std::optional<std::vector<Message>> receive_frames_by(
+    Port& port, std::size_t count, double deadline) {
+  std::vector<Message> frames;
+  frames.reserve(count);
+  bool complete = true;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto frame = port.receive_by(deadline);
+    if (frame.has_value()) {
+      frames.push_back(std::move(*frame));
+    } else {
+      complete = false;
+    }
+  }
+  if (!complete) return std::nullopt;
+  return frames;
+}
+
 /// Star topology around one edge server: per-source uplink (counted by
 /// the paper's metric) and downlink (coordination traffic the paper
 /// treats as negligible, e.g. footnote 1; still measured for honesty).
@@ -144,6 +171,15 @@ class Fabric {
   virtual double open_subround(double absolute_deadline) {
     (void)absolute_deadline;
     return kNoDeadline;
+  }
+
+  /// Virtual clocks, for schedulers and timelines (src/sched/). The
+  /// idealized synchronous star has no notion of time, so both read 0;
+  /// a time-aware fabric reports its committed actor clocks.
+  [[nodiscard]] virtual double server_time() const { return 0.0; }
+  [[nodiscard]] virtual double site_time(std::size_t source) const {
+    (void)source;
+    return 0.0;
   }
 
   /// Total source->server traffic — the paper's communication cost.

@@ -1,0 +1,57 @@
+#include "sched/scheduler.hpp"
+
+#include <queue>
+
+namespace ekm {
+
+void PhaseScheduler::run(TaskGraph& graph) {
+  // Min-heap of ready ids: lowest id first, which for program-ordered
+  // graphs replays creation order (see header). Tasks added mid-run
+  // enter the heap as their dependencies resolve.
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  std::size_t seeded = 0;  ///< ids already scanned for initial readiness
+
+  const auto seed_new_tasks = [&] {
+    for (; seeded < graph.size(); ++seeded) {
+      if (graph.ready(seeded)) ready.push(seeded);
+    }
+  };
+  seed_new_tasks();
+
+  std::size_t executed = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.top();
+    ready.pop();
+    // A task can be enqueued twice: one added mid-run that depends on
+    // the task currently executing is pushed once by complete() and
+    // once by the seed scan below. The first pop runs it; stale
+    // duplicates are no longer ready and are skipped.
+    if (!graph.ready(id)) continue;
+    // Copy the task out before running it: an action that adds tasks
+    // (the disSS wave continuation) may reallocate the graph's node
+    // storage, and a reference into it — including the std::function
+    // being executed — would dangle.
+    TaskSpan span;
+    std::function<void()> action;
+    {
+      const PhaseTask& task = graph.task(id);
+      span.id = id;
+      span.kind = task.kind;
+      span.actor = task.actor;
+      span.label = task.label;
+      action = task.action;
+    }
+    span.start_s = actor_clock(span.actor);
+    if (action) action();
+    span.finish_s = actor_clock(span.actor);
+    trace_.push_back(std::move(span));
+    executed += 1;
+    for (const TaskId unblocked : graph.complete(id)) ready.push(unblocked);
+    seed_new_tasks();  // pick up tasks the action just added
+  }
+  EKM_ENSURES_MSG(graph.all_done(),
+                  "phase scheduler quiesced with unrunnable tasks");
+  EKM_ENSURES(executed <= graph.size());
+}
+
+}  // namespace ekm

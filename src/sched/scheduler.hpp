@@ -1,0 +1,90 @@
+// PhaseScheduler — drives a protocol TaskGraph over a Fabric.
+//
+// The scheduler pops the lowest-id ready task, runs its action on the
+// protocol thread, and records a TaskSpan of the owning actor's virtual
+// clock before/after (zeros on the synchronous Network, whose clocks
+// do not exist). Because the builders in src/distributed add tasks in
+// the program order of the PR 4 lock-step loops — a valid topological
+// order — lowest-ready-id execution replays exactly that order: if the
+// smallest unexecuted id's dependencies all carry smaller ids, it is
+// ready the moment its predecessors finish, so the pop sequence is the
+// creation sequence. Host-side behavior (sends, receives, RNG draws,
+// ledgers) is therefore bitwise identical to the loops it replaced, at
+// any overlap setting.
+//
+// Where, then, does phase overlap live? On the fabric's virtual clock.
+// In the discrete-event simulator each frame's fate is sealed at send
+// time, and a *barrier* (kBarrier task collecting a round) commits once
+// every input is final: delivered, or known-expired. With overlap off
+// the server learns of a miss only when the round deadline passes —
+// the PR 3/4 behavior — so one straggler pins every barrier to its
+// full deadline. With overlap on (SimNetwork::set_phase_overlap,
+// scenario key `overlap=`), a sender-side expiry is NAK'd to the
+// server out-of-band (one control-frame latency, no payload airtime,
+// nothing billed), the barrier commits at the last *final* input
+// instead of the cutoff, and every downstream task — the broadcast,
+// the fast sites' next-phase compute, their uplinks — starts that much
+// earlier in virtual time while the straggler's own timeline still
+// runs. Merge barriers stay committed-only: nothing is aggregated
+// speculatively, so a fault-free or infinite-deadline run is bitwise
+// identical with overlap on or off (there the server already learns of
+// an expiry the moment the sender gives up).
+//
+// The trace doubles as the per-site timeline: site_timeline(i) is the
+// sequence of spans actor i executed, on its own virtual clock.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sched/task_graph.hpp"
+
+namespace ekm {
+
+/// One executed task, stamped with the owning actor's virtual clock
+/// before and after the action (both 0 on a clock-less fabric).
+struct TaskSpan {
+  TaskId id = 0;
+  TaskKind kind = TaskKind::kCompute;
+  std::size_t actor = kServerActor;
+  std::string label;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+};
+
+class PhaseScheduler {
+ public:
+  explicit PhaseScheduler(Fabric& net) : net_(&net) {}
+
+  /// Runs the graph to quiescence: repeatedly executes the lowest-id
+  /// ready task (actions may add further tasks mid-run). Throws
+  /// invariant_error if tasks remain that can never become ready —
+  /// impossible for graphs built through TaskGraph::add, which
+  /// validates dependencies, but asserted anyway.
+  void run(TaskGraph& graph);
+
+  /// Every task executed, in execution order.
+  [[nodiscard]] const std::vector<TaskSpan>& trace() const { return trace_; }
+
+  /// The spans one actor executed (its timeline on its own clock).
+  [[nodiscard]] std::vector<TaskSpan> site_timeline(std::size_t actor) const {
+    std::vector<TaskSpan> out;
+    for (const TaskSpan& s : trace_) {
+      if (s.actor == actor) out.push_back(s);
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] double actor_clock(std::size_t actor) const {
+    return actor == kServerActor ? net_->server_time()
+                                 : net_->site_time(actor);
+  }
+
+  Fabric* net_;
+  std::vector<TaskSpan> trace_;
+};
+
+}  // namespace ekm

@@ -39,13 +39,20 @@ SimReport make_report(const SimScenario& scenario, std::string pipeline,
   report.downlink_stats = net.total_downlink_stats();
   report.rounds = net.rounds_opened();
   report.deadline_misses = net.missed_frames();
+  report.supplemental_misses = net.supplemental_misses();
   report.realloc_waves = net.subrounds_opened();
   for (std::size_t i = 0; i < net.num_sources(); ++i) {
     // A site is dropped if any round abandoned one of its uplink
     // frames, or if it lost a broadcast (basis/allocation/centers) and
     // therefore sat a round out without its data reaching the model.
-    report.sites_dropped += net.uplink_view(i).stats().missed > 0 ||
-                            net.downlink_view(i).stats().missed > 0;
+    const LinkStats& up = net.uplink_view(i).stats();
+    const LinkStats& down = net.downlink_view(i).stats();
+    report.sites_dropped += up.missed > 0 || down.missed > 0;
+    // Exact data loss: a site whose only uplink misses were superseded
+    // wave supplements left its first-wave data standing. (Downlink
+    // misses always count — supplemental is 0 there by construction.)
+    report.sites_data_dropped += up.missed > up.supplemental ||
+                                 down.missed > down.supplemental;
   }
   report.event_log = net.take_event_log();  // net is consumed — no copy
   return report;
@@ -67,6 +74,9 @@ PipelineConfig apply_round_policy(PipelineConfig cfg, const RoundPolicy& round) 
   if (cfg.realloc_reserve <= 0.0) {
     cfg.realloc_reserve = round.realloc_reserve;
   }
+  // Overlap defaults off on both sides; either side opting in wins
+  // (scenario `overlap=` / CLI `--overlap`, or an explicit config).
+  cfg.overlap_phases = cfg.overlap_phases || round.overlap;
   return cfg;
 }
 
@@ -77,6 +87,11 @@ SimReport Coordinator::run(PipelineKind kind, std::span<const Dataset> parts,
   EKM_EXPECTS(!parts.empty());
   SimNetwork net(parts.size(), scenario_);
   const PipelineConfig effective = apply_round_policy(cfg, scenario_.round);
+  // The overlap commit rule lives on the fabric (expiry NAKs change
+  // when the server *learns*, not what the protocol does), so the
+  // Coordinator pushes the resolved setting down to the network that
+  // the phase scheduler will drive.
+  net.set_phase_overlap(effective.overlap_phases);
   PipelineResult result = run_distributed_pipeline(kind, parts, effective, net);
   return make_report(scenario_, pipeline_name(kind), std::move(result), net);
 }
@@ -107,8 +122,9 @@ SimReport Coordinator::run_streaming(std::span<const Dataset> parts,
   // deadline costs freshness here, never liveness — which is also why
   // min_round_responders deliberately does not apply to streaming
   // rounds (a round with zero fresh summaries just serves stale ones).
-  const double deadline_s =
-      apply_round_policy(cfg, scenario_.round).round_deadline_s;
+  const PipelineConfig effective = apply_round_policy(cfg, scenario_.round);
+  const double deadline_s = effective.round_deadline_s;
+  net.set_phase_overlap(effective.overlap_phases);
   std::vector<Coreset> latest(m);
   for (std::size_t r = 0; r < rounds; ++r) {
     const double deadline = net.open_round(deadline_s);

@@ -51,10 +51,26 @@ struct SimReport {
   /// Frames dropped from a round: expired in flight or delivered late.
   /// Counts every abandoned frame, including a reallocation-wave
   /// supplement whose site's first-wave coreset still stands — so this
-  /// (and sites_dropped below) is an upper bound on actual data loss,
-  /// not an exact one, when waves run.
+  /// (and sites_dropped below) is an upper bound on actual data loss
+  /// when waves run; `supplemental_misses` / `sites_data_dropped`
+  /// below carry the exact split.
   std::uint64_t deadline_misses = 0;
+  /// The subset of deadline_misses that were reallocation-wave
+  /// *supplements* (uplink frames sent under open_subround): the
+  /// affected site's first-wave coreset still stands, so these lose no
+  /// data. Exact data loss is deadline_misses - supplemental_misses.
+  /// (A lost wave *broadcast* also leaves the first wave standing, but
+  /// stays in the upper bound: downlink frames are never wave-tagged,
+  /// because a later phase may broadcast before opening its round.)
+  std::uint64_t supplemental_misses = 0;
   std::uint64_t sites_dropped = 0;    ///< sites with >= 1 abandoned frame
+                                      ///< (incl. supplemental-only ones)
+  /// Sites with >= 1 *non-supplemental* abandoned frame — the exact
+  /// count of sites whose data (or a broadcast they needed) was lost,
+  /// where sites_dropped above still counts a responder whose only
+  /// miss was a superseded wave supplement. Equal to sites_dropped on
+  /// every run without reallocation waves.
+  std::uint64_t sites_data_dropped = 0;
   std::uint64_t realloc_waves = 0;    ///< within-round budget-reallocation
                                       ///< waves opened (open_subround);
                                       ///< 0 on every miss-free run

@@ -113,6 +113,23 @@ struct RoundPolicy {
   /// budget re-split (the `deadline-fleet` preset schedules 0.5).
   double realloc_reserve = 0.0;
 
+  /// Phase-overlap scheduling (scenario key `overlap=`, CLI
+  /// `--overlap`; src/sched/scheduler.hpp has the full story): when a
+  /// site abandons an uplink frame inside a finite round — retry
+  /// budget spent, or a give-up/cancelation at the radio — it NAKs the
+  /// server out-of-band (one control-frame latency, no payload
+  /// airtime, nothing billed), so the round's merge barrier commits
+  /// the moment every frame's fate is final instead of waiting the
+  /// deadline out. Downstream phases then start earlier on the virtual
+  /// clock: a fast site runs its disSS round while a straggler's
+  /// abandoned disPCA frame would still have pinned the old barrier.
+  /// Barriers stay committed-only (no speculation), so fault-free and
+  /// infinite-deadline runs are bitwise identical with this on or off
+  /// — with no deadline the server already learns of an expiry when
+  /// the sender gives up. Off (the default) is PR 4's wait-out-the-
+  /// round behavior, bit for bit.
+  bool overlap = false;
+
   /// True when rounds can actually drop sites.
   [[nodiscard]] bool active() const { return std::isfinite(deadline_s); }
 };

@@ -269,6 +269,17 @@ void apply_override(SimScenario& s, const std::string& key,
     EKM_EXPECTS_MSG(s.round.realloc_reserve >= 0.0 &&
                         s.round.realloc_reserve < 1.0,
                     "realloc-reserve must be in [0, 1)");
+  } else if (key == "overlap") {
+    s.round.overlap = bool_by_name(key, value);
+  } else if (key == "event-log") {
+    // "off" = keep nothing; N = keep the first N events processed.
+    if (value == "off") {
+      s.event_log_limit = 0;
+    } else {
+      const long long v = parse_int(key, value);
+      EKM_EXPECTS_MSG(v >= 0, "event-log must be 'off' or an integer >= 0");
+      s.event_log_limit = static_cast<std::size_t>(v);
+    }
   } else if (key == "retry") {
     s.retry.strategy = retry_by_name(key, value);
   } else if (key == "backoff-base") {

@@ -98,6 +98,17 @@ struct SimScenario {
   /// Server speed relative to the reference edge CPU.
   double server_speed = 16.0;
 
+  // --- reporting ----------------------------------------------------------
+  /// Cap on the retained event trace (scenario key `event-log=off|N`):
+  /// the simulator records the first N events processed and drops the
+  /// rest (0 = record nothing, the `off` spelling). Metrics, clocks
+  /// and ledgers are unaffected — only SimReport::event_log shrinks.
+  /// Sweep workloads (the overlap sweep in bench_sim_scenarios) turn
+  /// this off so a grid of lossy multi-round runs does not hold tens
+  /// of thousands of trace entries per cell in memory. The default
+  /// (unlimited) keeps PR 2–4 behavior bit for bit.
+  std::size_t event_log_limit = static_cast<std::size_t>(-1);
+
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool fault_free() const {
@@ -143,7 +154,10 @@ struct SimScenario {
 /// deadline (virtual seconds per collection round, or inf),
 /// min-responders, realloc (on|off: deadline-aware budget
 /// reallocation), realloc-reserve (fraction of a finite round budget
-/// scheduled for the reallocation wave), retry (fixed|backoff|giveup),
+/// scheduled for the reallocation wave), overlap (on|off: phase-overlap
+/// scheduling — expiry NAKs commit merge barriers early),
+/// event-log (off|N: cap the retained event trace),
+/// retry (fixed|backoff|giveup),
 /// backoff-base, backoff-cap, backoff-jitter, seed, plus per-site overrides
 /// siteN.radio, siteN.bandwidth, siteN.loss, siteN.dropout,
 /// siteN.speed, siteN.retry. Overrides apply on top of the preset

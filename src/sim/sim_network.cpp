@@ -23,7 +23,7 @@ std::optional<Message> SimLink::receive_by(double deadline) {
 }
 
 SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
-    : scenario_(scenario) {
+    : scenario_(scenario), overlap_(scenario.round.overlap) {
   EKM_EXPECTS(num_sites >= 1);
   EKM_EXPECTS(scenario_.radio.bandwidth_bps > 0.0);
   EKM_EXPECTS(scenario_.seconds_per_scalar >= 0.0);
@@ -117,6 +117,7 @@ double SimNetwork::open_round(double deadline_seconds) {
   round_deadline_ = std::isfinite(deadline_seconds)
                         ? server_clock_ + deadline_seconds
                         : kNoDeadline;
+  in_wave_ = false;
   rounds_opened_ += 1;
   return round_deadline_;
 }
@@ -127,6 +128,11 @@ double SimNetwork::open_subround(double absolute_deadline) {
   // A wave can only tighten the enclosing round's cutoff, never extend
   // it past the round boundary the sites already scheduled around.
   round_deadline_ = std::min(round_deadline_, absolute_deadline);
+  // Frames from here to the next open_round are wave supplements: a
+  // miss of one is counted supplemental (the sender's first-wave data
+  // still stands), which is what makes deadline_misses decomposable
+  // into exact data loss + superseded supplements.
+  in_wave_ = true;
   subrounds_opened_ += 1;
   return round_deadline_;
 }
@@ -267,6 +273,18 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
 
   SimFrame frame;
   frame.msg = std::move(msg);
+  // Only uplink frames sent during the wave are supplements. The tag
+  // must not touch downlink traffic: a *later* protocol phase may
+  // broadcast before it opens its own round (refine pushes centers
+  // first), and in_wave_ only resets at the next open_round — tagging
+  // those broadcasts would smuggle real losses into the supplemental
+  // (loses-nothing) bucket. A lost wave *broadcast* therefore stays in
+  // the conservative upper bound, like any other downlink miss.
+  // (Uplinks rely on the protocol convention that every uplink frame
+  // is sent under the round — or wave — it belongs to, which all of
+  // src/distributed and streaming observe; per-round cutoff state, the
+  // ROADMAP's next scheduler step, would enforce it structurally.)
+  frame.wave = in_wave_ && link.uplink_;
   if (delivered) {
     frame.arrival = end;
     frame.delivery_seq = link.deliveries_scheduled_++;
@@ -298,10 +316,25 @@ std::optional<Message> SimNetwork::do_receive_by(SimLink& link,
   if (miss) {
     link.stats_.missed += 1;
     missed_frames_ += 1;
+    if (frame.wave) {
+      link.stats_.supplemental += 1;
+      supplemental_misses_ += 1;
+    }
     // The receiver waits the round out (or, with no deadline, learns
     // of the expiry when the sender gives up).
-    const double learn =
-        std::isfinite(deadline) ? deadline : frame.arrival;
+    double learn = std::isfinite(deadline) ? deadline : frame.arrival;
+    if (overlap_ && std::isfinite(deadline) && frame.expired &&
+        link.uplink_) {
+      // Phase overlap: the sender NAKs its give-up out-of-band — a
+      // control frame of one per-frame latency, no payload airtime,
+      // nothing billed — so the server's barrier can commit the moment
+      // this frame's fate is final instead of waiting the round out.
+      // An expiry later than the cutoff still resolves at the cutoff
+      // (the server can never learn less than the deadline tells it).
+      learn = std::min(
+          deadline,
+          frame.arrival + sites_[link.site_].radio.per_message_latency_s);
+    }
     if (!frame.expired) {
       // Delivered, but after the deadline: trace the receiver-side
       // abandonment (sender-side expiries traced their own kExpire).
@@ -351,7 +384,10 @@ void SimNetwork::advance_one_event() {
       s.energy_j += static_cast<double>(ev.bits) * s.radio.energy_per_bit_j;
     }
   }
-  log_.push_back(ev);
+  // Trace retention is capped by the scenario (`event-log=off|N`): the
+  // first N events processed are kept, the rest dropped. Clocks,
+  // energy and ledgers above are untouched — only the log shrinks.
+  if (log_.size() < scenario_.event_log_limit) log_.push_back(ev);
 }
 
 void SimNetwork::assert_link_invariants(const SimLink& l) const {
@@ -372,6 +408,10 @@ void SimNetwork::assert_link_invariants(const SimLink& l) const {
   // wave frame would show up here.
   EKM_ENSURES_MSG(l.stats_.missed <= l.stats_.expired + l.deliveries_scheduled_,
                   "missed frames exceed expiries plus deliveries");
+  // Supplemental misses are a classification of misses, never a
+  // separate population.
+  EKM_ENSURES_MSG(l.stats_.supplemental <= l.stats_.missed,
+                  "supplemental misses exceed total misses");
 }
 
 double SimNetwork::finish() {

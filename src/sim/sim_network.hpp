@@ -66,6 +66,13 @@ struct LinkStats {
                                       ///< (retry budget or deadline)
   std::uint64_t missed = 0;           ///< frames the receiver abandoned
                                       ///< (expired, or delivered late)
+  std::uint64_t supplemental = 0;     ///< the subset of `missed` that were
+                                      ///< reallocation-wave *supplements*
+                                      ///< (uplink frames sent under
+                                      ///< open_subround): the site's
+                                      ///< first-wave data still stands, so
+                                      ///< these misses lose no data.
+                                      ///< Always 0 on downlinks.
 
   LinkStats& operator+=(const LinkStats& o) {
     attempts += o.attempts;
@@ -74,6 +81,7 @@ struct LinkStats {
     airtime_s += o.airtime_s;
     expired += o.expired;
     missed += o.missed;
+    supplemental += o.supplemental;
     return *this;
   }
 };
@@ -85,6 +93,13 @@ struct SimFrame {
   /// Delivery time; for expired frames, the moment the sender gave up.
   double arrival = 0.0;
   bool expired = false;
+  /// An uplink frame sent during a reallocation wave (between
+  /// open_subround and the next open_round): a miss of such a frame is
+  /// supplemental — the sender's first-wave data still stands at the
+  /// server. Downlink frames are never tagged (a later phase may
+  /// broadcast before opening its own round, e.g. refine's centers
+  /// push), so a lost wave broadcast counts like any downlink miss.
+  bool wave = false;
   /// Index among this link's delivered frames (valid when !expired);
   /// ties the frame to its kDeliver event for the receive drain.
   std::uint64_t delivery_seq = 0;
@@ -156,6 +171,32 @@ class SimNetwork final : public Fabric {
   [[nodiscard]] double now() const { return clock_; }
   [[nodiscard]] double server_clock() const { return server_clock_; }
 
+  // Actor clocks for the phase scheduler's timelines (src/sched/).
+  [[nodiscard]] double server_time() const override { return server_clock_; }
+  [[nodiscard]] double site_time(std::size_t source) const override {
+    EKM_EXPECTS(source < sites_.size());
+    return sites_[source].clock_s;
+  }
+
+  /// Phase-overlap scheduling (RoundPolicy::overlap; scheduler.hpp has
+  /// the model): when on, a sender-side uplink expiry inside a finite
+  /// round is NAK'd to the server out-of-band — the server learns of
+  /// the miss at `abandon + per-frame latency` (clamped to the round
+  /// cutoff) instead of waiting the round out, so merge barriers
+  /// commit the moment every frame's fate is final. The NAK is a
+  /// control-plane frame: no payload airtime, no energy, nothing on
+  /// any ledger. Initialized from the scenario; the Coordinator may
+  /// override it from PipelineConfig::overlap_phases.
+  void set_phase_overlap(bool on) { overlap_ = on; }
+  [[nodiscard]] bool phase_overlap() const { return overlap_; }
+
+  /// Misses of reallocation-wave frames (see LinkStats::supplemental):
+  /// counted inside missed_frames() but losing no data. Exact data
+  /// loss is missed_frames() - supplemental_misses().
+  [[nodiscard]] std::uint64_t supplemental_misses() const {
+    return supplemental_misses_;
+  }
+
   /// Absolute deadline of the currently open round (kNoDeadline when
   /// rounds are unbounded).
   [[nodiscard]] double round_deadline() const { return round_deadline_; }
@@ -219,7 +260,10 @@ class SimNetwork final : public Fabric {
   double clock_ = 0.0;         ///< latest processed event time
   double server_clock_ = 0.0;  ///< server actor's committed time
   double round_deadline_ = kNoDeadline;  ///< current round's cutoff
+  bool in_wave_ = false;   ///< between open_subround and the next round
+  bool overlap_ = false;   ///< phase-overlap commit rule (see above)
   std::uint64_t missed_frames_ = 0;
+  std::uint64_t supplemental_misses_ = 0;
   std::uint64_t rounds_opened_ = 0;
   std::uint64_t subrounds_opened_ = 0;
 };

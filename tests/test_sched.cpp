@@ -1,0 +1,234 @@
+// Tests for src/sched: task-graph readiness and barrier ordering, the
+// creation-order execution guarantee the protocol builders rely on,
+// dynamic task addition (the disSS reallocation-wave continuation),
+// and the scheduler's per-actor timelines over both fabrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/channel.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/task_graph.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sim_network.hpp"
+
+namespace ekm {
+namespace {
+
+PhaseTask noop(TaskKind kind, std::vector<TaskId> deps,
+               std::size_t actor = kServerActor) {
+  return {kind, actor, "noop", {}, std::move(deps)};
+}
+
+TEST(TaskGraph, ReadinessFollowsDependencies) {
+  TaskGraph g;
+  const TaskId a = g.add(noop(TaskKind::kCompute, {}));
+  const TaskId b = g.add(noop(TaskKind::kUplink, {a}));
+  const TaskId c = g.add(noop(TaskKind::kCollect, {a}));
+  const TaskId d = g.add(noop(TaskKind::kBarrier, {b, c}));
+
+  // Only the root is ready; the barrier needs both middle tasks.
+  EXPECT_EQ(g.ready_tasks(), (std::vector<TaskId>{a}));
+  EXPECT_FALSE(g.ready(d));
+
+  EXPECT_EQ(g.complete(a), (std::vector<TaskId>{b, c}));
+  EXPECT_TRUE(g.ready(b));
+  EXPECT_TRUE(g.ready(c));
+  EXPECT_TRUE(g.complete(b).empty());  // d still waits on c
+  EXPECT_FALSE(g.ready(d));
+  EXPECT_EQ(g.complete(c), (std::vector<TaskId>{d}));
+  EXPECT_TRUE(g.ready(d));
+  EXPECT_FALSE(g.all_done());
+  EXPECT_TRUE(g.complete(d).empty());
+  EXPECT_TRUE(g.all_done());
+
+  // Completing a task twice — or one whose deps are open — throws.
+  EXPECT_THROW((void)g.complete(d), precondition_error);
+  TaskGraph g2;
+  const TaskId r = g2.add(noop(TaskKind::kCompute, {}));
+  const TaskId s = g2.add(noop(TaskKind::kCompute, {r}));
+  EXPECT_THROW((void)g2.complete(s), precondition_error);
+}
+
+TEST(TaskGraph, DependenciesMustNameExistingTasks) {
+  TaskGraph g;
+  (void)g.add(noop(TaskKind::kCompute, {}));
+  // Forward (or dangling) dependencies are unrepresentable, which is
+  // what makes every TaskGraph acyclic by construction.
+  EXPECT_THROW((void)g.add(noop(TaskKind::kCompute, {5})), precondition_error);
+  EXPECT_THROW((void)g.add(noop(TaskKind::kCompute, {1})), precondition_error);
+}
+
+TEST(Scheduler, ExecutesProgramOrderedGraphsInCreationOrder) {
+  // The protocol builders add tasks in the program order of the PR 4
+  // loops; the scheduler must replay exactly that order (this is the
+  // bitwise-parity guarantee). Build a two-site round shape and check
+  // the execution sequence.
+  Network net(2);
+  TaskGraph g;
+  std::vector<TaskId> order;
+  const auto rec = [&order](TaskId id) { return [&order, id] { order.push_back(id); }; };
+
+  const TaskId open = g.add({TaskKind::kBarrier, kServerActor, "open",
+                             rec(0), {}});
+  const TaskId c0 = g.add({TaskKind::kCompute, 0, "c0", rec(1), {open}});
+  const TaskId s0 = g.add({TaskKind::kUplink, 0, "s0", rec(2), {c0}});
+  const TaskId c1 = g.add({TaskKind::kCompute, 1, "c1", rec(3), {open}});
+  const TaskId s1 = g.add({TaskKind::kUplink, 1, "s1", rec(4), {c1}});
+  const TaskId r0 = g.add({TaskKind::kCollect, kServerActor, "r0", rec(5), {s0}});
+  const TaskId r1 = g.add({TaskKind::kCollect, kServerActor, "r1", rec(6), {s1}});
+  const TaskId merge = g.add({TaskKind::kBarrier, kServerActor, "merge",
+                              rec(7), {r0, r1}});
+  (void)g.add({TaskKind::kBroadcast, kServerActor, "b0", rec(8), {merge}});
+  (void)g.add({TaskKind::kBroadcast, kServerActor, "b1", rec(9), {merge}});
+
+  PhaseScheduler sched(net);
+  sched.run(g);
+  EXPECT_TRUE(g.all_done());
+  EXPECT_EQ(order, (std::vector<TaskId>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+
+  // The trace mirrors the execution and partitions by actor.
+  ASSERT_EQ(sched.trace().size(), 10u);
+  EXPECT_EQ(sched.trace()[0].kind, TaskKind::kBarrier);
+  EXPECT_EQ(sched.site_timeline(0).size(), 2u);
+  EXPECT_EQ(sched.site_timeline(1).size(), 2u);
+  EXPECT_EQ(sched.site_timeline(kServerActor).size(), 6u);
+}
+
+TEST(Scheduler, BarrierNeverRunsBeforeItsInputsNorSiteTasksBeforeTheirs) {
+  // The ordering contract stated task by task: a collect never runs
+  // before its site's uplink, the barrier never before every collect,
+  // the broadcast never before the barrier.
+  Network net(3);
+  TaskGraph g;
+  std::vector<TaskId> uplinks, collects;
+  std::vector<TaskId> seq;
+  const auto log = [&seq](TaskId* slot) {
+    return [&seq, slot] { seq.push_back(*slot); };
+  };
+  std::vector<TaskId> ids(8, 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ids[i] = g.add({TaskKind::kUplink, i, "up", log(&ids[i]), {}});
+    uplinks.push_back(ids[i]);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    ids[3 + i] = g.add({TaskKind::kCollect, kServerActor, "collect",
+                        log(&ids[3 + i]), {uplinks[i]}});
+    collects.push_back(ids[3 + i]);
+  }
+  ids[6] = g.add({TaskKind::kBarrier, kServerActor, "barrier", log(&ids[6]),
+                  collects});
+  ids[7] = g.add({TaskKind::kBroadcast, kServerActor, "bcast", log(&ids[7]),
+                  {ids[6]}});
+
+  PhaseScheduler(net).run(g);
+  ASSERT_EQ(seq.size(), 8u);
+  const auto pos = [&seq](TaskId id) {
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i] == id) return i;
+    }
+    ADD_FAILURE() << "task " << id << " never ran";
+    return seq.size();
+  };
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(pos(uplinks[i]), pos(collects[i]));
+    EXPECT_LT(pos(collects[i]), pos(ids[6]));  // barrier after every collect
+  }
+  EXPECT_LT(pos(ids[6]), pos(ids[7]));  // broadcast after the barrier
+}
+
+TEST(Scheduler, TasksAddedMidRunExecuteAfterTheirDependencies) {
+  // The disSS reallocation wave appends its tasks from a running
+  // barrier's action; the scheduler must pick them up and respect
+  // their dependencies.
+  Network net(1);
+  TaskGraph g;
+  std::vector<int> order;
+  const TaskId root = g.add({TaskKind::kBarrier, kServerActor, "root",
+                             [&] {
+                               order.push_back(0);
+                               const TaskId w1 = g.add(
+                                   {TaskKind::kBroadcast, kServerActor, "w1",
+                                    [&] { order.push_back(1); },
+                                    {}});
+                               (void)g.add({TaskKind::kCollect, kServerActor,
+                                            "w2",
+                                            [&] { order.push_back(2); },
+                                            {w1}});
+                             },
+                             {}});
+  (void)root;
+  PhaseScheduler(net).run(g);
+  EXPECT_TRUE(g.all_done());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.size(), 3u);
+}
+
+TEST(Scheduler, ContinuationDependingOnTheRunningTaskRunsExactlyOnce) {
+  // Regression: a task added mid-run whose dependency is the task
+  // currently executing gets enqueued twice (once by the dependency
+  // resolving, once by the new-task scan); the scheduler must run it
+  // once, not twice-then-throw.
+  Network net(1);
+  TaskGraph g;
+  std::vector<int> order;
+  std::vector<TaskId> self{0};
+  self[0] = g.add({TaskKind::kBarrier, kServerActor, "root",
+                   [&] {
+                     order.push_back(0);
+                     (void)g.add({TaskKind::kCollect, kServerActor, "cont",
+                                  [&] { order.push_back(1); },
+                                  {self[0]}});  // depends on the RUNNING task
+                   },
+                   {}});
+  PhaseScheduler(net).run(g);
+  EXPECT_TRUE(g.all_done());
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Scheduler, TimelinesRideTheSimulatedClocks) {
+  // Over a SimNetwork the trace records the owning actor's virtual
+  // clock around each task: a site's uplink span covers its transmit
+  // time, the server's collect span ends at (or after) the arrival.
+  SimNetwork net(2, parse_scenario("radio=wifi"));
+  TaskGraph g;
+  const TaskId send = g.add({TaskKind::kUplink, 0, "send",
+                             [&] {
+                               Message msg;
+                               msg.payload.resize(1 << 12);
+                               msg.wire_bits = 1 << 15;
+                               msg.scalars = 512;
+                               net.uplink(0).send(std::move(msg));
+                             },
+                             {}});
+  (void)g.add({TaskKind::kCollect, kServerActor, "recv",
+               [&] { (void)net.uplink(0).receive_by(kNoDeadline); },
+               {send}});
+  PhaseScheduler sched(net);
+  sched.run(g);
+
+  const auto site0 = sched.site_timeline(0);
+  const auto server = sched.site_timeline(kServerActor);
+  ASSERT_EQ(site0.size(), 1u);
+  ASSERT_EQ(server.size(), 1u);
+  // The site's clock advanced across its send (compute + store-and-
+  // forward transmit) from zero...
+  EXPECT_EQ(site0[0].start_s, 0.0);
+  EXPECT_GT(site0[0].finish_s, 0.0);
+  // ...and the server's collect finished no earlier than the site
+  // finished transmitting.
+  EXPECT_GE(server[0].finish_s, site0[0].finish_s);
+
+  // The synchronous Network has no clocks: spans pin to zero there.
+  Network sync(1);
+  TaskGraph g2;
+  (void)g2.add({TaskKind::kCompute, 0, "noop", {}, {}});
+  PhaseScheduler sched2(sync);
+  sched2.run(g2);
+  ASSERT_EQ(sched2.trace().size(), 1u);
+  EXPECT_EQ(sched2.trace()[0].start_s, 0.0);
+  EXPECT_EQ(sched2.trace()[0].finish_s, 0.0);
+}
+
+}  // namespace
+}  // namespace ekm

@@ -952,6 +952,260 @@ TEST(Realloc, WaveIsDeterministicAcrossThreadCounts) {
   EXPECT_GT(one.result.summary_points, pr3.result.summary_points);
 }
 
+// --- phase-overlap scheduling (src/sched/ + expiry NAKs) ------------------
+
+TEST(Scenario, ParserHandlesOverlapAndEventLog) {
+  EXPECT_FALSE(parse_scenario("ideal").round.overlap);
+  EXPECT_TRUE(parse_scenario("overlap=on").round.overlap);
+  EXPECT_FALSE(parse_scenario("deadline-fleet,overlap=off").round.overlap);
+  EXPECT_THROW((void)parse_scenario("overlap=2"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("overlap="), precondition_error);
+
+  EXPECT_EQ(parse_scenario("event-log=off").event_log_limit, 0u);
+  EXPECT_EQ(parse_scenario("event-log=0").event_log_limit, 0u);
+  EXPECT_EQ(parse_scenario("event-log=250").event_log_limit, 250u);
+  // Default: unlimited (PR 2–4 behavior).
+  EXPECT_EQ(parse_scenario("ideal").event_log_limit,
+            static_cast<std::size_t>(-1));
+  EXPECT_THROW((void)parse_scenario("event-log="), precondition_error);
+  EXPECT_THROW((void)parse_scenario("event-log=-1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("event-log=2.5"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("event-log=x"), precondition_error);
+}
+
+TEST(Overlap, FaultFreeFiniteDeadlineRunsBitIdentical) {
+  // Overlap must be unobservable when nothing misses: barriers stay
+  // committed-only, and with every frame delivered in time there is
+  // nothing to NAK — events, clocks, energy, ledgers and centers all
+  // reproduce the overlap=off run bit for bit.
+  const auto parts = make_parts(5, 1500, 24, 11);
+  const PipelineConfig cfg = base_config();
+  const Coordinator off(parse_scenario("ideal,deadline=1e6"));
+  const Coordinator on(parse_scenario("ideal,deadline=1e6,overlap=on"));
+  for (const PipelineKind kind :
+       {PipelineKind::kNoReduction, PipelineKind::kBklw,
+        PipelineKind::kJlBklw}) {
+    const SimReport a = off.run(kind, parts, cfg);
+    const SimReport b = on.run(kind, parts, cfg);
+    EXPECT_EQ(b.result.uplink, a.result.uplink) << pipeline_name(kind);
+    EXPECT_EQ(b.result.centers, a.result.centers) << pipeline_name(kind);
+    EXPECT_EQ(b.completion_seconds, a.completion_seconds);
+    EXPECT_EQ(b.server_completion_seconds, a.server_completion_seconds);
+    EXPECT_EQ(b.energy_joules, a.energy_joules);
+    ASSERT_EQ(b.event_log.size(), a.event_log.size());
+    for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+      EXPECT_EQ(b.event_log[i], a.event_log[i]) << "event " << i;
+    }
+  }
+}
+
+TEST(Overlap, InfiniteDeadlineStragglerRunsBitIdentical) {
+  // With no deadline the server already learns of an expiry the moment
+  // the sender gives up, so the overlap commit rule changes nothing —
+  // even on a fleet with a hard straggler and retry-budget expiries.
+  const auto parts = make_parts(4, 1200, 16, 47);
+  const PipelineConfig cfg = base_config(47);
+  const Coordinator off(
+      parse_scenario("radio=wifi,loss=0.5,retries=2,site2.speed=0.02,seed=47"));
+  const Coordinator on(parse_scenario(
+      "radio=wifi,loss=0.5,retries=2,site2.speed=0.02,seed=47,overlap=on"));
+  const SimReport a = off.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = on.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_GT(a.deadline_misses, 0u);  // expiries actually happened
+  EXPECT_EQ(b.deadline_misses, a.deadline_misses);
+  EXPECT_EQ(b.result.centers, a.result.centers);
+  EXPECT_EQ(b.result.uplink, a.result.uplink);
+  EXPECT_EQ(b.completion_seconds, a.completion_seconds);
+  EXPECT_EQ(b.server_completion_seconds, a.server_completion_seconds);
+  EXPECT_EQ(b.energy_joules, a.energy_joules);
+  ASSERT_EQ(b.event_log.size(), a.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    EXPECT_EQ(b.event_log[i], a.event_log[i]) << "event " << i;
+  }
+}
+
+TEST(Overlap, ExpiryNaksSpeedUpServerCompletion) {
+  // One site behind a 2 kbps link in a 3-second-round fleet with
+  // give-up retries: its disPCA V frame and its summary coreset can
+  // never fit the round, so it expires them at compute-ready time —
+  // seconds before the cutoff. With overlap off the server still waits
+  // each round out; with overlap on the expiry NAK commits the merge
+  // barrier at the last *final* input, the basis broadcast goes out
+  // early, and the fast sites run their disSS phases while the old
+  // schedule would still have been waiting on the straggler's round.
+  // The protocol actions are identical either way — same frames, same
+  // responders, same RNG draws — so ledgers and centers must match
+  // bitwise while the server's time-to-model strictly improves.
+  const auto parts = make_parts(4, 2000, 16, 5);
+  const PipelineConfig cfg = base_config(5);
+  const char* base =
+      "radio=wifi,sps=1e-4,deadline=3,retry=giveup,site0.bandwidth=2000,"
+      "seed=5";
+  const Coordinator off(parse_scenario(base));
+  const Coordinator on(parse_scenario(std::string(base) + ",overlap=on"));
+  const SimReport a = off.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = on.run(PipelineKind::kBklw, parts, cfg);
+
+  // The straggler actually missed rounds, identically in both runs.
+  EXPECT_GT(a.deadline_misses, 0u);
+  EXPECT_EQ(b.deadline_misses, a.deadline_misses);
+  EXPECT_EQ(b.sites_dropped, a.sites_dropped);
+  // Same protocol, same model, same paper metrics...
+  EXPECT_EQ(b.result.centers, a.result.centers);
+  EXPECT_EQ(b.result.uplink, a.result.uplink);
+  EXPECT_EQ(b.result.summary_points, a.result.summary_points);
+  EXPECT_EQ(b.energy_joules, a.energy_joules);
+  // ...but the server finishes strictly earlier, and the deployment
+  // quiesces no later.
+  EXPECT_LT(b.server_completion_seconds, a.server_completion_seconds);
+  EXPECT_LE(b.completion_seconds, a.completion_seconds);
+}
+
+TEST(Overlap, DeterministicAcrossThreadCounts) {
+  // The determinism contract extends to overlapped schedules: the NAK
+  // learn-time rule draws nothing, and the task graphs execute in
+  // creation order on the protocol thread at any pool size.
+  const auto parts = make_parts(4, 1200, 16, 29);
+  const PipelineConfig cfg = base_config(29);
+  const Coordinator coord(parse_scenario(
+      "lossy-mesh,stragglers=0.25,slowdown=64,sps=1e-5,deadline=1,"
+      "retry=giveup,overlap=on,seed=29"));
+
+  set_parallel_threads(1);
+  const SimReport one = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(8);
+  const SimReport eight = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(0);
+
+  ASSERT_EQ(one.event_log.size(), eight.event_log.size());
+  for (std::size_t i = 0; i < one.event_log.size(); ++i) {
+    EXPECT_EQ(one.event_log[i], eight.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(one.deadline_misses, eight.deadline_misses);
+  EXPECT_EQ(one.completion_seconds, eight.completion_seconds);
+  EXPECT_EQ(one.server_completion_seconds, eight.server_completion_seconds);
+  EXPECT_EQ(one.result.centers, eight.result.centers);
+}
+
+// --- event-log cap (scenario `event-log=off|N`) ---------------------------
+
+TEST(EventLog, CapShrinksTraceNotMetrics) {
+  const auto parts = make_parts(4, 1200, 16, 23);
+  const PipelineConfig cfg = base_config(23);
+  const Coordinator full(parse_scenario("lossy-mesh,seed=23"));
+  const Coordinator capped(parse_scenario("lossy-mesh,seed=23,event-log=40"));
+  const Coordinator off(parse_scenario("lossy-mesh,seed=23,event-log=off"));
+
+  const SimReport a = full.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = capped.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport c = off.run(PipelineKind::kBklw, parts, cfg);
+
+  ASSERT_GT(a.event_log.size(), 40u);
+  EXPECT_EQ(b.event_log.size(), 40u);
+  EXPECT_EQ(c.event_log.size(), 0u);
+  // Only the retained trace shrinks; every metric is untouched.
+  for (const SimReport* r : {&b, &c}) {
+    EXPECT_EQ(r->completion_seconds, a.completion_seconds);
+    EXPECT_EQ(r->server_completion_seconds, a.server_completion_seconds);
+    EXPECT_EQ(r->energy_joules, a.energy_joules);
+    EXPECT_EQ(r->deadline_misses, a.deadline_misses);
+    EXPECT_EQ(r->result.uplink, a.result.uplink);
+    EXPECT_EQ(r->result.centers, a.result.centers);
+  }
+}
+
+// --- supplemental-miss accounting (exact data loss) -----------------------
+
+TEST(Supplemental, WaveFrameMissesAreClassified) {
+  // Frames sent under open_subround carry the wave tag; a miss of one
+  // is supplemental (the sender's first-wave data stands), where the
+  // same miss in the main collection is real data loss.
+  SimNetwork net(1, parse_scenario("radio=wifi,site0.bandwidth=1000"));
+  const auto send_big = [&] {
+    Message msg;
+    msg.payload.resize(1 << 17);
+    msg.wire_bits = 1'000'000;  // ~1000 s at 1 kbps: can never make 2 s
+    msg.scalars = 4;
+    net.uplink(0).send(std::move(msg));
+  };
+  const double round = net.open_round(2.0);
+  send_big();
+  EXPECT_FALSE(net.uplink(0).receive_by(round).has_value());
+  EXPECT_EQ(net.missed_frames(), 1u);
+  EXPECT_EQ(net.supplemental_misses(), 0u);
+
+  const double wave = net.open_subround(round);
+  send_big();
+  EXPECT_FALSE(net.uplink(0).receive_by(wave).has_value());
+  EXPECT_EQ(net.missed_frames(), 2u);
+  EXPECT_EQ(net.supplemental_misses(), 1u);
+  EXPECT_EQ(net.uplink_view(0).stats().supplemental, 1u);
+
+  // The next round resets the wave tag.
+  const double next = net.open_round(2.0);
+  send_big();
+  EXPECT_FALSE(net.uplink(0).receive_by(next).has_value());
+  EXPECT_EQ(net.missed_frames(), 3u);
+  EXPECT_EQ(net.supplemental_misses(), 1u);
+  (void)net.finish();  // asserts supplemental <= missed per link
+}
+
+TEST(Supplemental, DownlinkFramesAreNeverWaveTagged) {
+  // Regression: in_wave_ only resets at the next open_round, and a
+  // later phase may broadcast *before* opening its round (refine
+  // pushes centers first). Those downlink frames must not be tagged as
+  // wave supplements — a lost broadcast is real data impact and must
+  // stay out of the loses-nothing bucket.
+  SimNetwork net(1, parse_scenario("radio=wifi,loss=0.9,retries=0,seed=3"));
+  (void)net.open_round(2.0);
+  (void)net.open_subround(2.0);
+  // Post-wave "next phase" broadcasts, still under the stale wave flag:
+  // at 90% loss with no retries most of these expire.
+  std::size_t missed = 0;
+  for (int i = 0; i < 20; ++i) {
+    Message msg;
+    msg.wire_bits = 512;
+    msg.scalars = 8;
+    net.downlink(0).send(std::move(msg));
+    missed += !net.downlink(0).receive_by(kNoDeadline).has_value();
+  }
+  EXPECT_GT(missed, 0u);  // p(no expiry in 20 frames) ~ 1e-20
+  EXPECT_EQ(net.supplemental_misses(), 0u);
+  EXPECT_EQ(net.downlink_view(0).stats().supplemental, 0u);
+  EXPECT_EQ(net.downlink_view(0).stats().missed, missed);
+  (void)net.finish();
+}
+
+TEST(Supplemental, ReportSplitsExactLoss) {
+  // The forced-straggler realloc shape: site 1 reports cost but misses
+  // the summary round; the wave re-splits its budget among the three
+  // responders, whose supplements all deliver. deadline_misses counts
+  // site 1's abandoned frames only, nothing supplemental — and the two
+  // site-drop counters agree.
+  const std::size_t m = 4;
+  const auto parts = make_parts(m, 1600, 12, 91);
+  const PipelineConfig cfg = base_config(91);
+  const Coordinator coord(parse_scenario(
+      "radio=5g,sps=1e-3,deadline=4,realloc-reserve=0.5,"
+      "site1.speed=0.02,seed=91"));
+  const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_GE(report.realloc_waves, 1u);
+  EXPECT_GT(report.deadline_misses, 0u);
+  EXPECT_EQ(report.supplemental_misses, 0u);
+  EXPECT_EQ(report.sites_dropped, 1u);
+  EXPECT_EQ(report.sites_data_dropped, 1u);
+
+  // Under frame loss, wave supplements can miss too; the split stays
+  // coherent: supplements are a subset of misses, and a site whose
+  // only miss is a superseded supplement is not a data drop.
+  const Coordinator lossy(parse_scenario(
+      "radio=5g,sps=1e-3,deadline=4,realloc-reserve=0.5,loss=0.2,"
+      "retries=1,site1.speed=0.02,seed=91"));
+  const SimReport faulty = lossy.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_LE(faulty.supplemental_misses, faulty.deadline_misses);
+  EXPECT_LE(faulty.sites_data_dropped, faulty.sites_dropped);
+}
+
 TEST(Exhaustion, EmptyShardWithRefineStaysFrameAligned) {
   // An empty site never projects or samples, but it still receives
   // every broadcast (basis, allocation, refine centers). Each must be

@@ -35,6 +35,13 @@
 //                         backoff (exponential + jitter), or giveup
 //                         (deadline-aware: skip attempts that cannot finish
 //                         before the round cutoff).
+//   --overlap             phase-overlap scheduling (sim only): a site that
+//                         abandons an uplink frame NAKs the server, so a
+//                         round's merge barrier commits as soon as every
+//                         frame's fate is final instead of waiting out the
+//                         deadline — fast sites start the next phase while
+//                         stragglers' timelines still run. Equivalent to
+//                         scenario key overlap=on.
 //
 // Every numeric flag goes through a checked parse: trailing garbage,
 // empty values, and out-of-range numbers exit 2 with a message naming
@@ -83,6 +90,7 @@ struct CliArgs {
   double deadline = std::numeric_limits<double>::infinity();
   bool deadline_set = false;
   std::string retry;  // empty = keep the scenario's strategy
+  bool overlap = false;
   bool help = false;
 };
 
@@ -221,6 +229,8 @@ std::optional<CliArgs> parse(int argc, char** argv) {
                      a.retry.c_str());
         return std::nullopt;
       }
+    } else if (want("--overlap")) {
+      a.overlap = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag);
       return std::nullopt;
@@ -285,8 +295,8 @@ constexpr const char* kUsage =
     "    ble-swarm lora-field nr5g-fleet lossy-mesh hetero-mesh\n"
     "    deadline-fleet; keys: radio loss dropout outage retries jitter\n"
     "    stragglers slowdown skew sps server-speed deadline\n"
-    "    min-responders realloc realloc-reserve retry backoff-base\n"
-    "    backoff-cap backoff-jitter seed\n"
+    "    min-responders realloc realloc-reserve overlap event-log\n"
+    "    retry backoff-base backoff-cap backoff-jitter seed\n"
     "    siteN.{radio,bandwidth,loss,dropout,speed,retry};\n"
     "    sim algorithms: nr bklw jl+bklw stream)\n"
     "  --rounds R   uplink rounds for --algorithm stream (default 4)\n"
@@ -296,7 +306,10 @@ constexpr const char* kUsage =
     "  --retry fixed|backoff|giveup   retransmission policy (sim only):\n"
     "    fixed ack-timeout, exponential backoff + jitter, or\n"
     "    deadline-aware give-up that keeps the radio off for attempts\n"
-    "    that cannot complete before the round cutoff\n";
+    "    that cannot complete before the round cutoff\n"
+    "  --overlap    phase-overlap scheduling (sim only): expiry NAKs let\n"
+    "    round barriers commit as soon as every frame's fate is final,\n"
+    "    so fast sites start the next phase early (= overlap=on)\n";
 
 }  // namespace
 
@@ -347,6 +360,11 @@ int main(int argc, char** argv) {
                          "on the simulated radio)\n");
     return 2;
   }
+  if (args->overlap && args->sim.empty()) {
+    std::fprintf(stderr, "--overlap needs --sim (phase overlap lives on the "
+                         "simulator's virtual clock)\n");
+    return 2;
+  }
 
   const Dataset data = make_input(*args);
   std::printf("input: %zu points x %zu dims\n", data.size(), data.dim());
@@ -379,6 +397,10 @@ int main(int argc, char** argv) {
     if (!args->retry.empty()) {
       scenario.retry.strategy = *retry_strategy_from_name(args->retry);
     }
+    // --overlap turns phase-overlap scheduling on; it never turns a
+    // scenario's `overlap=on` off (same either-side-opts-in layering
+    // as the Coordinator's config merge).
+    if (args->overlap) scenario.round.overlap = true;
 
     Rng rng = make_rng(args->seed, 0x9a87ULL);
     const std::vector<Dataset> parts =
@@ -419,11 +441,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.outages));
     if (scenario.round.active()) {
       std::printf("deadline       : %.6g s/round over %llu round(s), "
-                  "%llu dropped frame(s), %llu realloc wave(s)\n",
+                  "%llu dropped frame(s) (%llu supplemental), "
+                  "%llu realloc wave(s)\n",
                   scenario.round.deadline_s,
                   static_cast<unsigned long long>(report.rounds),
                   static_cast<unsigned long long>(report.deadline_misses),
+                  static_cast<unsigned long long>(report.supplemental_misses),
                   static_cast<unsigned long long>(report.realloc_waves));
+    }
+    if (scenario.round.overlap) {
+      std::printf("phase overlap  : on (server done at %.6g virtual s)\n",
+                  report.server_completion_seconds);
     }
     if (scenario.retry.strategy != RetryStrategy::kFixed) {
       std::printf("retry policy   : %s\n",
