@@ -10,7 +10,10 @@
 // stragglers, run with phase-overlap scheduling off vs on, tracing the
 // server time-to-model the expiry-NAK commit rule buys (event logging
 // off: a sweep of lossy multi-round runs has no use for full traces in
-// memory). Emits per-cell deployment metrics —
+// memory) — and a churn sweep: two sites behind an 8 kbps trace link
+// under (deadline × churn-rate) pressure, run with fixed vs adaptive
+// per-frame quantization, tracing the misses-vs-accuracy trade of
+// graceful degradation. Emits per-cell deployment metrics —
 // virtual completion time, site energy, goodput vs retransmitted bits,
 // attempt/drop counts, responder counts, and the k-means cost ratio
 // against the NR (ship-everything) baseline — as BENCH_sim.json so
@@ -322,6 +325,79 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- churn sweep: graceful degradation under deadline pressure. Two
+  // of the eight sites ride an 8 kbps trace link, so their full-width
+  // summary coresets can never cross inside the round; the rest of the
+  // fleet optionally churns (stochastic leave/rejoin). Each (deadline,
+  // churn) point runs with quant=fixed — the paper's billing, which
+  // loses the slow sites' data to the deadline — and quant=adaptive,
+  // which narrows those frames until they fit. The columns to watch:
+  // misses and summary_pts (adaptive keeps the slow sites' data in the
+  // model) against cost_ratio (the accuracy price of the narrowed
+  // coordinates). Orphans/joins/leaves trace the churn process itself —
+  // identical across the quant pair, since membership draws come from
+  // dedicated streams.
+  struct ChurnCell {
+    double deadline = 0.0;
+    double churn = 0.0;
+    bool adaptive = false;
+    SimReport report;
+    double cost_ratio = 0.0;
+    bool feasible = true;
+  };
+  constexpr const char* kChurnBase =
+      "radio=wifi,retry=giveup,event-log=off,"
+      "site0.trace=0:8000:0,site1.trace=0:8000:0";
+  const std::vector<double> churn_deadlines = {8.0, 5.0};
+  const std::vector<double> churn_rates = {0.0, 0.02, 0.05};
+  std::vector<ChurnCell> ccells;
+  std::printf("\nchurn sweep  scenario=wifi+8kbps-trace-sites pipeline=BKLW\n");
+  std::printf("%-9s %-6s %-9s %8s %8s %6s %6s %12s %10s\n", "deadline",
+              "churn", "quant", "misses", "orphans", "joins", "leaves",
+              "summary_pts", "cost_ratio");
+  for (double deadline : churn_deadlines) {
+    for (double churn : churn_rates) {
+      for (int adaptive_on = 0; adaptive_on <= 1; ++adaptive_on) {
+        char spec_buf[256];
+        std::snprintf(spec_buf, sizeof spec_buf,
+                      "%s,deadline=%g,churn=%.3f,quant=%s,seed=%llu",
+                      kChurnBase, deadline, churn,
+                      adaptive_on ? "adaptive" : "fixed",
+                      static_cast<unsigned long long>(seed));
+        const Coordinator coord(parse_scenario(spec_buf));
+        ChurnCell cell;
+        cell.deadline = deadline;
+        cell.churn = churn;
+        cell.adaptive = adaptive_on != 0;
+        try {
+          cell.report = coord.run(PipelineKind::kBklw, parts, cfg);
+          cell.cost_ratio =
+              kmeans_cost(data, cell.report.result.centers) / nr_cost;
+        } catch (const invariant_error&) {
+          // A churn draw can empty a round below the availability
+          // floor; record the cell rather than killing the sweep.
+          cell.feasible = false;
+        }
+        if (!cell.feasible) {
+          std::printf("%-9g %-6.2f %-9s %8s\n", deadline, churn,
+                      adaptive_on ? "adaptive" : "fixed", "infeasible");
+          ccells.push_back(std::move(cell));
+          continue;
+        }
+        std::printf("%-9g %-6.2f %-9s %8llu %8llu %6llu %6llu %12zu %10.4f\n",
+                    deadline, churn, adaptive_on ? "adaptive" : "fixed",
+                    static_cast<unsigned long long>(
+                        cell.report.deadline_misses),
+                    static_cast<unsigned long long>(
+                        cell.report.orphaned_frames),
+                    static_cast<unsigned long long>(cell.report.joins),
+                    static_cast<unsigned long long>(cell.report.leaves),
+                    cell.report.result.summary_points, cell.cost_ratio);
+        ccells.push_back(std::move(cell));
+      }
+    }
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -481,6 +557,49 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(c.report.rounds),
           c.report.event_log.size(), c.cost_ratio,
           i + 1 < ocells.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "    ]\n  },\n"
+                 "  \"churn_sweep\": {\n"
+                 "    \"scenario\": \"%s\",\n"
+                 "    \"pipeline\": \"bklw\",\n"
+                 "    \"trace_bandwidth_bps\": 8000,\n"
+                 "    \"cells\": [\n",
+                 kChurnBase);
+    for (std::size_t i = 0; i < ccells.size(); ++i) {
+      const ChurnCell& c = ccells[i];
+      if (!c.feasible) {
+        std::fprintf(f,
+                     "      {\"deadline_seconds\": %.17g, \"churn_rate\": %.3f,"
+                     " \"adaptive_quant\": %s, \"feasible\": false}%s\n",
+                     c.deadline, c.churn, c.adaptive ? "true" : "false",
+                     i + 1 < ccells.size() ? "," : "");
+        continue;
+      }
+      std::fprintf(
+          f,
+          "      {\"deadline_seconds\": %.17g, \"churn_rate\": %.3f,\n"
+          "       \"adaptive_quant\": %s, \"feasible\": true,\n"
+          "       \"deadline_misses\": %llu, \"orphaned_frames\": %llu,\n"
+          "       \"joins\": %llu, \"leaves\": %llu,\n"
+          "       \"summary_points\": %zu, \"sites_dropped\": %llu,\n"
+          "       \"rounds\": %llu, \"uplink_bits\": %llu,\n"
+          "       \"completion_seconds\": %.17g,\n"
+          "       \"server_completion_seconds\": %.17g,\n"
+          "       \"energy_joules\": %.17g,\n"
+          "       \"cost_ratio_vs_nr\": %.17g}%s\n",
+          c.deadline, c.churn, c.adaptive ? "true" : "false",
+          static_cast<unsigned long long>(c.report.deadline_misses),
+          static_cast<unsigned long long>(c.report.orphaned_frames),
+          static_cast<unsigned long long>(c.report.joins),
+          static_cast<unsigned long long>(c.report.leaves),
+          c.report.result.summary_points,
+          static_cast<unsigned long long>(c.report.sites_dropped),
+          static_cast<unsigned long long>(c.report.rounds),
+          static_cast<unsigned long long>(c.report.result.uplink.bits),
+          c.report.completion_seconds, c.report.server_completion_seconds,
+          c.report.energy_joules, c.cost_ratio,
+          i + 1 < ccells.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);

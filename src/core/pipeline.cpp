@@ -117,7 +117,7 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
       }
     }
     enforce_availability_floor(responders, cfg.min_round_responders,
-                               "refine round");
+                               "refine round", net.rounds_opened());
     for (std::size_t c = 0; c < k; ++c) {
       if (mass[c] > 0.0) {
         auto row = centers.row(c);
@@ -359,7 +359,7 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
         if (part.rows() > 0) all.append_rows(part);
       }
       enforce_availability_floor(responders, cfg.min_round_responders,
-                                 "NR round");
+                                 "NR round", net.rounds_opened());
       EKM_ENSURES_MSG(all.rows() > 0,
                       "no data source delivered before the round deadline");
       const KMeansResult res = kmeans(Dataset(std::move(all)), solver_options(cfg));
@@ -381,6 +381,7 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       opts.intrinsic_dim = cfg.pca_dim;
       opts.total_samples = cfg.coreset_size;
       opts.significant_bits = cfg.significant_bits;
+      opts.quant = cfg.quant_policy;
       opts.round_deadline_s = cfg.round_deadline_s;
       opts.min_responders = cfg.min_round_responders;
       opts.reallocate = cfg.reallocate_budget;
@@ -427,6 +428,7 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       opts.intrinsic_dim = cfg.pca_dim;
       opts.total_samples = cfg.coreset_size;
       opts.significant_bits = cfg.significant_bits;
+      opts.quant = cfg.quant_policy;
       opts.round_deadline_s = cfg.round_deadline_s;
       opts.min_responders = cfg.min_round_responders;
       opts.reallocate = cfg.reallocate_budget;

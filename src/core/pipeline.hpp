@@ -29,6 +29,7 @@
 #include "kmeans/lloyd.hpp"
 #include "linalg/matrix.hpp"
 #include "net/channel.hpp"
+#include "qt/policy.hpp"
 
 namespace ekm {
 
@@ -53,6 +54,12 @@ struct PipelineConfig {
   double delta = 0.1;
   std::uint64_t seed = 1;  ///< master seed; also the shared JL seed
   int significant_bits = 52;  ///< QT setting (52 = off)
+  /// Per-frame quantization policy (qt/policy.hpp; scenario key
+  /// `quant=`): kAdaptive lets a site narrow a coreset frame below
+  /// `significant_bits` when the remaining round budget cannot carry
+  /// the full width — graceful degradation instead of a deadline miss.
+  /// kFixed (the default) is the paper's §6 billing, bit for bit.
+  QuantPolicy quant_policy = QuantPolicy::kFixed;
 
   /// Overrides (0 = derive from k/ε/δ per the paper's formulas). The
   /// experiments in §7 tune these so all algorithms land at similar

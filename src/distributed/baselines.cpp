@@ -86,7 +86,7 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
     if (local.rows() > 0) candidates.append_rows(local);
   }
   enforce_availability_floor(seed_responders, opts.min_responders,
-                             "seeding round");
+                             "seeding round", net.rounds_opened());
   EKM_ENSURES(candidates.rows() >= 1);
   Rng server_rng = make_rng(opts.seed, 0x5eedULL);
   Matrix centers(std::min<std::size_t>(k, candidates.rows()), d);
@@ -143,7 +143,8 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
         round_cost += row[d + 1];
       }
     }
-    enforce_availability_floor(responders, opts.min_responders, "Lloyd round");
+    enforce_availability_floor(responders, opts.min_responders, "Lloyd round",
+                               net.rounds_opened());
     for (std::size_t c = 0; c < centers.rows(); ++c) {
       if (mass[c] > 0.0) {
         auto row = centers.row(c);
@@ -218,7 +219,8 @@ DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
       all_mass.push_back(payload(c, d));
     }
   }
-  enforce_availability_floor(responders, opts.min_responders, "map round");
+  enforce_availability_floor(responders, opts.min_responders, "map round",
+                             net.rounds_opened());
   EKM_ENSURES(all_centers.rows() >= 1);
   KMeansOptions reduce;
   reduce.k = opts.k;

@@ -88,6 +88,7 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
           : disss_sample_size(opts.k, opts.epsilon, opts.delta, parts.size(),
                               n_total);
   sopts.significant_bits = opts.significant_bits;
+  sopts.quant = opts.quant;
   sopts.round_deadline_s = opts.round_deadline_s;
   sopts.min_responders = opts.min_responders;
   sopts.reallocate = opts.reallocate;

@@ -16,6 +16,7 @@
 #include "cr/coreset.hpp"
 #include "data/dataset.hpp"
 #include "net/channel.hpp"
+#include "qt/policy.hpp"
 
 namespace ekm {
 
@@ -26,6 +27,9 @@ struct BklwOptions {
   std::size_t intrinsic_dim = 0;   ///< 0 => k + ceil(4k/ε²) - 1
   std::size_t total_samples = 0;   ///< 0 => disss_sample_size(...)
   int significant_bits = 52;       ///< QT billing for coreset points
+  /// Forwarded to DisSsOptions::quant: per-frame quantization policy
+  /// (qt/policy.hpp) for the coreset uplinks under a finite deadline.
+  QuantPolicy quant = QuantPolicy::kFixed;
 
   /// Per-collection-round deadline, forwarded to disPCA and disSS (each
   /// of the three rounds gets the same budget). A source dropped from

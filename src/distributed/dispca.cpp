@@ -120,7 +120,7 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
       {TaskKind::kBarrier, kServerActor, "disPCA/merge-basis",
        [&] {
          enforce_availability_floor(responders, opts.min_responders,
-                                    "disPCA round");
+                                    "disPCA round", net.rounds_opened());
          EKM_ENSURES_MSG(y.rows() > 0,
                          "all sources empty or dropped at the deadline");
          const std::size_t t2 = std::min({opts.t2, y.rows(), d});

@@ -105,6 +105,35 @@ Dataset coreset_from_picks(const Dataset& p, const Matrix& xi,
   return {std::move(pts), std::move(weights)};
 }
 
+/// Graceful degradation (qt/policy.hpp): the significand width a site
+/// commits to right before an uplink. Fixed policy — or an unbounded
+/// round, or an instant fabric (airtime 0) — keeps the configured
+/// width, consulting nothing; adaptive weighs the frame's single-attempt
+/// airtime against the remaining round budget and walks a small ladder
+/// of narrower widths until the frame fits, flooring at 8 significand
+/// bits (below that the width savings are marginal — 12 header bits
+/// dominate — and the frame ships at 8 even when it still cannot fit).
+int pick_significant_bits(const Coreset& cs, const DisSsOptions& opts,
+                          Fabric& net, std::size_t i, double deadline) {
+  if (opts.quant != QuantPolicy::kAdaptive || !std::isfinite(deadline)) {
+    return opts.significant_bits;
+  }
+  const double budget = deadline - net.site_time(i);
+  const double full_airtime =
+      net.uplink_airtime_s(i, coreset_wire_bits(cs, opts.significant_bits));
+  if (full_airtime <= 0.0 || full_airtime <= budget) {
+    return opts.significant_bits;
+  }
+  constexpr int kLadder[] = {24, 16, 8};
+  int width = opts.significant_bits;
+  for (int step : kLadder) {
+    if (step >= opts.significant_bits) continue;
+    width = step;
+    if (net.uplink_airtime_s(i, coreset_wire_bits(cs, step)) <= budget) break;
+  }
+  return width;
+}
+
 }  // namespace
 
 // disSS as a task graph (src/sched/): two collection rounds — the cost
@@ -207,7 +236,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
       {TaskKind::kBarrier, kServerActor, "disSS/budget-split",
        [&] {
          enforce_availability_floor(cost_responders, opts.min_responders,
-                                    "disSS cost round");
+                                    "disSS cost round", net.rounds_opened());
        },
        cost_collects});
   std::vector<TaskId> alloc_broadcasts(m);
@@ -300,7 +329,19 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
              local.points =
                  coreset_from_picks(p, xi, st, total_cost, opts.total_samples);
            }
-           net.uplink(i).send(encode_coreset(local, opts.significant_bits));
+           // Adaptive quantization commits a width per frame, right
+           // before transmission — the only moment the site knows both
+           // the frame's size and the remaining round budget. Narrowed
+           // points are quantized on-device (billed as device work);
+           // the server's re-check at the configured width is exact
+           // because s-bit values are representable at every width >= s.
+           const int wire_s =
+               pick_significant_bits(local, opts, net, i, summary_deadline);
+           if (wire_s < opts.significant_bits) {
+             auto scope = device_work.measure();
+             local.points = RoundingQuantizer(wire_s).quantize(local.points);
+           }
+           net.uplink(i).send(encode_coreset(local, wire_s));
            sent[i] = 1;
            // The scan/pick state exists only for the reallocation wave;
            // when no wave can run, release it now instead of holding
@@ -394,7 +435,8 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
          // decrements it (a responder whose supplement misses keeps its
          // first-wave coreset).
          enforce_availability_floor(summary_responders, opts.min_responders,
-                                    "disSS summary round");
+                                    "disSS summary round",
+                                    net.rounds_opened());
          if (!realloc_armed) {
            add_union_task(barrier_deps());
            return;
@@ -403,10 +445,14 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
          for (std::size_t i = 0; i < m; ++i) {
            if (in_round[i] && !got[i]) lost_budget += alloc[i];
          }
+         // Wave receivers: responders with data that are still fleet
+         // members — a site that delivered its first wave and then left
+         // (siteN.leave / churn) keeps its standing coreset, but the
+         // lost budget is re-split over sites that can actually extend.
          double recv_cost = 0.0;
          std::size_t receivers = 0;
          for (std::size_t i = 0; i < m; ++i) {
-           if (got[i] && !parts[i].empty()) {
+           if (got[i] && !parts[i].empty() && net.is_member(i)) {
              recv_cost += local_cost[i];
              receivers += 1;
            }
@@ -416,7 +462,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
          std::size_t extra_total = 0;
          if (lost_budget > 0 && receivers > 0) {
            for (std::size_t i = 0; i < m; ++i) {
-             if (!got[i] || parts[i].empty()) continue;
+             if (!got[i] || parts[i].empty() || !net.is_member(i)) continue;
              wave.extra[i] =
                  recv_cost > 0.0
                      ? static_cast<std::size_t>(std::llround(
@@ -475,8 +521,14 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
                         coreset_from_picks(parts[i], local_centers[i], st,
                                            total_cost, opts.total_samples);
                   }
-                  net.uplink(i).send(
-                      encode_coreset(supplement, opts.significant_bits));
+                  const int wire_s = pick_significant_bits(
+                      supplement, opts, net, i, wave.deadline);
+                  if (wire_s < opts.significant_bits) {
+                    auto scope = device_work.measure();
+                    supplement.points =
+                        RoundingQuantizer(wire_s).quantize(supplement.points);
+                  }
+                  net.uplink(i).send(encode_coreset(supplement, wire_s));
                   wave.sent[i] = 1;
                 },
                 wave_broadcasts}));

@@ -19,6 +19,7 @@
 #include "data/dataset.hpp"
 #include "kmeans/bicriteria.hpp"
 #include "net/channel.hpp"
+#include "qt/policy.hpp"
 
 namespace ekm {
 
@@ -29,6 +30,12 @@ struct DisSsOptions {
   /// Billing width for uplinked coreset points (12 + s bits when a
   /// quantizer with s significand bits runs before transmission).
   int significant_bits = 52;
+  /// Graceful degradation (qt/policy.hpp): with kAdaptive, a site about
+  /// to uplink its coreset under a finite round deadline narrows the
+  /// frame below `significant_bits` when the full-width airtime cannot
+  /// fit the remaining round budget — the frame shrinks instead of
+  /// expiring. kFixed (the default) always ships the configured width.
+  QuantPolicy quant = QuantPolicy::kFixed;
 
   /// Deadline budget per collection round (the cost round and the
   /// summary round each get one). A source that misses the cost round

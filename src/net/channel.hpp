@@ -41,13 +41,27 @@ inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 /// throws invariant_error instead of aggregating a degenerate summary.
 /// Callers count each site at most once per round — a site that also
 /// delivers a reallocation-wave supplement is still one responder, and
-/// one that misses the wave after responding stays counted.
+/// one that misses the wave after responding stays counted. Under
+/// churn a departed site naturally stops counting: it is not a
+/// distinct *responding* site.
+///
+/// `round_ordinal` (1-based; 0 = unknown) attributes the violation in
+/// a multi-round sweep — "Lloyd round fell below the floor" is useless
+/// when forty Lloyd rounds ran; callers pass Fabric::rounds_opened().
+/// The counts ride along so a sweep log is actionable by itself.
 inline void enforce_availability_floor(std::size_t responders,
                                        std::size_t floor,
-                                       const char* round_name) {
-  EKM_ENSURES_MSG(responders >= floor,
-                  std::string(round_name) +
-                      " fell below the availability floor");
+                                       const char* round_name,
+                                       std::uint64_t round_ordinal = 0) {
+  EKM_ENSURES_MSG(
+      responders >= floor,
+      std::string(round_name) +
+          (round_ordinal > 0
+               ? " (collection round #" + std::to_string(round_ordinal) + ")"
+               : "") +
+          " fell below the availability floor: " +
+          std::to_string(responders) + " of the required " +
+          std::to_string(floor) + " site(s) responded");
 }
 
 /// One framed message in flight.
@@ -181,6 +195,33 @@ class Fabric {
     (void)source;
     return 0.0;
   }
+
+  /// Predicted single-attempt airtime of a `wire_bits` uplink frame
+  /// from `source` right now — what adaptive quantization
+  /// (qt/policy.hpp) weighs against the remaining round budget. The
+  /// synchronous star transmits instantly, so 0 comes back and
+  /// adaptive policies keep full width.
+  [[nodiscard]] virtual double uplink_airtime_s(std::size_t source,
+                                                std::uint64_t wire_bits) const {
+    (void)source;
+    (void)wire_bits;
+    return 0.0;
+  }
+
+  /// Whether `source` is currently a fleet member. Always true on
+  /// fabrics without a membership model; a churning simulator reports
+  /// the site's state at its own clock, letting collection loops skip
+  /// departed sites instead of counting their orphaned frames as
+  /// ordinary misses. Non-const: a lazy churn schedule may extend.
+  [[nodiscard]] virtual bool is_member(std::size_t source) {
+    (void)source;
+    return true;
+  }
+
+  /// Collection rounds opened so far — the 1-based ordinal callers
+  /// hand to enforce_availability_floor for attribution. 0 on fabrics
+  /// that never count rounds (the synchronous star).
+  [[nodiscard]] virtual std::uint64_t rounds_opened() const { return 0; }
 
   /// Total source->server traffic — the paper's communication cost.
   [[nodiscard]] TrafficLedger total_uplink() {

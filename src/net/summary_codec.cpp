@@ -34,6 +34,16 @@ std::uint64_t wire_bits_per_scalar(int significant_bits) {
   return 12 + static_cast<std::uint64_t>(significant_bits);
 }
 
+std::uint64_t coreset_wire_bits(const Coreset& coreset, int significant_bits) {
+  const std::size_t point_scalars =
+      coreset.points.size() * coreset.points.dim();
+  const std::size_t basis_scalars =
+      coreset.basis ? coreset.basis->rows() * coreset.basis->cols() : 0;
+  const std::size_t n = coreset.points.size();
+  return point_scalars * wire_bits_per_scalar(significant_bits) +
+         (basis_scalars + n + 1) * 64;
+}
+
 Message encode_coreset(const Coreset& coreset, int significant_bits) {
   ByteWriter w;
   w.put_u32(kTagCoreset);
@@ -51,8 +61,7 @@ Message encode_coreset(const Coreset& coreset, int significant_bits) {
   const std::size_t basis_scalars =
       coreset.basis ? coreset.basis->rows() * coreset.basis->cols() : 0;
   msg.scalars = point_scalars + basis_scalars + n /*weights*/ + 1 /*delta*/;
-  msg.wire_bits = point_scalars * wire_bits_per_scalar(significant_bits) +
-                  (basis_scalars + n + 1) * 64;
+  msg.wire_bits = coreset_wire_bits(coreset, significant_bits);
   msg.payload = w.take();
   return msg;
 }

@@ -19,6 +19,13 @@ namespace ekm {
 /// (52 = unquantized full double).
 [[nodiscard]] std::uint64_t wire_bits_per_scalar(int significant_bits);
 
+/// Wire bits a coreset frame would bill at `significant_bits`, without
+/// encoding it — what adaptive quantization (qt/policy.hpp) weighs
+/// against Fabric::uplink_airtime_s before committing to a width.
+/// encode_coreset bills exactly this.
+[[nodiscard]] std::uint64_t coreset_wire_bits(const Coreset& coreset,
+                                              int significant_bits);
+
 /// Encodes a coreset (S, Δ, w) — with optional subspace basis — into a
 /// frame. `significant_bits` affects only the billing of the point
 /// coordinates (the paper quantizes coreset points only; the basis, when

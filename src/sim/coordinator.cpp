@@ -41,6 +41,10 @@ SimReport make_report(const SimScenario& scenario, std::string pipeline,
   report.deadline_misses = net.missed_frames();
   report.supplemental_misses = net.supplemental_misses();
   report.realloc_waves = net.subrounds_opened();
+  // finish() already ran above, so the join/leave census is final.
+  report.joins = net.joins();
+  report.leaves = net.leaves();
+  report.orphaned_frames = net.orphaned_frames();
   for (std::size_t i = 0; i < net.num_sources(); ++i) {
     // A site is dropped if any round abandoned one of its uplink
     // frames, or if it lost a broadcast (basis/allocation/centers) and
@@ -63,7 +67,9 @@ SimReport make_report(const SimScenario& scenario, std::string pipeline,
 /// Budget reallocation is on by default on both sides, so either side
 /// saying `off` (scenario `realloc=off`, or a config that cleared
 /// reallocate_budget) turns it off.
-PipelineConfig apply_round_policy(PipelineConfig cfg, const RoundPolicy& round) {
+PipelineConfig apply_round_policy(PipelineConfig cfg,
+                                  const SimScenario& scenario) {
+  const RoundPolicy& round = scenario.round;
   if (!std::isfinite(cfg.round_deadline_s)) {
     cfg.round_deadline_s = round.deadline_s;
   }
@@ -77,6 +83,11 @@ PipelineConfig apply_round_policy(PipelineConfig cfg, const RoundPolicy& round) 
   // Overlap defaults off on both sides; either side opting in wins
   // (scenario `overlap=` / CLI `--overlap`, or an explicit config).
   cfg.overlap_phases = cfg.overlap_phases || round.overlap;
+  // Quantization policy defaults to fixed on both sides; the scenario's
+  // `quant=` fills the config wherever it still holds the default.
+  if (cfg.quant_policy == QuantPolicy::kFixed) {
+    cfg.quant_policy = scenario.quant;
+  }
   return cfg;
 }
 
@@ -86,7 +97,7 @@ SimReport Coordinator::run(PipelineKind kind, std::span<const Dataset> parts,
                            const PipelineConfig& cfg) const {
   EKM_EXPECTS(!parts.empty());
   SimNetwork net(parts.size(), scenario_);
-  const PipelineConfig effective = apply_round_policy(cfg, scenario_.round);
+  const PipelineConfig effective = apply_round_policy(cfg, scenario_);
   // The overlap commit rule lives on the fabric (expiry NAKs change
   // when the server *learns*, not what the protocol does), so the
   // Coordinator pushes the resolved setting down to the network that
@@ -122,7 +133,7 @@ SimReport Coordinator::run_streaming(std::span<const Dataset> parts,
   // deadline costs freshness here, never liveness — which is also why
   // min_round_responders deliberately does not apply to streaming
   // rounds (a round with zero fresh summaries just serves stale ones).
-  const PipelineConfig effective = apply_round_policy(cfg, scenario_.round);
+  const PipelineConfig effective = apply_round_policy(cfg, scenario_);
   const double deadline_s = effective.round_deadline_s;
   net.set_phase_overlap(effective.overlap_phases);
   std::vector<Coreset> latest(m);

@@ -74,6 +74,14 @@ struct SimReport {
   std::uint64_t realloc_waves = 0;    ///< within-round budget-reallocation
                                       ///< waves opened (open_subround);
                                       ///< 0 on every miss-free run
+
+  // --- fleet churn (`siteN.join=`/`siteN.leave=`, `churn=`) ---------------
+  std::uint64_t joins = 0;   ///< membership flips to "member" during the run
+  std::uint64_t leaves = 0;  ///< membership flips to "gone" during the run
+  /// Frames resolved as drops because their site had left the fleet —
+  /// a subset of the expired frames, counted per link in
+  /// LinkStats::orphaned. 0 on every static fleet.
+  std::uint64_t orphaned_frames = 0;
 };
 
 class Coordinator {

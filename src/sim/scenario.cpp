@@ -156,6 +156,59 @@ long long parse_int(const std::string& key, const std::string& value) {
   return *v;
 }
 
+/// `siteN.trace=start:bw:loss[:dropout];...` — piecewise link-quality
+/// segments over virtual time. Starts must be strictly increasing so
+/// the active segment at any instant is unambiguous.
+std::vector<TraceSegment> parse_trace(const std::string& key,
+                                      const std::string& value) {
+  EKM_EXPECTS_MSG(!value.empty(), "empty value for scenario key '" + key + "'");
+  std::vector<TraceSegment> trace;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t semi = value.find(';', pos);
+    const std::string seg_str =
+        value.substr(pos, semi == std::string::npos ? std::string::npos
+                                                    : semi - pos);
+    pos = semi == std::string::npos ? value.size() + 1 : semi + 1;
+    std::vector<std::string> fields;
+    std::size_t fpos = 0;
+    while (fpos <= seg_str.size()) {
+      const std::size_t colon = seg_str.find(':', fpos);
+      fields.push_back(seg_str.substr(
+          fpos, colon == std::string::npos ? std::string::npos : colon - fpos));
+      fpos = colon == std::string::npos ? seg_str.size() + 1 : colon + 1;
+    }
+    EKM_EXPECTS_MSG(fields.size() == 3 || fields.size() == 4,
+                    "malformed trace segment '" + seg_str +
+                        "' in scenario key '" + key +
+                        "' (expected start:bandwidth:loss[:dropout])");
+    TraceSegment seg;
+    seg.start_s = parse_double(key, fields[0]);
+    EKM_EXPECTS_MSG(std::isfinite(seg.start_s) && seg.start_s >= 0.0,
+                    "trace segment start must be finite and >= 0 in scenario "
+                    "key '" + key + "'");
+    seg.bandwidth_bps = parse_double(key, fields[1]);
+    EKM_EXPECTS_MSG(std::isfinite(seg.bandwidth_bps) && seg.bandwidth_bps > 0.0,
+                    "trace segment bandwidth must be > 0 in scenario key '" +
+                        key + "'");
+    seg.loss_rate = parse_double(key, fields[2]);
+    EKM_EXPECTS_MSG(seg.loss_rate >= 0.0 && seg.loss_rate < 1.0,
+                    "trace segment loss must be in [0, 1) in scenario key '" +
+                        key + "'");
+    if (fields.size() == 4) {
+      seg.dropout_rate = parse_double(key, fields[3]);
+      EKM_EXPECTS_MSG(*seg.dropout_rate >= 0.0 && *seg.dropout_rate <= 1.0,
+                      "trace segment dropout must be in [0, 1] in scenario "
+                      "key '" + key + "'");
+    }
+    EKM_EXPECTS_MSG(trace.empty() || seg.start_s > trace.back().start_s,
+                    "trace segment starts must be strictly increasing in "
+                    "scenario key '" + key + "'");
+    trace.push_back(seg);
+  }
+  return trace;
+}
+
 /// `siteN.key=value` per-site override. Appends one SiteOverride per
 /// token; SimNetwork applies them in order, so later tokens win.
 void apply_site_override(SimScenario& s, const std::string& key,
@@ -164,7 +217,8 @@ void apply_site_override(SimScenario& s, const std::string& key,
   EKM_EXPECTS_MSG(
       dot != std::string::npos && dot > 4,
       "malformed per-site scenario key '" + key +
-          "' (expected siteN.radio|bandwidth|loss|dropout|speed|retry)");
+          "' (expected siteN.radio|bandwidth|loss|dropout|speed|retry|"
+          "join|leave|trace)");
   const long long index = parse_int(key, key.substr(4, dot - 4));
   EKM_EXPECTS_MSG(index >= 0, "site index must be >= 0 in scenario key '" +
                                   key + "'");
@@ -172,6 +226,7 @@ void apply_site_override(SimScenario& s, const std::string& key,
 
   SiteOverride o;
   o.site = static_cast<std::size_t>(index);
+  o.key = key;
   if (field == "radio") {
     o.radio = radio_by_name(key, value);
   } else if (field == "bandwidth") {
@@ -192,11 +247,24 @@ void apply_site_override(SimScenario& s, const std::string& key,
                     "speed must be > 0 in scenario key '" + key + "'");
   } else if (field == "retry") {
     o.retry = retry_by_name(key, value);
+  } else if (field == "join") {
+    o.join_s = parse_double(key, value);
+    EKM_EXPECTS_MSG(std::isfinite(*o.join_s) && *o.join_s >= 0.0,
+                    "join time must be finite and >= 0 in scenario key '" +
+                        key + "'");
+  } else if (field == "leave") {
+    o.leave_s = parse_double(key, value);
+    EKM_EXPECTS_MSG(std::isfinite(*o.leave_s) && *o.leave_s > 0.0,
+                    "leave time must be finite and > 0 in scenario key '" +
+                        key + "'");
+  } else if (field == "trace") {
+    o.trace = parse_trace(key, value);
   } else {
     EKM_EXPECTS_MSG(false,
                     "unknown per-site field '" + field + "' in scenario key '" +
                         key +
-                        "' (expected radio|bandwidth|loss|dropout|speed|retry)");
+                        "' (expected radio|bandwidth|loss|dropout|speed|retry|"
+                        "join|leave|trace)");
   }
   s.site_overrides.push_back(std::move(o));
 }
@@ -282,6 +350,17 @@ void apply_override(SimScenario& s, const std::string& key,
     }
   } else if (key == "retry") {
     s.retry.strategy = retry_by_name(key, value);
+  } else if (key == "churn") {
+    s.churn_rate = parse_double(key, value);
+    EKM_EXPECTS_MSG(std::isfinite(s.churn_rate) && s.churn_rate >= 0.0,
+                    "churn must be finite and >= 0 (leave/rejoin events per "
+                    "virtual second)");
+  } else if (key == "quant") {
+    const auto policy = quant_policy_from_name(value);
+    EKM_EXPECTS_MSG(policy.has_value(),
+                    "unknown quantization policy '" + value +
+                        "' for scenario key 'quant' (expected fixed|adaptive)");
+    s.quant = *policy;
   } else if (key == "backoff-base") {
     s.retry.backoff_base = parse_double(key, value);
     EKM_EXPECTS_MSG(std::isfinite(s.retry.backoff_base) &&

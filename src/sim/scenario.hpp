@@ -15,16 +15,35 @@
 #include <vector>
 
 #include "net/link_model.hpp"
+#include "qt/policy.hpp"
 #include "sim/round_policy.hpp"
 
 namespace ekm {
 
+/// One piece of a trace-driven link schedule (`siteN.trace=`): from
+/// `start_s` of virtual time until the next segment takes over, the
+/// site's link runs at `bandwidth_bps` with `loss_rate` per attempt
+/// (and, when given, `dropout_rate` per transaction). Before the first
+/// segment's start the base radio/fault settings apply, so a trace
+/// layers *under* the radio presets and retry policies instead of
+/// replacing them — per-frame latency and energy always stay with the
+/// radio class.
+struct TraceSegment {
+  double start_s = 0.0;
+  double bandwidth_bps = 0.0;
+  double loss_rate = 0.0;
+  std::optional<double> dropout_rate;  ///< nullopt = keep the base rate
+};
+
 /// One site's deviations from the fleet-wide scenario knobs, applied in
 /// declaration order (later overrides win). Parsed from `siteN.key=value`
-/// tokens; overrides naming a site index beyond the deployment's size
-/// are ignored (a scenario string is reusable across fleet sizes).
+/// tokens; an override naming a site index beyond the deployment's size
+/// is a configuration error — SimNetwork rejects it loudly, naming the
+/// key (a silently inert override once hid fleet-size typos).
 struct SiteOverride {
   std::size_t site = 0;
+  std::string key;                       ///< the original `siteN.field`
+                                         ///< token, for error attribution
   std::optional<LinkModel> radio;        ///< siteN.radio=lora|ble|wifi|5g
   std::optional<double> bandwidth_bps;   ///< siteN.bandwidth=BPS
   std::optional<double> loss_rate;       ///< siteN.loss=P
@@ -32,6 +51,9 @@ struct SiteOverride {
   std::optional<double> compute_speed;   ///< siteN.speed=REL (pins the
                                          ///< speed, after skew/stragglers)
   std::optional<RetryStrategy> retry;    ///< siteN.retry=fixed|backoff|giveup
+  std::optional<double> join_s;          ///< siteN.join=T (member from T)
+  std::optional<double> leave_s;         ///< siteN.leave=T (gone from T)
+  std::vector<TraceSegment> trace;       ///< siteN.trace=start:bw:loss[:drop];...
 };
 
 struct SimScenario {
@@ -69,6 +91,16 @@ struct SimScenario {
   /// its radio; it then waits out `outage_seconds` before transmitting.
   double dropout_rate = 0.0;
   double outage_seconds = 5.0;
+  /// Stochastic fleet churn (`churn=`): rate (events per virtual
+  /// second) of an alternating leave/rejoin process per site —
+  /// membership intervals are Exponential(rate) holds, drawn from a
+  /// dedicated per-site RNG stream so churn-free runs consume zero
+  /// extra draws. Applies only to sites without an explicit
+  /// `siteN.join=`/`siteN.leave=` schedule; 0 (the default) disables
+  /// churn entirely and reproduces the static-fleet runtime bit for
+  /// bit. A site that leaves resolves every in-flight frame of its
+  /// links as a first-class orphaned drop.
+  double churn_rate = 0.0;
   /// Attempts beyond the first before the link escalates. The protocols
   /// are lossless at the application layer, so after max_retries the
   /// frame is delivered anyway over an assumed reliable fallback — all
@@ -109,15 +141,32 @@ struct SimScenario {
   /// (unlimited) keeps PR 2–4 behavior bit for bit.
   std::size_t event_log_limit = static_cast<std::size_t>(-1);
 
+  /// Per-frame quantization policy (`quant=fixed|adaptive`): with
+  /// `adaptive`, a site about to uplink a coreset under a finite round
+  /// deadline narrows the frame's significand width when the full-width
+  /// airtime cannot fit the remaining budget (see qt/policy.hpp). The
+  /// default reproduces the paper's fixed-width billing bit for bit.
+  QuantPolicy quant = QuantPolicy::kFixed;
+
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool fault_free() const {
-    if (loss_rate != 0.0 || dropout_rate != 0.0 || jitter_frac != 0.0) {
+    if (loss_rate != 0.0 || dropout_rate != 0.0 || jitter_frac != 0.0 ||
+        churn_rate != 0.0) {
       return false;
     }
     for (const SiteOverride& o : site_overrides) {
       if (o.loss_rate.value_or(0.0) != 0.0) return false;
       if (o.dropout_rate.value_or(0.0) != 0.0) return false;
+      // A membership schedule makes frames orphan; a trace segment that
+      // injects loss or dropout makes them drop. (A bandwidth-only
+      // trace shifts timing but never a frame's fate.)
+      if (o.join_s.has_value() || o.leave_s.has_value()) return false;
+      for (const TraceSegment& seg : o.trace) {
+        if (seg.loss_rate != 0.0 || seg.dropout_rate.value_or(0.0) != 0.0) {
+          return false;
+        }
+      }
     }
     return true;
   }
@@ -157,10 +206,14 @@ struct SimScenario {
 /// scheduled for the reallocation wave), overlap (on|off: phase-overlap
 /// scheduling — expiry NAKs commit merge barriers early),
 /// event-log (off|N: cap the retained event trace),
-/// retry (fixed|backoff|giveup),
+/// retry (fixed|backoff|giveup), churn (leave/rejoin events per virtual
+/// second), quant (fixed|adaptive: per-frame quantization policy),
 /// backoff-base, backoff-cap, backoff-jitter, seed, plus per-site overrides
 /// siteN.radio, siteN.bandwidth, siteN.loss, siteN.dropout,
-/// siteN.speed, siteN.retry. Overrides apply on top of the preset
+/// siteN.speed, siteN.retry, siteN.join, siteN.leave, and
+/// siteN.trace=start:bw:loss[:dropout][;start:bw:loss[:dropout]...]
+/// (piecewise link-quality segments over virtual time, strictly
+/// increasing starts). Overrides apply on top of the preset
 /// (default: ideal). Throws precondition_error on unknown names/keys
 /// and on malformed values — empty, trailing garbage, or out of range
 /// (including finite-looking tokens that overflow double, e.g.

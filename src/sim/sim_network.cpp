@@ -4,8 +4,25 @@
 #include <cmath>
 #include <numeric>
 #include <random>
+#include <string>
 
 namespace ekm {
+
+namespace {
+
+/// Active trace segment of a site at virtual time t: the last segment
+/// whose start has passed, or nullptr while the base radio/fault
+/// settings still apply (before the first segment, or no trace at all).
+[[nodiscard]] const TraceSegment* trace_segment_at(const Site& site, double t) {
+  const TraceSegment* active = nullptr;
+  for (const TraceSegment& seg : site.trace) {
+    if (seg.start_s > t) break;
+    active = &seg;
+  }
+  return active;
+}
+
+}  // namespace
 
 void SimLink::send(Message msg) { net_->do_send(*this, std::move(msg)); }
 
@@ -63,11 +80,17 @@ SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
   }
 
   // Per-site overrides come last so they pin exact values — a
-  // siteN.speed override wins over the skew/straggler draw above.
-  // Overrides beyond num_sites are ignored by design (one scenario
-  // string serves any fleet size).
+  // siteN.speed override wins over the skew/straggler draw above
+  // (later overrides win, in declaration order). An override naming a
+  // site beyond the fleet is a configuration error: it used to be
+  // silently inert, which hid fleet-size typos behind clean runs.
+  std::vector<std::optional<double>> join(num_sites);
+  std::vector<std::optional<double>> leave(num_sites);
   for (const SiteOverride& o : scenario_.site_overrides) {
-    if (o.site >= num_sites) continue;
+    EKM_EXPECTS_MSG(o.site < num_sites,
+                    "scenario override '" + o.key + "' names site " +
+                        std::to_string(o.site) + " but the fleet has only " +
+                        std::to_string(num_sites) + " site(s)");
     Site& s = sites_[o.site];
     if (o.radio) s.radio = *o.radio;
     if (o.bandwidth_bps) s.radio.bandwidth_bps = *o.bandwidth_bps;
@@ -75,6 +98,51 @@ SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
     if (o.dropout_rate) s.dropout_rate = *o.dropout_rate;
     if (o.compute_speed) s.compute_speed = *o.compute_speed;
     if (o.retry) s.retry = *o.retry;
+    if (!o.trace.empty()) s.trace = o.trace;
+    if (o.join_s) join[o.site] = o.join_s;
+    if (o.leave_s) leave[o.site] = o.leave_s;
+  }
+
+  // Merge explicit membership schedules into per-site toggle lists,
+  // then arm stochastic churn for the sites no override pinned. A
+  // static fleet (no joins, no leaves, churn=0) keeps
+  // membership_active_ false, and every membership check short-circuits
+  // — zero extra work, zero extra draws, bit-for-bit prior behavior.
+  bool any_toggles = false;
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    Site& s = sites_[i];
+    if (join[i] && leave[i]) {
+      EKM_EXPECTS_MSG(*join[i] != *leave[i],
+                      "site" + std::to_string(i) +
+                          ".join and .leave coincide at t=" +
+                          std::to_string(*join[i]) +
+                          " — membership would be ambiguous");
+      if (*join[i] < *leave[i]) {
+        s.initial_member = false;
+        s.membership_toggles = {*join[i], *leave[i]};
+      } else {
+        s.membership_toggles = {*leave[i], *join[i]};
+      }
+    } else if (join[i]) {
+      s.initial_member = false;
+      s.membership_toggles = {*join[i]};
+    } else if (leave[i]) {
+      s.membership_toggles = {*leave[i]};
+    }
+    any_toggles = any_toggles || !s.membership_toggles.empty();
+  }
+  membership_active_ = any_toggles || scenario_.churn_rate > 0.0;
+  if (scenario_.churn_rate > 0.0) {
+    churn_managed_.assign(num_sites, 0);
+    churn_rng_.reserve(num_sites);
+    const std::uint64_t churn_seed = derive_seed(scenario_.seed, 0xc4e11ULL);
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      // Dedicated per-site streams: churn draws never touch the link
+      // RNGs, so arming churn shifts no loss/jitter/dropout draw.
+      churn_rng_.push_back(make_rng(churn_seed, i));
+      churn_managed_[i] =
+          static_cast<char>(!join[i].has_value() && !leave[i].has_value());
+    }
   }
 
   up_.reserve(num_sites);
@@ -152,19 +220,37 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
 
   // --- sender-side compute: the frame exists only after the actor has
   // spent the virtual CPU time producing its scalars. ---
+  // A frame whose site is not a fleet member (siteN.leave / churn)
+  // orphans: a first-class drop resolved without keying the radio. An
+  // uplink from a departed site charges no compute and draws no
+  // dropout — nothing runs there; a broadcast *to* a departed site is
+  // produced at the server as usual, then orphans in the retry loop.
   double ready;
+  bool orphaned = false;
   if (link.uplink_) {
-    site.clock_s += static_cast<double>(msg.scalars) *
-                    scenario_.seconds_per_scalar / site.compute_speed;
-    if (site.dropout_rate > 0.0 && unif(link.rng_) < site.dropout_rate) {
-      // The site is in a dropout window when it reaches for the radio:
-      // it sits the outage out, then proceeds.
-      site.outages += 1;
-      site.clock_s += scenario_.outage_seconds;
-      queue_.push({site.clock_s, 0, SimEventType::kOutage, link.site_,
-                   link.uplink_, 0, msg.wire_bits});
+    if (membership_active_ && !site_member_at(link.site_, site.clock_s)) {
+      orphaned = true;
+      ready = site.clock_s;
+    } else {
+      site.clock_s += static_cast<double>(msg.scalars) *
+                      scenario_.seconds_per_scalar / site.compute_speed;
+      // Trace-driven links may override the dropout rate from the
+      // active segment; the draw itself stays on the link stream in
+      // the same program order (no trace → identical draws).
+      double dropout = site.dropout_rate;
+      if (const TraceSegment* seg = trace_segment_at(site, site.clock_s)) {
+        if (seg->dropout_rate) dropout = *seg->dropout_rate;
+      }
+      if (dropout > 0.0 && unif(link.rng_) < dropout) {
+        // The site is in a dropout window when it reaches for the radio:
+        // it sits the outage out, then proceeds.
+        site.outages += 1;
+        site.clock_s += scenario_.outage_seconds;
+        queue_.push({site.clock_s, 0, SimEventType::kOutage, link.site_,
+                     link.uplink_, 0, msg.wire_bits});
+      }
+      ready = site.clock_s;
     }
-    ready = site.clock_s;
   } else {
     server_clock_ += static_cast<double>(msg.scalars) *
                      scenario_.seconds_per_scalar / scenario_.server_speed;
@@ -198,13 +284,38 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
       bits / radio.bandwidth_bps + radio.per_message_latency_s;
   const auto energy_of = [&](double b) { return b * radio.energy_per_bit_j; };
   for (int attempt = 0;; ++attempt) {
+    if (!orphaned && membership_active_ &&
+        !site_member_at(link.site_, start)) {
+      // Mid-round leave: the site departed between attempts (or, on a
+      // downlink, before the broadcast reached it). The frame resolves
+      // as a first-class orphaned drop at the moment the radio would
+      // have keyed — no further attempts, nothing more billed.
+      orphaned = true;
+    }
+    if (orphaned) {
+      abandon_at = start;
+      break;
+    }
     if (start >= cutoff) {
       // Deadline cancelation: the sender abandons at the moment it
       // would have keyed the radio again.
       abandon_at = start;
       break;
     }
-    if (strategy == RetryStrategy::kGiveUp && start + base_airtime > cutoff) {
+    // Trace-driven links: the active segment at this attempt's start
+    // overrides bandwidth (hence airtime) and loss; per-frame latency
+    // and energy always stay with the radio class. No active segment
+    // (or no trace) leaves the static-link arithmetic untouched, bit
+    // for bit.
+    double attempt_airtime = base_airtime;
+    double attempt_loss = site.loss_rate;
+    if (const TraceSegment* seg = trace_segment_at(site, start)) {
+      attempt_airtime =
+          bits / seg->bandwidth_bps + radio.per_message_latency_s;
+      attempt_loss = seg->loss_rate;
+    }
+    if (strategy == RetryStrategy::kGiveUp &&
+        start + attempt_airtime > cutoff) {
       // Deadline-aware give-up: even the unjittered airtime cannot
       // complete before the round cutoff, so keying the radio would
       // only burn energy on a frame the server will abandon. Expire
@@ -218,7 +329,7 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     // not, or huge max_retries would wrap and disable loss entirely.
     const auto attempt_tag = static_cast<std::uint16_t>(
         std::min(attempt, 0xFFFF));
-    double airtime = base_airtime;
+    double airtime = attempt_airtime;
     if (scenario_.jitter_frac > 0.0) {
       airtime *= 1.0 + scenario_.jitter_frac * (2.0 * unif(link.rng_) - 1.0);
     }
@@ -228,7 +339,7 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     queue_.push({start, 0, SimEventType::kSendStart, link.site_, link.uplink_,
                  attempt_tag, msg.wire_bits});
     end = start + airtime;
-    const bool lost = site.loss_rate > 0.0 && unif(link.rng_) < site.loss_rate;
+    const bool lost = attempt_loss > 0.0 && unif(link.rng_) < attempt_loss;
     if (!lost) {
       queue_.push({end, 0, SimEventType::kDeliver, link.site_, link.uplink_,
                    attempt_tag, msg.wire_bits});
@@ -292,6 +403,10 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     frame.arrival = abandon_at;
     frame.expired = true;
     link.stats_.expired += 1;
+    if (orphaned) {
+      link.stats_.orphaned += 1;
+      orphaned_frames_ += 1;
+    }
     link.busy_until_ = std::max(link.busy_until_, end);
     if (link.uplink_) {
       site.clock_s = std::max(site.clock_s, end);
@@ -369,6 +484,48 @@ std::optional<Message> SimNetwork::do_receive_by(SimLink& link,
   return std::move(frame.msg);
 }
 
+bool SimNetwork::site_member_at(std::size_t i, double t) {
+  if (!membership_active_) return true;
+  Site& s = sites_[i];
+  if (!churn_rng_.empty() && churn_managed_[i] != 0) {
+    // Stochastic churn: extend the site's toggle schedule lazily past t
+    // with alternating Exponential(churn_rate) holds from the site's
+    // dedicated stream. Lazy extension keeps churn free for sites whose
+    // membership is never consulted, and the schedule — once drawn — is
+    // immutable, so repeated queries agree.
+    std::exponential_distribution<double> gap(scenario_.churn_rate);
+    double horizon =
+        s.membership_toggles.empty() ? 0.0 : s.membership_toggles.back();
+    while (horizon <= t) {
+      horizon += gap(churn_rng_[i]);
+      s.membership_toggles.push_back(horizon);
+    }
+  }
+  bool member = s.initial_member;
+  for (double toggle : s.membership_toggles) {
+    if (toggle > t) break;
+    member = !member;
+  }
+  return member;
+}
+
+double SimNetwork::uplink_airtime_s(std::size_t source,
+                                    std::uint64_t wire_bits) const {
+  EKM_EXPECTS(source < sites_.size());
+  const Site& s = sites_[source];
+  double bandwidth = s.radio.bandwidth_bps;
+  if (const TraceSegment* seg = trace_segment_at(s, s.clock_s)) {
+    bandwidth = seg->bandwidth_bps;
+  }
+  return static_cast<double>(wire_bits) / bandwidth +
+         s.radio.per_message_latency_s;
+}
+
+bool SimNetwork::is_member(std::size_t source) {
+  EKM_EXPECTS(source < sites_.size());
+  return site_member_at(source, sites_[source].clock_s);
+}
+
 void SimNetwork::advance_one_event() {
   SimEvent ev = queue_.pop();
   clock_ = std::max(clock_, ev.time);
@@ -412,6 +569,10 @@ void SimNetwork::assert_link_invariants(const SimLink& l) const {
   // separate population.
   EKM_ENSURES_MSG(l.stats_.supplemental <= l.stats_.missed,
                   "supplemental misses exceed total misses");
+  // Orphaned frames are a classification of expiries: a membership
+  // change resolves a frame through the same first-class drop path.
+  EKM_ENSURES_MSG(l.stats_.orphaned <= l.stats_.expired,
+                  "orphaned frames exceed expiries");
 }
 
 double SimNetwork::finish() {
@@ -430,6 +591,28 @@ double SimNetwork::finish() {
   for (const Site& s : sites_) completion = std::max(completion, s.clock_s);
   for (const SimLink& l : up_) completion = std::max(completion, l.busy_until_);
   for (const SimLink& l : down_) completion = std::max(completion, l.busy_until_);
+  // Count the membership changes the run actually crossed: every
+  // toggle in [0, completion], classified by the state it flips into.
+  // Recomputed from scratch so finish() stays idempotent.
+  if (membership_active_) {
+    joins_ = 0;
+    leaves_ = 0;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      // Extend churn schedules through the whole run, so a site whose
+      // membership was never consulted mid-run still reports its churn.
+      (void)site_member_at(i, completion);
+      bool member = sites_[i].initial_member;
+      for (double toggle : sites_[i].membership_toggles) {
+        if (toggle > completion) break;
+        member = !member;
+        if (member) {
+          joins_ += 1;
+        } else {
+          leaves_ += 1;
+        }
+      }
+    }
+  }
   return completion;
 }
 

@@ -73,6 +73,12 @@ struct LinkStats {
                                       ///< first-wave data still stands, so
                                       ///< these misses lose no data.
                                       ///< Always 0 on downlinks.
+  std::uint64_t orphaned = 0;         ///< the subset of `expired` resolved
+                                      ///< by a membership change: the site
+                                      ///< had left (siteN.leave / churn)
+                                      ///< when the frame needed its radio,
+                                      ///< so the frame dropped without an
+                                      ///< attempt beyond those already made.
 
   LinkStats& operator+=(const LinkStats& o) {
     attempts += o.attempts;
@@ -82,6 +88,7 @@ struct LinkStats {
     expired += o.expired;
     missed += o.missed;
     supplemental += o.supplemental;
+    orphaned += o.orphaned;
     return *this;
   }
 };
@@ -178,6 +185,18 @@ class SimNetwork final : public Fabric {
     return sites_[source].clock_s;
   }
 
+  /// Unjittered single-attempt airtime of a `wire_bits` uplink frame at
+  /// the site's current clock — honoring the active trace segment —
+  /// for adaptive quantization's fit-the-budget check (qt/policy.hpp).
+  [[nodiscard]] double uplink_airtime_s(std::size_t source,
+                                        std::uint64_t wire_bits) const override;
+
+  /// Whether the site is a fleet member at its own current clock.
+  /// Always true on a static fleet; under churn this lazily extends the
+  /// site's membership schedule (a dedicated RNG stream — no draw ever
+  /// touches the link streams, so protocol determinism is unaffected).
+  [[nodiscard]] bool is_member(std::size_t source) override;
+
   /// Phase-overlap scheduling (RoundPolicy::overlap; scheduler.hpp has
   /// the model): when on, a sender-side uplink expiry inside a finite
   /// round is NAK'd to the server out-of-band — the server learns of
@@ -207,7 +226,21 @@ class SimNetwork final : public Fabric {
   [[nodiscard]] std::uint64_t missed_frames() const { return missed_frames_; }
 
   /// Collection rounds opened so far (open_round calls).
-  [[nodiscard]] std::uint64_t rounds_opened() const { return rounds_opened_; }
+  [[nodiscard]] std::uint64_t rounds_opened() const override {
+    return rounds_opened_;
+  }
+
+  /// Frames resolved as drops by a membership change (see
+  /// LinkStats::orphaned), across all links.
+  [[nodiscard]] std::uint64_t orphaned_frames() const {
+    return orphaned_frames_;
+  }
+
+  /// Membership changes crossed during the run, counted by finish()
+  /// over [0, completion] (0 before finish() on a static fleet — and
+  /// after it, when nothing churned).
+  [[nodiscard]] std::uint64_t joins() const { return joins_; }
+  [[nodiscard]] std::uint64_t leaves() const { return leaves_; }
 
   /// Within-round reallocation waves opened so far (open_subround
   /// calls). Zero on every fault-free or miss-free run.
@@ -251,6 +284,11 @@ class SimNetwork final : public Fabric {
   void advance_one_event();
   void assert_link_invariants(const SimLink& link) const;
 
+  /// Fleet membership of site i at virtual time t. Under stochastic
+  /// churn the site's toggle schedule is extended lazily past t from
+  /// its dedicated churn RNG stream (hence non-const).
+  [[nodiscard]] bool site_member_at(std::size_t i, double t);
+
   SimScenario scenario_;
   std::vector<Site> sites_;
   std::vector<SimLink> up_;
@@ -266,6 +304,18 @@ class SimNetwork final : public Fabric {
   std::uint64_t supplemental_misses_ = 0;
   std::uint64_t rounds_opened_ = 0;
   std::uint64_t subrounds_opened_ = 0;
+
+  // --- fleet membership (join/leave overrides, stochastic churn) ----------
+  bool membership_active_ = false;   ///< any toggles or churn_rate > 0;
+                                     ///< false = static fleet, zero overhead
+  std::vector<char> churn_managed_;  ///< per site: schedule extends lazily
+                                     ///< from churn_rng_ (no explicit
+                                     ///< join/leave pinned it)
+  std::vector<Rng> churn_rng_;       ///< per-site churn streams (empty
+                                     ///< unless churn_rate > 0)
+  std::uint64_t orphaned_frames_ = 0;
+  std::uint64_t joins_ = 0;   ///< filled by finish()
+  std::uint64_t leaves_ = 0;  ///< filled by finish()
 };
 
 }  // namespace ekm

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/link_model.hpp"
 #include "sim/round_policy.hpp"
+#include "sim/scenario.hpp"
 
 namespace ekm {
 
@@ -38,6 +40,19 @@ struct Site {
   double energy_j = 0.0;
   /// Dropout windows this site sat through.
   std::uint32_t outages = 0;
+
+  /// Trace-driven link schedule (`siteN.trace=`): sorted by start time;
+  /// empty = the radio's static bandwidth/loss apply for the whole run.
+  std::vector<TraceSegment> trace;
+
+  // --- fleet membership (`siteN.join=`/`siteN.leave=`, `churn=`) ----------
+  /// Whether the site is a member at virtual time 0.
+  bool initial_member = true;
+  /// Sorted instants at which membership flips. Explicit join/leave
+  /// overrides pin these; under stochastic churn SimNetwork extends
+  /// them lazily from the site's dedicated churn RNG stream. Empty on
+  /// a static fleet (every prior PR's behavior, bit for bit).
+  std::vector<double> membership_toggles;
 };
 
 }  // namespace ekm

@@ -137,8 +137,8 @@ TEST(Scenario, ParserHandlesDeadlineAndSiteOverrides) {
 TEST(Scenario, SiteOverridesShapeTheFleet) {
   const SimScenario s = parse_scenario(
       "radio=wifi,loss=0.1,site1.radio=lora,site1.loss=0.5,"
-      "site0.speed=0.25,site0.bandwidth=1000,site9.loss=0.9");
-  SimNetwork net(3, s);  // the site9 override is out of range: ignored
+      "site0.speed=0.25,site0.bandwidth=1000");
+  SimNetwork net(3, s);
   EXPECT_EQ(net.site(0).radio.name, "Wi-Fi 802.11n");
   EXPECT_DOUBLE_EQ(net.site(0).radio.bandwidth_bps, 1000.0);
   EXPECT_DOUBLE_EQ(net.site(0).compute_speed, 0.25);
@@ -147,6 +147,18 @@ TEST(Scenario, SiteOverridesShapeTheFleet) {
   EXPECT_DOUBLE_EQ(net.site(1).loss_rate, 0.5);
   EXPECT_DOUBLE_EQ(net.site(2).loss_rate, 0.1);
   EXPECT_FALSE(s.fault_free());
+
+  // An override naming a site beyond the fleet is a configuration
+  // error, not a no-op — a silently inert override used to hide
+  // fleet-size typos. The error names the offending key.
+  const SimScenario oob = parse_scenario("radio=wifi,site9.loss=0.9");
+  try {
+    SimNetwork bad(3, oob);
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("site9.loss"), std::string::npos)
+        << e.what();
+  }
 
   // hetero-mesh assigns radios round-robin from the cycle.
   SimNetwork hetero(4, parse_scenario("hetero-mesh"));
@@ -496,8 +508,16 @@ TEST(Deadline, AvailabilityFloorThrows) {
   const Coordinator coord(parse_scenario(
       "radio=5g,sps=1e-3,deadline=2,min-responders=3,"
       "site0.speed=0.02,site2.speed=0.02,seed=13"));
-  EXPECT_THROW((void)coord.run(PipelineKind::kBklw, parts, cfg),
-               invariant_error);
+  try {
+    (void)coord.run(PipelineKind::kBklw, parts, cfg);
+    FAIL() << "expected invariant_error";
+  } catch (const invariant_error& e) {
+    // The message carries the context an operator needs to act on a
+    // sweep log: which collection round, and the responder shortfall.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("collection round #"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("of the required 3"), std::string::npos) << msg;
+  }
 }
 
 TEST(Deadline, EventOrderDeterministicAcrossThreadCounts) {
@@ -1204,6 +1224,294 @@ TEST(Supplemental, ReportSplitsExactLoss) {
   const SimReport faulty = lossy.run(PipelineKind::kBklw, parts, cfg);
   EXPECT_LE(faulty.supplemental_misses, faulty.deadline_misses);
   EXPECT_LE(faulty.sites_data_dropped, faulty.sites_dropped);
+}
+
+// --- fleet churn, trace-driven links, adaptive quantization ---------------
+
+TEST(Scenario, ParserHandlesChurnTraceAndQuant) {
+  const SimScenario s = parse_scenario(
+      "radio=wifi,churn=0.05,quant=adaptive,site0.join=2,site1.leave=3.5,"
+      "site0.trace=0:8000:0.1;5:1e6:0:0.25");
+  EXPECT_DOUBLE_EQ(s.churn_rate, 0.05);
+  EXPECT_EQ(s.quant, QuantPolicy::kAdaptive);
+  ASSERT_EQ(s.site_overrides.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.site_overrides[0].join_s.value(), 2.0);
+  EXPECT_DOUBLE_EQ(s.site_overrides[1].leave_s.value(), 3.5);
+  const auto& trace = s.site_overrides[2].trace;
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(trace[0].bandwidth_bps, 8000.0);
+  EXPECT_DOUBLE_EQ(trace[0].loss_rate, 0.1);
+  EXPECT_FALSE(trace[0].dropout_rate.has_value());  // keep the base rate
+  EXPECT_DOUBLE_EQ(trace[1].start_s, 5.0);
+  EXPECT_DOUBLE_EQ(trace[1].loss_rate, 0.0);
+  ASSERT_TRUE(trace[1].dropout_rate.has_value());
+  EXPECT_DOUBLE_EQ(*trace[1].dropout_rate, 0.25);
+  EXPECT_FALSE(s.fault_free());
+
+  // Defaults: fixed quantization, no churn. A membership schedule or a
+  // loss/dropout-injecting trace makes the scenario faulty; a
+  // bandwidth-only trace shifts timing but never a frame's fate.
+  EXPECT_EQ(parse_scenario("ideal").quant, QuantPolicy::kFixed);
+  EXPECT_DOUBLE_EQ(parse_scenario("ideal").churn_rate, 0.0);
+  EXPECT_TRUE(parse_scenario("site0.trace=0:8000:0").fault_free());
+  EXPECT_FALSE(parse_scenario("site0.trace=0:8000:0.1").fault_free());
+  EXPECT_FALSE(parse_scenario("site0.trace=0:8000:0:0.1").fault_free());
+  EXPECT_FALSE(parse_scenario("site0.leave=4").fault_free());
+  EXPECT_FALSE(parse_scenario("site0.join=4").fault_free());
+  EXPECT_FALSE(parse_scenario("churn=0.1").fault_free());
+
+  // Malformed values fail loudly.
+  EXPECT_THROW((void)parse_scenario("churn=-1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("churn=nan"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("churn="), precondition_error);
+  EXPECT_THROW((void)parse_scenario("quant=sometimes"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("quant="), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.join=-1"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.join=inf"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.leave=0"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.trace="), precondition_error);
+  // Segments: bandwidth must be positive, loss in [0,1), the field
+  // count 3 or 4, every number a number, and starts strictly increasing.
+  EXPECT_THROW((void)parse_scenario("site0.trace=0:0:0"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.trace=0:1000:1"),
+               precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.trace=0:1000"), precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.trace=0:1000:0:0.5:7"),
+               precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.trace=x:1000:0"),
+               precondition_error);
+  EXPECT_THROW((void)parse_scenario("site0.trace=0:1000:0;0:2000:0"),
+               precondition_error);
+  try {
+    (void)parse_scenario("site2.trace=5:1000:0;3:2000:0");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("site2.trace"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Scenario, LaterSiteOverridesWin) {
+  // Overrides apply in declaration order — the grammar's documented
+  // "later overrides win" rule, locked by this regression test.
+  const SimScenario s = parse_scenario(
+      "radio=wifi,site0.bandwidth=1000,site0.loss=0.2,site0.retry=backoff,"
+      "site0.bandwidth=2000,site0.loss=0.4,site0.retry=giveup");
+  SimNetwork net(1, s);
+  EXPECT_DOUBLE_EQ(net.site(0).radio.bandwidth_bps, 2000.0);
+  EXPECT_DOUBLE_EQ(net.site(0).loss_rate, 0.4);
+  EXPECT_EQ(net.site(0).retry, RetryStrategy::kGiveUp);
+}
+
+TEST(Churn, MidRoundLeaveDropsTheSiteOnceNotPerFrame) {
+  // Site 0's two-frame summary (think disPCA's Σ/V pair) is half
+  // arrived when the site leaves: frame 1 is through before the
+  // departure, frame 2's send would start after it and orphans without
+  // keying the radio. The group receive counts exactly one site miss —
+  // not one per frame — and no frame is double-counted in any ledger.
+  SimNetwork net(2, parse_scenario(
+      "radio=wifi,sps=0,site0.bandwidth=1000,site0.leave=1"));
+  const double deadline = net.open_round(100.0);
+  for (int f = 0; f < 2; ++f) {
+    Message msg;
+    msg.wire_bits = 1000;  // 1 s + latency per frame at 1 kbps
+    msg.scalars = 0;
+    net.uplink(0).send(std::move(msg));
+  }
+  const auto frames = receive_frames_by(net.uplink(0), 2, deadline);
+  EXPECT_FALSE(frames.has_value());  // all-or-nothing: ONE site miss
+  (void)net.finish();  // asserts the ledgers, incl. orphaned <= expired
+
+  const LinkStats& stats = net.uplink_view(0).stats();
+  EXPECT_EQ(net.uplink_view(0).ledger().messages, 2u);
+  EXPECT_EQ(stats.attempts, 1u);  // frame 2 never keyed the radio
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.orphaned, 1u);
+  EXPECT_EQ(stats.missed, 1u);
+  EXPECT_EQ(net.missed_frames(), 1u);
+  EXPECT_EQ(net.orphaned_frames(), 1u);
+  EXPECT_EQ(net.leaves(), 1u);
+  EXPECT_EQ(net.joins(), 0u);
+}
+
+TEST(Churn, FarFutureLeaveIsBitIdenticalToStaticFleet) {
+  // A membership schedule activates the churn machinery, but a leave
+  // the run never reaches must not perturb anything: the gates draw no
+  // randomness, so events, clocks, energy and centers reproduce the
+  // static fleet bit for bit — and the join/leave census stays empty.
+  const auto parts = make_parts(4, 1200, 16, 23);
+  const PipelineConfig cfg = base_config(23);
+  const Coordinator fleet(parse_scenario("lossy-mesh,seed=23"));
+  const Coordinator late(parse_scenario("lossy-mesh,seed=23,site0.leave=1e9"));
+  const SimReport a = fleet.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = late.run(PipelineKind::kBklw, parts, cfg);
+  ASSERT_EQ(b.event_log.size(), a.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    EXPECT_EQ(b.event_log[i], a.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(b.completion_seconds, a.completion_seconds);
+  EXPECT_EQ(b.energy_joules, a.energy_joules);
+  EXPECT_EQ(b.result.uplink, a.result.uplink);
+  EXPECT_EQ(b.result.centers, a.result.centers);
+  EXPECT_EQ(b.joins, 0u);
+  EXPECT_EQ(b.leaves, 0u);
+  EXPECT_EQ(b.orphaned_frames, 0u);
+}
+
+TEST(Churn, PipelineSurvivesAnEarlyLeaver) {
+  // Site 3 departs before it can ship anything heavier than its cost
+  // scalar: its frames orphan, the deadline rounds treat it as a
+  // dropped responder, and the model is built from the remaining sites.
+  const auto parts = make_parts(4, 1200, 16, 53);
+  const PipelineConfig cfg = base_config(53);
+  const Coordinator coord(
+      parse_scenario("radio=wifi,deadline=5,site3.leave=1e-6,seed=53"));
+  const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_EQ(report.leaves, 1u);
+  EXPECT_EQ(report.joins, 0u);
+  EXPECT_GT(report.orphaned_frames, 0u);
+  EXPECT_GT(report.deadline_misses, 0u);
+  EXPECT_GE(report.sites_dropped, 1u);
+  EXPECT_EQ(report.result.centers.rows(), cfg.k);
+  // Orphans are expiries; the report's counter agrees with the links.
+  EXPECT_LE(report.orphaned_frames,
+            report.uplink_stats.expired + report.downlink_stats.expired);
+}
+
+TEST(Churn, StochasticChurnIsDeterministicAcrossThreadCounts) {
+  // Churn draws come from dedicated per-site streams consumed on the
+  // protocol thread, so the whole membership schedule — and everything
+  // downstream of it — is identical at any pool size.
+  // LoRa transfers take virtual seconds, so an Exp(0.1) leave/rejoin
+  // process actually fires inside the run — the census must be
+  // non-trivial for the determinism claim to mean anything.
+  const auto parts = make_parts(4, 1200, 16, 83);
+  const PipelineConfig cfg = base_config(83);
+  const Coordinator coord(
+      parse_scenario("radio=lora,deadline=30,churn=0.1,seed=83"));
+
+  set_parallel_threads(1);
+  const SimReport one = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(8);
+  const SimReport eight = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(0);
+
+  EXPECT_GT(one.joins + one.leaves, 0u);
+  ASSERT_EQ(one.event_log.size(), eight.event_log.size());
+  for (std::size_t i = 0; i < one.event_log.size(); ++i) {
+    EXPECT_EQ(one.event_log[i], eight.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(one.joins, eight.joins);
+  EXPECT_EQ(one.leaves, eight.leaves);
+  EXPECT_EQ(one.orphaned_frames, eight.orphaned_frames);
+  EXPECT_EQ(one.completion_seconds, eight.completion_seconds);
+  EXPECT_EQ(one.energy_joules, eight.energy_joules);
+  EXPECT_EQ(one.result.centers, eight.result.centers);
+}
+
+TEST(Trace, SegmentMatchingBaseRadioIsBitIdentical) {
+  // A single segment pinning exactly the base radio's bandwidth (Wi-Fi,
+  // 50 Mbps) and the fleet loss rate changes no arithmetic and no draw:
+  // the traced run reproduces the plain run bit for bit.
+  const auto parts = make_parts(3, 900, 8, 9);
+  const PipelineConfig cfg = base_config(9);
+  const Coordinator plain(parse_scenario("radio=wifi,loss=0.2,retries=4,seed=9"));
+  const Coordinator traced(parse_scenario(
+      "radio=wifi,loss=0.2,retries=4,seed=9,"
+      "site0.trace=0:5e7:0.2,site1.trace=0:5e7:0.2"));
+  const SimReport a = plain.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = traced.run(PipelineKind::kBklw, parts, cfg);
+  ASSERT_EQ(b.event_log.size(), a.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    EXPECT_EQ(b.event_log[i], a.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(b.completion_seconds, a.completion_seconds);
+  EXPECT_EQ(b.energy_joules, a.energy_joules);
+  EXPECT_EQ(b.result.uplink, a.result.uplink);
+  EXPECT_EQ(b.result.centers, a.result.centers);
+}
+
+TEST(Trace, SegmentsLayerBandwidthAndLossUnderTheRadio) {
+  // Bandwidth: the opening 1 kbps segment stretches a 1000-bit frame to
+  // ~1 s of airtime where the base Wi-Fi radio would take microseconds;
+  // once the site's clock passes t=10 the second segment restores a
+  // fast link and the same frame costs milliseconds.
+  SimNetwork net(1, parse_scenario("radio=wifi,site0.trace=0:1000:0;10:1e6:0"));
+  const auto send_frame = [&](std::size_t scalars) {
+    Message msg;
+    msg.wire_bits = 1000;
+    msg.scalars = scalars;
+    net.uplink(0).send(std::move(msg));
+    (void)net.uplink(0).receive();
+  };
+  send_frame(0);
+  const double slow_airtime = net.uplink_view(0).stats().airtime_s;
+  EXPECT_GT(slow_airtime, 1.0);
+  // 2e8 scalars at the default 1e-7 s/scalar push the clock past the
+  // segment boundary before the attempt starts.
+  send_frame(200'000'000);
+  EXPECT_LT(net.uplink_view(0).stats().airtime_s, slow_airtime + 0.1);
+  (void)net.finish();
+
+  // Loss: a segment injects per-attempt loss on a fleet whose base loss
+  // is zero — drops appear without touching any other site's stream.
+  SimNetwork lossy(1, parse_scenario(
+      "radio=wifi,retries=8,seed=3,site0.trace=0:1e6:0.9"));
+  for (int i = 0; i < 20; ++i) {
+    Message msg;
+    msg.wire_bits = 512;
+    msg.scalars = 0;
+    lossy.uplink(0).send(std::move(msg));
+    (void)lossy.uplink(0).receive_by(kNoDeadline);
+  }
+  EXPECT_GT(lossy.uplink_view(0).stats().drops, 0u);
+  (void)lossy.finish();
+}
+
+TEST(Quant, AdaptiveIsBitIdenticalWhenBudgetsFit) {
+  // Adaptive quantization consults the budget but narrows nothing when
+  // every full-width frame fits its round: the run reproduces the
+  // fixed-policy run — events, ledgers, centers — bit for bit.
+  const auto parts = make_parts(4, 1200, 16, 19);
+  const PipelineConfig cfg = base_config(19);
+  const Coordinator fixed(parse_scenario("radio=wifi,deadline=1e6,seed=19"));
+  const Coordinator adaptive(
+      parse_scenario("radio=wifi,deadline=1e6,quant=adaptive,seed=19"));
+  const SimReport a = fixed.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = adaptive.run(PipelineKind::kBklw, parts, cfg);
+  ASSERT_EQ(b.event_log.size(), a.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    EXPECT_EQ(b.event_log[i], a.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(b.completion_seconds, a.completion_seconds);
+  EXPECT_EQ(b.result.uplink, a.result.uplink);
+  EXPECT_EQ(b.result.centers, a.result.centers);
+}
+
+TEST(Quant, AdaptiveNarrowsFramesToSurviveDeadlines) {
+  // Two sites ride an 8 kbps trace link: their full-width summary
+  // coresets cannot cross inside the round budget, so the fixed policy
+  // loses their data to the deadline. Adaptive narrows those frames
+  // until they fit — strictly fewer misses and more of the fleet's
+  // data in the model, paid for in quantized coordinates (fewer wire
+  // bits, a different — degraded — solution).
+  const auto parts = make_parts(4, 1600, 16, 63);
+  const PipelineConfig cfg = base_config(63);
+  const char* base =
+      "radio=wifi,deadline=4,retry=giveup,seed=63,"
+      "site0.trace=0:8000:0,site1.trace=0:8000:0";
+  const Coordinator fixed(parse_scenario(base));
+  const Coordinator adaptive(
+      parse_scenario(std::string(base) + ",quant=adaptive"));
+  const SimReport a = fixed.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = adaptive.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_GT(a.deadline_misses, 0u);
+  EXPECT_LT(b.deadline_misses, a.deadline_misses);
+  EXPECT_GT(b.result.summary_points, a.result.summary_points);
+  EXPECT_LT(b.result.uplink.bits, a.result.uplink.bits);
+  EXPECT_EQ(b.result.centers.rows(), cfg.k);
 }
 
 TEST(Exhaustion, EmptyShardWithRefineStaysFrameAligned) {

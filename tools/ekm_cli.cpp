@@ -296,8 +296,8 @@ constexpr const char* kUsage =
     "    deadline-fleet; keys: radio loss dropout outage retries jitter\n"
     "    stragglers slowdown skew sps server-speed deadline\n"
     "    min-responders realloc realloc-reserve overlap event-log\n"
-    "    retry backoff-base backoff-cap backoff-jitter seed\n"
-    "    siteN.{radio,bandwidth,loss,dropout,speed,retry};\n"
+    "    retry churn quant backoff-base backoff-cap backoff-jitter seed\n"
+    "    siteN.{radio,bandwidth,loss,dropout,speed,retry,join,leave,trace};\n"
     "    sim algorithms: nr bklw jl+bklw stream)\n"
     "  --rounds R   uplink rounds for --algorithm stream (default 4)\n"
     "  --deadline SECONDS   per-round deadline on the virtual clock (sim\n"
@@ -421,6 +421,13 @@ int main(int argc, char** argv) {
       // E.g. a round deadline so tight it fell below min-responders.
       std::fprintf(stderr, "simulation failed: %s\n", e.what());
       return 1;
+    } catch (const precondition_error& e) {
+      // Configuration errors surfacing at fleet construction — e.g. a
+      // siteN.* override naming a site beyond --sources, or a join and
+      // leave pinned to the same instant. These are usage errors, so
+      // they exit 2 like every other bad flag/spec.
+      std::fprintf(stderr, "bad simulation setup: %s\n", e.what());
+      return 2;
     }
     res = std::move(report.result);
     const LinkStats& up = report.uplink_stats;
@@ -448,6 +455,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(report.deadline_misses),
                   static_cast<unsigned long long>(report.supplemental_misses),
                   static_cast<unsigned long long>(report.realloc_waves));
+    }
+    if (report.joins + report.leaves + report.orphaned_frames > 0) {
+      std::printf("fleet churn    : %llu join(s), %llu leave(s), "
+                  "%llu orphaned frame(s)\n",
+                  static_cast<unsigned long long>(report.joins),
+                  static_cast<unsigned long long>(report.leaves),
+                  static_cast<unsigned long long>(report.orphaned_frames));
+    }
+    if (scenario.quant == QuantPolicy::kAdaptive) {
+      std::printf("quantization   : adaptive (frames narrow under deadline "
+                  "pressure)\n");
     }
     if (scenario.round.overlap) {
       std::printf("phase overlap  : on (server done at %.6g virtual s)\n",

@@ -44,6 +44,18 @@ run_bench() {
     echo "error: $(basename "$binary") failed — $target left untouched" >&2
     return 1
   fi
+  # A bench that exits 0 but emits broken JSON (truncated table, a
+  # printf that drifted from the closing braces) must not replace the
+  # committed trajectory: validate before promoting. Skipped quietly
+  # where python3 is unavailable — the exit-status and non-empty checks
+  # above still hold.
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -m json.tool "$tmp" >/dev/null 2>&1; then
+      rm -f "$tmp"
+      echo "error: $(basename "$binary") emitted invalid JSON — $target left untouched" >&2
+      return 1
+    fi
+  fi
   mv "$tmp" "$target"
   echo "wrote $target"
 }
