@@ -6,7 +6,10 @@
 //
 // Usage: bench_assign_kernel [--n N] [--d D] [--k K] [--reps R]
 //                            [--threads T] [--json PATH]
+//                            [--meta key=value ...]
 // Defaults match the acceptance shape: n=50000, d=64, k=50.
+// Timing goes through bench_util's time_best_of — the recorder-backed
+// path shared with the sim sweeps — not a bench-local Timer loop.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -14,33 +17,21 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/parallel.hpp"
-#include "common/timer.hpp"
 #include "data/generators.hpp"
 #include "kmeans/assign.hpp"
 #include "kmeans/cost.hpp"
 
-namespace {
-
 using namespace ekm;
-
-double time_best_of(int reps, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    fn();
-    best = std::min(best, t.seconds());
-  }
-  return best;
-}
-
-}  // namespace
+using ekm::bench::time_best_of;
 
 int main(int argc, char** argv) {
   std::size_t n = 50000, d = 64, k = 50;
   int reps = 5;
   std::size_t threads = 0;  // 0 = pool default (EKM_THREADS / hardware)
   std::string json_path;
+  bench::MetaPairs meta;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](std::size_t& out) {
       if (i + 1 < argc) out = static_cast<std::size_t>(std::atoll(argv[++i]));
@@ -53,6 +44,9 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[++i]);
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--meta") == 0 && i + 1 < argc) {
+      if (!bench::parse_meta_pair(argv[++i], meta)) return 2;
+    }
   }
 
   GaussianMixtureSpec spec;
@@ -67,7 +61,7 @@ int main(int argc, char** argv) {
   std::vector<double> sq(n);
 
   // Naive: the seed's per-point scan over checked rows.
-  const double t_naive = time_best_of(reps, [&] {
+  const double t_naive = time_best_of("assign_naive", reps, [&] {
     for (std::size_t i = 0; i < n; ++i) {
       const NearestCenter nc = nearest_center(data.point(i), centers);
       idx[i] = nc.index;
@@ -76,13 +70,13 @@ int main(int argc, char** argv) {
   });
 
   set_parallel_threads(1);
-  const double t_batched_1t = time_best_of(reps, [&] {
+  const double t_batched_1t = time_best_of("assign_batched_1t", reps, [&] {
     assign_batch_into(data.points(), centers, idx, sq);
   });
 
   set_parallel_threads(threads);
   const std::size_t pool_threads = parallel_threads();
-  const double t_batched_mt = time_best_of(reps, [&] {
+  const double t_batched_mt = time_best_of("assign_batched_mt", reps, [&] {
     assign_batch_into(data.points(), centers, idx, sq);
   });
   set_parallel_threads(0);
@@ -104,9 +98,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
+    std::fprintf(f, "{\n  \"bench\": \"assign_kernel\",\n");
+    bench::write_provenance(f, meta, "  ");
     std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"assign_kernel\",\n"
                  "  \"n\": %zu, \"d\": %zu, \"k\": %zu, \"reps\": %d,\n"
                  "  \"threads\": %zu,\n"
                  "  \"naive_points_per_sec\": %.6e,\n"

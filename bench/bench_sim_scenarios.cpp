@@ -25,6 +25,13 @@
 //
 // Usage: bench_sim_scenarios [--n N] [--d D] [--k K] [--sources M]
 //                            [--seed S] [--json PATH]
+//                            [--meta key=value ...]
+//                            [--trace-out FILE] [--metrics-out FILE]
+// --meta pairs land verbatim in a top-level "provenance" object
+// (tools/run_bench.sh stamps git SHA, compiler, flags, EKM_THREADS).
+// --trace-out/--metrics-out attach one flight recorder (src/obs/)
+// across all sweep cells — a debug artifact whose presence never
+// changes a single reported number (recording is side-effect-free).
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -34,9 +41,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/pipeline.hpp"
 #include "data/generators.hpp"
 #include "kmeans/cost.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/coordinator.hpp"
 
 namespace {
@@ -56,6 +65,8 @@ int main(int argc, char** argv) {
   std::size_t n = 4000, d = 32, k = 4, sources = 8;
   std::uint64_t seed = 7;
   std::string json_path;
+  std::string trace_path, metrics_path;
+  bench::MetaPairs meta;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](std::size_t& out) {
       if (i + 1 < argc) out = static_cast<std::size_t>(std::atoll(argv[++i]));
@@ -68,6 +79,13 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
+      metrics_path = argv[++i];
+    else if (std::strcmp(argv[i], "--meta") == 0 && i + 1 < argc) {
+      if (!bench::parse_meta_pair(argv[++i], meta)) return 2;
+    }
   }
 
   GaussianMixtureSpec spec;
@@ -85,6 +103,17 @@ int main(int argc, char** argv) {
   cfg.seed = seed;
   cfg.coreset_size = 300;
   cfg.pca_dim = 16;
+
+  // One recorder across all sweep cells (each Coordinator run attaches
+  // it to its own SimNetwork): spans from different cells share the
+  // virtual-time axis, which is fine for a debug artifact. Attached
+  // only when an export was requested — and even attached, recording
+  // changes no reported number.
+  Recorder recorder;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    cfg.recorder = &recorder;
+    install_recorder(&recorder);
+  }
 
   // The ship-everything baseline the cost ratios are against.
   const PipelineResult nr = run_distributed_pipeline(
@@ -406,7 +435,9 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"bench\": \"sim_scenarios\",\n"
+                 "  \"bench\": \"sim_scenarios\",\n");
+    bench::write_provenance(f, meta, "  ");
+    std::fprintf(f,
                  "  \"pipeline\": \"bklw\",\n"
                  "  \"n\": %zu, \"d\": %zu, \"k\": %zu, \"sources\": %zu,\n"
                  "  \"seed\": %llu,\n"
@@ -603,6 +634,17 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);
+  }
+
+  install_recorder(nullptr);
+  if (!trace_path.empty() && !write_chrome_trace(recorder, trace_path)) {
+    std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  if (!metrics_path.empty() &&
+      !write_metrics_jsonl(recorder, metrics_path)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+    return 1;
   }
   return 0;
 }

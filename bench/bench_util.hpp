@@ -9,15 +9,20 @@
 // EXPERIMENTS.md records the expected shapes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "core/experiment.hpp"
 #include "data/loaders.hpp"
+#include "obs/recorder.hpp"
 
 namespace ekm::bench {
 
@@ -58,6 +63,75 @@ inline Dataset neurips_dataset(const BenchArgs& args, std::size_t n_fast = 3000,
   const std::size_t n = args.full ? 11463 : n_fast;
   const std::size_t d = args.full ? 5812 : d_fast;
   return load_or_generate_neurips("data", n, d, rng);
+}
+
+/// Best-of-R wall-clock timing, routed through the observability
+/// recorder's single timing path (obs/timed_section): every repetition
+/// lands as a host wall-clock span on the installed recorder (if any),
+/// so kernel benches and sim sweeps share one timing code path instead
+/// of each bench carrying its own ad-hoc Timer loop.
+inline double time_best_of(const char* label, int reps,
+                           const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    best = std::min(best, timed_section(label, fn));
+  }
+  return best;
+}
+
+/// Provenance pairs collected from repeatable `--meta key=value` flags
+/// (tools/run_bench.sh stamps git SHA, compiler, flags, EKM_THREADS).
+using MetaPairs = std::vector<std::pair<std::string, std::string>>;
+
+/// Parses one `--meta key=value` occurrence into `meta`; returns false
+/// (with a message) on a missing '=' so callers can exit 2.
+inline bool parse_meta_pair(const char* value, MetaPairs& meta) {
+  const char* eq = std::strchr(value, '=');
+  if (eq == nullptr || eq == value) {
+    std::fprintf(stderr, "--meta expects key=value, got '%s'\n", value);
+    return false;
+  }
+  meta.emplace_back(std::string(value, eq), std::string(eq + 1));
+  return true;
+}
+
+/// Minimal JSON string escaping for provenance values (compiler flag
+/// strings can contain quotes and backslashes).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes `"provenance": {...},` (with trailing comma + newline) if any
+/// --meta pairs were given; writes nothing otherwise, so benches run
+/// without run_bench.sh emit byte-identical JSON to before.
+inline void write_provenance(std::FILE* f, const MetaPairs& meta,
+                             const char* indent) {
+  if (meta.empty()) return;
+  std::fprintf(f, "%s\"provenance\": {", indent);
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                 json_escape(meta[i].first).c_str(),
+                 json_escape(meta[i].second).c_str());
+  }
+  std::fprintf(f, "},\n");
 }
 
 /// Prints one figure panel: the empirical CDF of `values` labelled as the

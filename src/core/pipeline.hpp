@@ -114,6 +114,15 @@ struct PipelineConfig {
   /// overlap). Default off = PR 4's wait-out-the-round timing.
   bool overlap_phases = false;
 
+  /// Optional flight recorder (src/obs/; non-owning, may be null = the
+  /// default). The Coordinator attaches it to the SimNetwork it builds,
+  /// from where the phase scheduler, the simulator, and adaptive
+  /// quantization reach it through Fabric::recorder(). Recording is
+  /// side-effect-free: it never draws randomness, pushes events, or
+  /// touches a numeric path, so centers, ledgers, energy, and the
+  /// event log are bitwise identical with this set or null.
+  Recorder* recorder = nullptr;
+
   /// Optional device-side center refinement (an extension beyond the
   /// paper's protocol; 0 = off = paper-faithful).
   ///

@@ -6,6 +6,7 @@
 #include "distributed/disss.hpp"
 #include "dr/pca.hpp"
 #include "net/summary_codec.hpp"
+#include "obs/recorder.hpp"
 #include "sched/scheduler.hpp"
 
 namespace ekm {
@@ -19,6 +20,7 @@ namespace ekm {
 // timeline is still doing.
 Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
                      Fabric& net, Stopwatch& device_work, std::uint64_t seed) {
+  ObsKernelScope obs_scope("bklw_coreset");
   EKM_EXPECTS(!parts.empty());
   std::size_t n_total = 0;
   std::size_t d = 0;

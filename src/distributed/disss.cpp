@@ -6,6 +6,7 @@
 
 #include "kmeans/cost.hpp"
 #include "net/summary_codec.hpp"
+#include "obs/recorder.hpp"
 #include "qt/quantizer.hpp"
 #include "sched/scheduler.hpp"
 
@@ -337,6 +338,12 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
            // because s-bit values are representable at every width >= s.
            const int wire_s =
                pick_significant_bits(local, opts, net, i, summary_deadline);
+           // The committed width is an observability signal (the
+           // "graceful degradation" column): note it on the recorder,
+           // if one rides the fabric. Reads only, after the decision.
+           if (Recorder* rec = net.recorder()) {
+             rec->note_quant_width(i, wire_s, opts.significant_bits);
+           }
            if (wire_s < opts.significant_bits) {
              auto scope = device_work.measure();
              local.points = RoundingQuantizer(wire_s).quantize(local.points);
@@ -523,6 +530,9 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
                   }
                   const int wire_s = pick_significant_bits(
                       supplement, opts, net, i, wave.deadline);
+                  if (Recorder* rec = net.recorder()) {
+                    rec->note_quant_width(i, wire_s, opts.significant_bits);
+                  }
                   if (wire_s < opts.significant_bits) {
                     auto scope = device_work.measure();
                     supplement.points =

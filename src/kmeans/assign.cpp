@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/parallel.hpp"
+#include "obs/recorder.hpp"
 
 namespace ekm {
 namespace {
@@ -203,6 +204,9 @@ void assign_batch_into(const Matrix& points, const Matrix& centers,
                        std::span<std::size_t> index,
                        std::span<double> sq_dist,
                        std::span<const double> point_sq_norms) {
+  // Wall-clock span for the flight recorder (src/obs/); entered on the
+  // calling (protocol) thread, so no pool worker ever touches it.
+  ObsKernelScope obs_scope("assign_batch");
   check_shapes(points, centers);
   const std::size_t n = points.rows();
   EKM_EXPECTS(index.empty() || index.size() == n);
@@ -226,6 +230,7 @@ double assign_and_cost(const Dataset& data, const Matrix& centers,
                        std::span<std::size_t> index,
                        std::span<double> sq_dist,
                        std::span<const double> point_sq_norms) {
+  ObsKernelScope obs_scope("assign_and_cost");
   const Matrix& points = data.points();
   check_shapes(points, centers);
   const std::size_t n = points.rows();

@@ -32,6 +32,8 @@
 
 namespace ekm {
 
+class Recorder;  // src/obs/recorder.hpp — the optional flight recorder
+
 /// Absolute deadline meaning "wait forever" — the paper's synchronous
 /// protocol, and the default for every deadline-aware receive.
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
@@ -222,6 +224,13 @@ class Fabric {
   /// hand to enforce_availability_floor for attribution. 0 on fabrics
   /// that never count rounds (the synchronous star).
   [[nodiscard]] virtual std::uint64_t rounds_opened() const { return 0; }
+
+  /// The attached flight recorder (src/obs/), or null — the default,
+  /// and the only possibility on fabrics without one. Protocol code
+  /// and the phase scheduler gate ALL observability work on this
+  /// pointer, which is what keeps recording zero-cost when off: a null
+  /// check is the entire overhead.
+  [[nodiscard]] virtual Recorder* recorder() { return nullptr; }
 
   /// Total source->server traffic — the paper's communication cost.
   [[nodiscard]] TrafficLedger total_uplink() {

@@ -1,0 +1,183 @@
+// Flight recorder — the unified observability sink for the simulator,
+// the phase scheduler, and the hot kernels.
+//
+// One Recorder collects three signal families that used to live apart:
+//   * spans   — scheduler TaskSpans (virtual-clock, one track per
+//               actor) and hot-kernel timings (host wall clock, their
+//               own track; see install_recorder below);
+//   * events  — the SimNetwork frame events (send/drop/deliver/outage/
+//               expire), mirrored as trace instants on an event-queue
+//               track, independent of the scenario's `event-log=` cap;
+//   * rounds  — one metrics snapshot per collection round (responders,
+//               misses/expired/orphaned, uplink bits, energy, realloc
+//               waves, quantizer widths, server clock), serialized
+//               through a MetricsRegistry into deterministic JSONL.
+// src/obs/trace_export.hpp turns the first two into a Chrome/Perfetto
+// trace and the third into a JSONL file.
+//
+// THE contract of this layer (tests/test_obs.cpp): recording is
+// side-effect-free. A Recorder only ever *reads* values the run already
+// produced — it draws no randomness, pushes no events, advances no
+// clock, and every producer guards its recording with a single
+// `if (recorder)` branch — so centers, ledgers, energy, and the
+// SimEvent log are bitwise identical with recording on or off, at any
+// EKM_THREADS, under churn and overlap alike. Wall-clock kernel spans
+// are the one nondeterministic signal, and they exist only inside the
+// trace output.
+//
+// Threading: a Recorder is not synchronized. Every producer runs on the
+// protocol thread (the simulator and scheduler are protocol-thread-only
+// by construction; kernels record around their entry call, before any
+// pool fan-out), so no locking is needed — and none may be added where
+// it could perturb the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ekm {
+
+/// Actor id meaning "the server" on a span (matches sched's
+/// kServerActor so scheduler spans forward without translation).
+inline constexpr std::size_t kRecorderServerActor =
+    static_cast<std::size_t>(-1);
+
+/// One recorded span. Virtual-clock spans carry the owning actor;
+/// wall-clock spans (wall == true) live on the host track and their
+/// times are seconds since the first wall span of the process.
+struct RecordedSpan {
+  std::size_t actor = kRecorderServerActor;
+  std::string label;
+  std::string kind;  ///< task_kind_name(...) or "kernel"
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  bool wall = false;
+};
+
+/// One mirrored simulator frame event (an instant on the queue track).
+struct RecordedEvent {
+  double time_s = 0.0;
+  const char* name = "";  ///< sim_event_name(...) — static storage
+  std::uint32_t site = 0;
+  bool uplink = true;
+  std::uint16_t attempt = 0;
+  std::uint64_t bits = 0;
+};
+
+/// Cumulative run totals a time-aware fabric hands to snapshot_round.
+/// Everything here is a value the run already computed; the Recorder
+/// diffs consecutive snapshots into per-round deltas itself.
+struct RoundTotals {
+  std::uint64_t rounds_opened = 0;  ///< ordinal of the round being closed
+  double server_time_s = 0.0;
+  std::uint64_t missed_frames = 0;
+  std::uint64_t supplemental_misses = 0;
+  std::uint64_t orphaned_frames = 0;
+  std::uint64_t subrounds_opened = 0;
+  std::uint64_t uplink_bits = 0;
+  std::uint64_t uplink_frames = 0;
+  double energy_joules = 0.0;
+  /// Per-uplink cumulative missed counts, used to count responders:
+  /// a site whose uplink took no new miss this round responded.
+  std::vector<std::uint64_t> per_uplink_missed;
+};
+
+/// One closed collection round, both as structured fields and as the
+/// deterministic JSONL line the exporter writes.
+struct RoundSnapshot {
+  std::uint64_t round = 0;
+  std::string json_line;
+};
+
+class Recorder {
+ public:
+  Recorder();
+
+  // --- producers (protocol thread only) -----------------------------------
+  void record_span(std::size_t actor, std::string label, std::string kind,
+                   double start_s, double finish_s);
+  void record_wall_span(std::string label, double start_s, double duration_s);
+  void record_sim_event(double time_s, const char* name, std::uint32_t site,
+                        bool uplink, std::uint16_t attempt, std::uint64_t bits);
+  /// A frame left a site narrower than the configured width (adaptive
+  /// quantization under deadline pressure). Full-width frames are noted
+  /// too, so the histogram carries the whole width distribution.
+  void note_quant_width(std::size_t site, int wire_bits, int full_bits);
+  /// Closes the round `totals.rounds_opened` (1-based): computes the
+  /// per-round deltas against the previous snapshot, folds them into
+  /// the registry, and serializes one JSONL line.
+  void snapshot_round(const RoundTotals& totals);
+  /// Re-arms the per-run delta baseline. A fabric calls this when the
+  /// recorder is attached, so one Recorder can ride several runs in
+  /// sequence (the bench sweeps) without the first round of a new run
+  /// diffing against the last round of the previous one. Accumulated
+  /// spans/events/snapshots are kept — they are the artifact.
+  void begin_run();
+
+  // --- consumers ----------------------------------------------------------
+  [[nodiscard]] const std::vector<RecordedSpan>& spans() const {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<RecordedEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<RoundSnapshot>& rounds() const {
+    return rounds_;
+  }
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+
+ private:
+  MetricsRegistry registry_;  ///< per-round scratch; reset each snapshot
+  MetricsRegistry::Id id_responders_;
+  MetricsRegistry::Id id_server_time_;
+  MetricsRegistry::Id id_misses_;
+  MetricsRegistry::Id id_supplemental_;
+  MetricsRegistry::Id id_orphaned_;
+  MetricsRegistry::Id id_uplink_bits_;
+  MetricsRegistry::Id id_uplink_frames_;
+  MetricsRegistry::Id id_energy_;
+  MetricsRegistry::Id id_waves_;
+  MetricsRegistry::Id id_narrowed_;
+  MetricsRegistry::Id id_quant_bits_;
+
+  std::vector<RecordedSpan> spans_;
+  std::vector<RecordedEvent> events_;
+  std::vector<RoundSnapshot> rounds_;
+  RoundTotals prev_;  ///< totals at the previous snapshot (zeros at start)
+  std::uint64_t quant_narrowed_round_ = 0;  ///< narrowed frames this round
+};
+
+/// Process-global recorder hook for code with no Fabric in reach (the
+/// assign/coreset kernels, the bench timing helpers). Null by default:
+/// the only cost of an uninstalled recorder is one pointer load and
+/// branch per kernel entry. Install/uninstall from the main thread
+/// around a run; producers must call it from the protocol thread only.
+[[nodiscard]] Recorder* installed_recorder();
+void install_recorder(Recorder* recorder);
+
+/// Runs `fn` inside a wall-clock kernel span recorded to the installed
+/// recorder (no-op when none is installed) and returns the elapsed
+/// seconds — the one timing path kernel benches and sim sweeps share.
+double timed_section(const char* label, const std::function<void()>& fn);
+
+/// RAII wall-clock kernel span on the installed recorder. Declared here
+/// so kernels can write `ObsKernelScope scope("assign.batch");` — a
+/// single branch when no recorder is installed.
+class ObsKernelScope {
+ public:
+  explicit ObsKernelScope(const char* label);
+  ObsKernelScope(const ObsKernelScope&) = delete;
+  ObsKernelScope& operator=(const ObsKernelScope&) = delete;
+  ~ObsKernelScope();
+
+ private:
+  const char* label_;   ///< null when no recorder was installed
+  double start_s_ = 0.0;
+};
+
+}  // namespace ekm

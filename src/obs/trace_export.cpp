@@ -1,0 +1,143 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ekm {
+namespace {
+
+// Track layout inside the virtual-time process (pid 1): tid 0 is the
+// server, tid 1+i is site i, and the event queue rides one past the
+// highest site track. Wall-clock kernel spans live in their own
+// process (pid 2) so Perfetto never tries to align wall and virtual
+// timestamps on one timeline.
+constexpr int kVirtualPid = 1;
+constexpr int kHostPid = 2;
+
+std::uint64_t virtual_tid(std::size_t actor) {
+  return actor == kRecorderServerActor ? 0 : 1 + actor;
+}
+
+/// Escapes a label for a JSON string (labels are protocol-generated —
+/// "disSS/site3/uplink" — but escaping keeps the writer total).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void emit_thread_name(std::FILE* f, int pid, std::uint64_t tid,
+                      const std::string& name, bool& first) {
+  std::fprintf(f,
+               "%s  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": %d, "
+               "\"tid\": %llu, \"args\": {\"name\": \"%s\"}}",
+               first ? "" : ",\n", pid, static_cast<unsigned long long>(tid),
+               json_escape(name).c_str());
+  first = false;
+}
+
+}  // namespace
+
+bool write_chrome_trace(const Recorder& recorder, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  // Discover the fleet size from what was recorded, so the queue track
+  // lands just past the last site track.
+  std::size_t max_site = 0;
+  bool any_site = false;
+  for (const RecordedSpan& s : recorder.spans()) {
+    if (!s.wall && s.actor != kRecorderServerActor) {
+      max_site = std::max(max_site, s.actor);
+      any_site = true;
+    }
+  }
+  for (const RecordedEvent& e : recorder.events()) {
+    max_site = std::max(max_site, static_cast<std::size_t>(e.site));
+    any_site = true;
+  }
+  const std::uint64_t queue_tid = any_site ? max_site + 2 : 1;
+
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  bool first = true;
+
+  // Metadata: name the processes and every track we will emit onto.
+  std::fprintf(f,
+               "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %d, "
+               "\"args\": {\"name\": \"virtual time (simulated fabric)\"}}",
+               kVirtualPid);
+  first = false;
+  std::fprintf(f,
+               ",\n  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %d, "
+               "\"args\": {\"name\": \"host wall clock (kernels)\"}}",
+               kHostPid);
+  emit_thread_name(f, kVirtualPid, 0, "server", first);
+  if (any_site) {
+    for (std::size_t i = 0; i <= max_site; ++i) {
+      emit_thread_name(f, kVirtualPid, 1 + i, "site " + std::to_string(i),
+                       first);
+    }
+  }
+  emit_thread_name(f, kVirtualPid, queue_tid, "event queue", first);
+  emit_thread_name(f, kHostPid, 0, "kernels", first);
+
+  for (const RecordedSpan& s : recorder.spans()) {
+    const int pid = s.wall ? kHostPid : kVirtualPid;
+    const std::uint64_t tid = s.wall ? 0 : virtual_tid(s.actor);
+    const double ts_us = s.start_s * 1e6;
+    const double dur_us = (s.finish_s - s.start_s) * 1e6;
+    std::fprintf(f,
+                 ",\n  {\"ph\": \"X\", \"name\": \"%s\", \"cat\": \"%s\", "
+                 "\"pid\": %d, \"tid\": %llu, \"ts\": %.17g, \"dur\": %.17g}",
+                 json_escape(s.label).c_str(), json_escape(s.kind).c_str(),
+                 pid, static_cast<unsigned long long>(tid), ts_us,
+                 dur_us < 0.0 ? 0.0 : dur_us);
+  }
+
+  for (const RecordedEvent& e : recorder.events()) {
+    std::fprintf(
+        f,
+        ",\n  {\"ph\": \"i\", \"name\": \"%s\", \"cat\": \"frame\", "
+        "\"pid\": %d, \"tid\": %llu, \"ts\": %.17g, \"s\": \"t\", "
+        "\"args\": {\"site\": %u, \"uplink\": %s, \"attempt\": %u, "
+        "\"bits\": %llu}}",
+        e.name, kVirtualPid, static_cast<unsigned long long>(queue_tid),
+        e.time_s * 1e6, e.site, e.uplink ? "true" : "false",
+        static_cast<unsigned>(e.attempt),
+        static_cast<unsigned long long>(e.bits));
+  }
+
+  std::fprintf(f, "\n]}\n");
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_metrics_jsonl(const Recorder& recorder, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const RoundSnapshot& snap : recorder.rounds()) {
+    std::fprintf(f, "%s\n", snap.json_line.c_str());
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace ekm

@@ -1,0 +1,34 @@
+// Exporters for the flight recorder (src/obs/recorder.hpp).
+//
+//   * write_chrome_trace — Chrome/Perfetto trace-event JSON
+//     ({"traceEvents": [...]}): complete ("X") spans on one track per
+//     actor (tid 0 = server, tid 1+i = site i), instant ("i") events on
+//     a dedicated event-queue track, and wall-clock kernel spans on a
+//     separate host process. Open with https://ui.perfetto.dev or
+//     chrome://tracing. Timestamps are microseconds; virtual-clock
+//     seconds are scaled by 1e6, so the trace timeline reads directly
+//     in virtual time.
+//   * write_metrics_jsonl — one JSON object per line, one line per
+//     collection round, from the recorder's deterministic snapshots.
+//
+// Both writers are pure consumers: they run after the simulation
+// finished and touch nothing but the recorder and the output file.
+#pragma once
+
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace ekm {
+
+/// Writes the Chrome trace JSON. Returns false (with the file possibly
+/// absent or partial) if the path cannot be opened or written.
+[[nodiscard]] bool write_chrome_trace(const Recorder& recorder,
+                                      const std::string& path);
+
+/// Writes the per-round JSONL metric snapshots. Returns false if the
+/// path cannot be opened or written.
+[[nodiscard]] bool write_metrics_jsonl(const Recorder& recorder,
+                                       const std::string& path);
+
+}  // namespace ekm

@@ -2,6 +2,8 @@
 
 #include <queue>
 
+#include "obs/recorder.hpp"
+
 namespace ekm {
 
 void PhaseScheduler::run(TaskGraph& graph) {
@@ -44,6 +46,13 @@ void PhaseScheduler::run(TaskGraph& graph) {
     span.start_s = actor_clock(span.actor);
     if (action) action();
     span.finish_s = actor_clock(span.actor);
+    // Forward to the fabric's flight recorder (src/obs/), if attached:
+    // the exported per-actor timeline is exactly this trace. A null
+    // recorder — the default — costs one branch per task.
+    if (Recorder* rec = net_->recorder()) {
+      rec->record_span(span.actor, span.label, task_kind_name(span.kind),
+                       span.start_s, span.finish_s);
+    }
     trace_.push_back(std::move(span));
     executed += 1;
     for (const TaskId unblocked : graph.complete(id)) ready.push(unblocked);

@@ -103,6 +103,10 @@ SimReport Coordinator::run(PipelineKind kind, std::span<const Dataset> parts,
   // Coordinator pushes the resolved setting down to the network that
   // the phase scheduler will drive.
   net.set_phase_overlap(effective.overlap_phases);
+  // The flight recorder (if any) rides the same path: the network owns
+  // the attachment point, and the scheduler/protocols reach it through
+  // Fabric::recorder(). Null — the default — records nothing.
+  net.set_recorder(effective.recorder);
   PipelineResult result = run_distributed_pipeline(kind, parts, effective, net);
   return make_report(scenario_, pipeline_name(kind), std::move(result), net);
 }
@@ -136,6 +140,7 @@ SimReport Coordinator::run_streaming(std::span<const Dataset> parts,
   const PipelineConfig effective = apply_round_policy(cfg, scenario_);
   const double deadline_s = effective.round_deadline_s;
   net.set_phase_overlap(effective.overlap_phases);
+  net.set_recorder(effective.recorder);
   std::vector<Coreset> latest(m);
   for (std::size_t r = 0; r < rounds; ++r) {
     const double deadline = net.open_round(deadline_s);

@@ -6,6 +6,8 @@
 #include <random>
 #include <string>
 
+#include "obs/recorder.hpp"
+
 namespace ekm {
 
 namespace {
@@ -182,6 +184,10 @@ const Site& SimNetwork::site(std::size_t i) const {
 
 double SimNetwork::open_round(double deadline_seconds) {
   EKM_EXPECTS_MSG(deadline_seconds > 0.0, "round deadline must be > 0");
+  // The round now closing gets its metrics snapshot before the new
+  // one's state replaces it. Pure read of existing counters — nothing
+  // about the simulation changes (see set_recorder).
+  if (recorder_ != nullptr) snapshot_round_to_recorder();
   round_deadline_ = std::isfinite(deadline_seconds)
                         ? server_clock_ + deadline_seconds
                         : kNoDeadline;
@@ -545,6 +551,41 @@ void SimNetwork::advance_one_event() {
   // first N events processed are kept, the rest dropped. Clocks,
   // energy and ledgers above are untouched — only the log shrinks.
   if (log_.size() < scenario_.event_log_limit) log_.push_back(ev);
+  // The flight recorder mirrors every event regardless of the cap —
+  // its copy feeds the exported trace, not event_log(), so capping one
+  // never truncates the other. Mirroring is a pure read of `ev`.
+  if (recorder_ != nullptr) {
+    recorder_->record_sim_event(ev.time, sim_event_name(ev.type), ev.site,
+                                ev.uplink, ev.attempt, ev.bits);
+  }
+}
+
+void SimNetwork::set_recorder(Recorder* recorder) {
+  recorder_ = recorder;
+  // Re-arm the delta baseline: this network's rounds start at 1, even
+  // if the recorder already rode another run (the bench sweeps attach
+  // one recorder to every sweep cell in turn).
+  if (recorder_ != nullptr) recorder_->begin_run();
+}
+
+void SimNetwork::snapshot_round_to_recorder() {
+  if (rounds_snapshotted_ >= rounds_opened_) return;  // nothing open yet
+  RoundTotals totals;
+  totals.rounds_opened = rounds_opened_;
+  totals.server_time_s = server_clock_;
+  totals.missed_frames = missed_frames_;
+  totals.supplemental_misses = supplemental_misses_;
+  totals.orphaned_frames = orphaned_frames_;
+  totals.subrounds_opened = subrounds_opened_;
+  totals.energy_joules = energy_joules();
+  totals.per_uplink_missed.reserve(up_.size());
+  for (const SimLink& l : up_) {
+    totals.uplink_bits += l.ledger().bits;
+    totals.uplink_frames += l.ledger().messages;
+    totals.per_uplink_missed.push_back(l.stats().missed);
+  }
+  recorder_->snapshot_round(totals);
+  rounds_snapshotted_ = rounds_opened_;
 }
 
 void SimNetwork::assert_link_invariants(const SimLink& l) const {
@@ -577,6 +618,9 @@ void SimNetwork::assert_link_invariants(const SimLink& l) const {
 
 double SimNetwork::finish() {
   while (!queue_.empty()) advance_one_event();
+  // The final round never sees another open_round; close it here so
+  // the JSONL carries exactly one snapshot per round opened.
+  if (recorder_ != nullptr) snapshot_round_to_recorder();
   for (const SimLink& l : up_) assert_link_invariants(l);
   for (const SimLink& l : down_) assert_link_invariants(l);
   // Events are processed lazily (a site whose frame is read late may

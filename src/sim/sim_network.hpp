@@ -276,6 +276,17 @@ class SimNetwork final : public Fabric {
     return std::move(log_);
   }
 
+  /// Attaches a flight recorder (src/obs/): frame events are mirrored
+  /// as trace instants (independent of the `event-log=` cap), one
+  /// metrics snapshot is taken per collection round, and the phase
+  /// scheduler forwards its TaskSpans through Fabric::recorder().
+  /// Recording is strictly read-only on the simulation: it draws no
+  /// randomness, pushes no events, and advances no clock, so every
+  /// number the run produces is bitwise identical with or without a
+  /// recorder (tests/test_obs.cpp). Null detaches.
+  void set_recorder(Recorder* recorder);
+  [[nodiscard]] Recorder* recorder() override { return recorder_; }
+
  private:
   friend class SimLink;
   void do_send(SimLink& link, Message msg);
@@ -283,6 +294,12 @@ class SimNetwork final : public Fabric {
                                                      double deadline);
   void advance_one_event();
   void assert_link_invariants(const SimLink& link) const;
+
+  /// Closes the latest opened round on the recorder (a snapshot of the
+  /// cumulative counters; the recorder diffs them into per-round
+  /// deltas). Called at the next open_round and at finish(); guarded
+  /// so each round snapshots exactly once. No-op without a recorder.
+  void snapshot_round_to_recorder();
 
   /// Fleet membership of site i at virtual time t. Under stochastic
   /// churn the site's toggle schedule is extended lazily past t from
@@ -304,6 +321,8 @@ class SimNetwork final : public Fabric {
   std::uint64_t supplemental_misses_ = 0;
   std::uint64_t rounds_opened_ = 0;
   std::uint64_t subrounds_opened_ = 0;
+  Recorder* recorder_ = nullptr;        ///< optional flight recorder
+  std::uint64_t rounds_snapshotted_ = 0;  ///< rounds already snapshotted
 
   // --- fleet membership (join/leave overrides, stochastic churn) ----------
   bool membership_active_ = false;   ///< any toggles or churn_rate > 0;

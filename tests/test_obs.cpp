@@ -1,0 +1,284 @@
+// Tests for src/obs: the metrics registry's deterministic typed store,
+// the recorder's per-round snapshot protocol, the exporters — and THE
+// contract of the whole layer: recording is side-effect-free. A run
+// with a recorder attached must be bitwise identical to the same run
+// without one — centers, ledgers, energy, and the SimEvent log — at
+// any EKM_THREADS, under churn, adaptive quantization, and phase
+// overlap all at once.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/pipeline.hpp"
+#include "data/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/coordinator.hpp"
+#include "sim/scenario.hpp"
+
+namespace ekm {
+namespace {
+
+std::vector<Dataset> make_parts(std::size_t m, std::size_t n, std::size_t d,
+                                std::uint64_t seed) {
+  GaussianMixtureSpec spec;
+  spec.n = n;
+  spec.dim = d;
+  spec.k = 4;
+  Rng rng = make_rng(seed, 0xdadaULL);
+  const Dataset data = make_gaussian_mixture(spec, rng);
+  Rng part_rng = make_rng(seed, 0x9a87ULL);
+  return partition_random(data, m, part_rng);
+}
+
+PipelineConfig base_config(std::uint64_t seed = 11) {
+  PipelineConfig cfg;
+  cfg.k = 3;
+  cfg.epsilon = 0.3;
+  cfg.seed = seed;
+  cfg.coreset_size = 200;
+  cfg.pca_dim = 8;
+  return cfg;
+}
+
+// The CI churn smoke's fleet shape: scheduled leave/join, stochastic
+// churn, a trace-pinned site, adaptive quantization, phase overlap —
+// every recording call site fires at least once on this scenario.
+constexpr const char* kBusyScenario =
+    "deadline-fleet,churn=0.02,quant=adaptive,overlap=on,"
+    "site2.leave=9,site5.join=3,site0.trace=0:8000:0.05;20:2e6:0,seed=1";
+
+void expect_bitwise_equal(const SimReport& a, const SimReport& b) {
+  ASSERT_EQ(a.result.centers.rows(), b.result.centers.rows());
+  ASSERT_EQ(a.result.centers.cols(), b.result.centers.cols());
+  for (std::size_t r = 0; r < a.result.centers.rows(); ++r) {
+    const auto ra = a.result.centers.row(r);
+    const auto rb = b.result.centers.row(r);
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      EXPECT_EQ(ra[j], rb[j]) << "center " << r << "," << j;
+    }
+  }
+  EXPECT_EQ(a.result.uplink.bits, b.result.uplink.bits);
+  EXPECT_EQ(a.result.uplink.scalars, b.result.uplink.scalars);
+  EXPECT_EQ(a.result.uplink.messages, b.result.uplink.messages);
+  EXPECT_EQ(a.result.downlink.bits, b.result.downlink.bits);
+  EXPECT_EQ(a.result.downlink.messages, b.result.downlink.messages);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.completion_seconds, b.completion_seconds);
+  EXPECT_EQ(a.server_completion_seconds, b.server_completion_seconds);
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    EXPECT_EQ(a.event_log[i], b.event_log[i]) << "event " << i;
+  }
+}
+
+TEST(Metrics, RegistryIsDeterministicAndTyped) {
+  MetricsRegistry reg;
+  const auto misses = reg.counter("round.misses");
+  const auto energy = reg.gauge("fleet.energy");
+  const auto widths = reg.histogram("quant.bits", {8.0, 16.0, 24.0});
+
+  reg.add(misses, 3);
+  reg.set(energy, 0.5);
+  reg.observe(widths, 8.0);   // lands in the first bucket (<= 8)
+  reg.observe(widths, 17.0);  // third bucket (<= 24)
+  reg.observe(widths, 99.0);  // overflow
+
+  EXPECT_EQ(reg.counter_value(misses), 3u);
+  EXPECT_EQ(reg.gauge_value(energy), 0.5);
+  EXPECT_EQ(reg.to_json(),
+            "{\"round.misses\": 3, \"fleet.energy\": 0.5, "
+            "\"quant.bits\": {\"buckets\": [8, 16, 24], "
+            "\"counts\": [1, 0, 1, 1], \"sum\": 124, \"count\": 3}}");
+
+  // Idempotent re-registration returns the same id; a kind change is a
+  // registration bug and throws.
+  EXPECT_EQ(reg.counter("round.misses"), misses);
+  EXPECT_THROW((void)reg.gauge("round.misses"), precondition_error);
+  EXPECT_THROW((void)reg.histogram("bad", {2.0, 1.0}), precondition_error);
+  EXPECT_THROW(reg.add(energy, 1), precondition_error);
+  EXPECT_THROW(reg.set(misses, 1.0), precondition_error);
+  EXPECT_THROW(reg.observe(misses, 1.0), precondition_error);
+
+  // reset_values clears values, not registrations — the serialized
+  // shape (and therefore the JSONL column order) is stable.
+  reg.reset_values();
+  EXPECT_EQ(reg.counter_value(misses), 0u);
+  EXPECT_EQ(reg.to_json(),
+            "{\"round.misses\": 0, \"fleet.energy\": 0, "
+            "\"quant.bits\": {\"buckets\": [8, 16, 24], "
+            "\"counts\": [0, 0, 0, 0], \"sum\": 0, \"count\": 0}}");
+}
+
+TEST(Obs, RecorderSnapshotsDiffTotalsIntoRoundDeltas) {
+  Recorder rec;
+  rec.note_quant_width(0, 8, 24);   // narrowed
+  rec.note_quant_width(1, 24, 24);  // full width
+
+  RoundTotals t1;
+  t1.rounds_opened = 1;
+  t1.server_time_s = 2.0;
+  t1.missed_frames = 2;
+  t1.uplink_bits = 1000;
+  t1.uplink_frames = 4;
+  t1.energy_joules = 0.25;
+  t1.per_uplink_missed = {1, 1, 0};  // sites 0 and 1 missed → 1 responder
+  rec.snapshot_round(t1);
+
+  ASSERT_EQ(rec.rounds().size(), 1u);
+  EXPECT_EQ(rec.rounds()[0].round, 1u);
+  const std::string& line = rec.rounds()[0].json_line;
+  EXPECT_NE(line.find("\"round\": 1"), std::string::npos);
+  EXPECT_NE(line.find("\"round.responders\": 1"), std::string::npos);
+  EXPECT_NE(line.find("\"round.deadline_misses\": 2"), std::string::npos);
+  EXPECT_NE(line.find("\"round.quant_frames_narrowed\": 1"),
+            std::string::npos);
+
+  // Round 2: counters carry the delta, gauges the new absolute value.
+  RoundTotals t2 = t1;
+  t2.rounds_opened = 2;
+  t2.server_time_s = 5.0;
+  t2.missed_frames = 3;
+  t2.uplink_bits = 1600;
+  t2.per_uplink_missed = {1, 2, 0};  // only site 1 missed anew
+  rec.snapshot_round(t2);
+  const std::string& line2 = rec.rounds()[1].json_line;
+  EXPECT_NE(line2.find("\"round.responders\": 2"), std::string::npos);
+  EXPECT_NE(line2.find("\"round.deadline_misses\": 1"), std::string::npos);
+  EXPECT_NE(line2.find("\"round.uplink_bits\": 600"), std::string::npos);
+  EXPECT_NE(line2.find("\"server.time_s\": 5"), std::string::npos);
+
+  // Snapshots must close rounds in order; a stale ordinal throws.
+  EXPECT_THROW(rec.snapshot_round(t1), precondition_error);
+
+  // begin_run() re-arms the baseline so the recorder can ride a second
+  // run whose rounds restart at 1 (the bench sweeps).
+  rec.begin_run();
+  rec.snapshot_round(t1);
+  ASSERT_EQ(rec.rounds().size(), 3u);
+  EXPECT_EQ(rec.rounds()[2].round, 1u);
+}
+
+TEST(Obs, RecordingIsBitwiseNeutralUnderChurnOverlapAndThreads) {
+  const auto parts = make_parts(8, 1600, 16, 31);
+  const Coordinator coord(parse_scenario(kBusyScenario));
+  PipelineConfig cfg = base_config(31);
+
+  set_parallel_threads(1);
+  const SimReport plain = coord.run(PipelineKind::kBklw, parts, cfg);
+
+  Recorder rec;
+  cfg.recorder = &rec;
+  install_recorder(&rec);
+  const SimReport recorded = coord.run(PipelineKind::kBklw, parts, cfg);
+  install_recorder(nullptr);
+
+  // The recorder saw real traffic...
+  EXPECT_FALSE(rec.spans().empty());
+  EXPECT_FALSE(rec.events().empty());
+  ASSERT_FALSE(rec.rounds().empty());
+  // ...one snapshot per collection round, in order...
+  EXPECT_EQ(rec.rounds().size(), recorded.rounds);
+  for (std::size_t i = 0; i < rec.rounds().size(); ++i) {
+    EXPECT_EQ(rec.rounds()[i].round, i + 1);
+  }
+  // ...the mirrored event stream is exactly the canonical log...
+  ASSERT_EQ(rec.events().size(), recorded.event_log.size());
+  // ...and nothing the run computed moved by a single bit.
+  expect_bitwise_equal(plain, recorded);
+
+  // Same contract across thread counts: the recorded totals (drawn on
+  // the protocol thread) cannot see the pool size either.
+  set_parallel_threads(8);
+  Recorder rec8;
+  cfg.recorder = &rec8;
+  install_recorder(&rec8);
+  const SimReport recorded8 = coord.run(PipelineKind::kBklw, parts, cfg);
+  install_recorder(nullptr);
+  set_parallel_threads(0);
+  expect_bitwise_equal(plain, recorded8);
+  ASSERT_EQ(rec8.rounds().size(), rec.rounds().size());
+  for (std::size_t i = 0; i < rec.rounds().size(); ++i) {
+    EXPECT_EQ(rec8.rounds()[i].json_line, rec.rounds()[i].json_line);
+  }
+}
+
+TEST(Obs, ExportersWriteValidArtifacts) {
+  const auto parts = make_parts(6, 1200, 16, 7);
+  const Coordinator coord(parse_scenario(kBusyScenario));
+  PipelineConfig cfg = base_config(7);
+  Recorder rec;
+  cfg.recorder = &rec;
+  const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+
+  const std::string trace_path = "test_obs_trace.json";
+  const std::string metrics_path = "test_obs_metrics.jsonl";
+  ASSERT_TRUE(write_chrome_trace(rec, trace_path));
+  ASSERT_TRUE(write_metrics_jsonl(rec, metrics_path));
+
+  // Trace: the Chrome JSON envelope with per-actor thread metadata and
+  // at least one complete span per scheduler phase kind we know ran.
+  std::ifstream tf(trace_path);
+  std::stringstream trace;
+  trace << tf.rdbuf();
+  const std::string t = trace.str();
+  EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(t.find("\"server\""), std::string::npos);
+  EXPECT_NE(t.find("\"site 0\""), std::string::npos);
+  EXPECT_NE(t.find("\"event queue\""), std::string::npos);
+  EXPECT_NE(t.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(t.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_EQ(t.back(), '\n');
+
+  // JSONL: one line per collection round, each a self-contained object.
+  std::ifstream mf(metrics_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(mf, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    lines += 1;
+  }
+  EXPECT_EQ(lines, report.rounds);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  // Unwritable paths fail cleanly instead of crashing or half-writing.
+  EXPECT_FALSE(write_chrome_trace(rec, "no-such-dir/x/trace.json"));
+  EXPECT_FALSE(write_metrics_jsonl(rec, "no-such-dir/x/m.jsonl"));
+}
+
+TEST(Obs, KernelTimingRecordsOnlyWhenInstalled) {
+  // Without an installed recorder, timed_section is a pure stopwatch.
+  bool ran = false;
+  const double s = timed_section("unit", [&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_GE(s, 0.0);
+
+  // With one installed, the same call lands a wall-clock kernel span —
+  // the single timing path bench_util::time_best_of builds on.
+  Recorder rec;
+  install_recorder(&rec);
+  (void)timed_section("unit", [] {});
+  { ObsKernelScope scope("scoped"); }
+  install_recorder(nullptr);
+  ASSERT_EQ(rec.spans().size(), 2u);
+  EXPECT_EQ(rec.spans()[0].label, "unit");
+  EXPECT_TRUE(rec.spans()[0].wall);
+  EXPECT_EQ(rec.spans()[1].label, "scoped");
+  EXPECT_EQ(rec.spans()[1].kind, "kernel");
+
+  // Uninstalled again: no further spans accumulate.
+  (void)timed_section("after", [] {});
+  EXPECT_EQ(rec.spans().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ekm

@@ -42,6 +42,15 @@
 //                         deadline — fast sites start the next phase while
 //                         stragglers' timelines still run. Equivalent to
 //                         scenario key overlap=on.
+//   --trace-out FILE      write a Chrome/Perfetto trace of the run (sim
+//                         only): one track per actor on the virtual clock
+//                         plus host wall-clock kernel spans. Recording is
+//                         side-effect-free — results are bit-identical
+//                         with or without it (docs/observability.md).
+//   --metrics-out FILE    write per-round JSONL metric snapshots (sim only)
+//   --event-log off|N     cap the retained simulator event trace; same as
+//                         scenario key event-log=. The default retains
+//                         every radio event in memory (docs/simulation.md).
 //
 // Every numeric flag goes through a checked parse: trailing garbage,
 // empty values, and out-of-range numbers exit 2 with a message naming
@@ -64,6 +73,8 @@
 #include "data/loaders.hpp"
 #include "kmeans/cost.hpp"
 #include "kmeans/lloyd.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/coordinator.hpp"
 
 namespace {
@@ -91,6 +102,10 @@ struct CliArgs {
   bool deadline_set = false;
   std::string retry;  // empty = keep the scenario's strategy
   bool overlap = false;
+  std::string trace_out;    // empty = no trace export
+  std::string metrics_out;  // empty = no metrics export
+  std::size_t event_log_limit = 0;
+  bool event_log_set = false;
   bool help = false;
 };
 
@@ -231,6 +246,40 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       }
     } else if (want("--overlap")) {
       a.overlap = true;
+    } else if (want("--trace-out")) {
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      if (*v == '\0') {
+        std::fprintf(stderr, "--trace-out needs a non-empty file path\n");
+        return std::nullopt;
+      }
+      a.trace_out = v;
+    } else if (want("--metrics-out")) {
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      if (*v == '\0') {
+        std::fprintf(stderr, "--metrics-out needs a non-empty file path\n");
+        return std::nullopt;
+      }
+      a.metrics_out = v;
+    } else if (want("--event-log")) {
+      // Grammar shared with the scenario key `event-log=off|N`.
+      const char* v = next(i);
+      if (v == nullptr) return std::nullopt;
+      if (std::strcmp(v, "off") == 0) {
+        a.event_log_limit = 0;
+      } else {
+        const auto cap = parse_full_ull(v);
+        if (!cap.has_value()) {
+          std::fprintf(stderr,
+                       "invalid value for --event-log: '%s' (expected 'off' "
+                       "or a non-negative integer)\n",
+                       v);
+          return std::nullopt;
+        }
+        a.event_log_limit = static_cast<std::size_t>(*cap);
+      }
+      a.event_log_set = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag);
       return std::nullopt;
@@ -309,7 +358,14 @@ constexpr const char* kUsage =
     "    that cannot complete before the round cutoff\n"
     "  --overlap    phase-overlap scheduling (sim only): expiry NAKs let\n"
     "    round barriers commit as soon as every frame's fate is final,\n"
-    "    so fast sites start the next phase early (= overlap=on)\n";
+    "    so fast sites start the next phase early (= overlap=on)\n"
+    "  --trace-out FILE     Chrome/Perfetto trace of the run (sim only):\n"
+    "    one track per actor (server, sites, event queue) on the virtual\n"
+    "    clock, plus host wall-clock kernel spans; side-effect-free\n"
+    "  --metrics-out FILE   per-round JSONL metric snapshots (sim only):\n"
+    "    responders, misses, uplink bits, energy, quantizer widths\n"
+    "  --event-log off|N    cap the retained simulator event trace (same\n"
+    "    as scenario key event-log=; the default keeps every event)\n";
 
 }  // namespace
 
@@ -365,6 +421,21 @@ int main(int argc, char** argv) {
                          "simulator's virtual clock)\n");
     return 2;
   }
+  if (!args->trace_out.empty() && args->sim.empty()) {
+    std::fprintf(stderr, "--trace-out needs --sim (the trace's timelines are "
+                         "the simulator's virtual clocks)\n");
+    return 2;
+  }
+  if (!args->metrics_out.empty() && args->sim.empty()) {
+    std::fprintf(stderr, "--metrics-out needs --sim (metric snapshots close "
+                         "with the simulator's collection rounds)\n");
+    return 2;
+  }
+  if (args->event_log_set && args->sim.empty()) {
+    std::fprintf(stderr, "--event-log needs --sim (it caps the simulator's "
+                         "retained event trace)\n");
+    return 2;
+  }
 
   const Dataset data = make_input(*args);
   std::printf("input: %zu points x %zu dims\n", data.size(), data.dim());
@@ -401,10 +472,25 @@ int main(int argc, char** argv) {
     // scenario's `overlap=on` off (same either-side-opts-in layering
     // as the Coordinator's config merge).
     if (args->overlap) scenario.round.overlap = true;
+    // --event-log overrides the scenario's retention cap, like --deadline.
+    if (args->event_log_set) scenario.event_log_limit = args->event_log_limit;
 
     Rng rng = make_rng(args->seed, 0x9a87ULL);
     const std::vector<Dataset> parts =
         partition_random(data, args->sources, rng);
+    // Attach the flight recorder only when an export was asked for: the
+    // Coordinator hangs it on the SimNetwork (virtual-clock spans,
+    // events, per-round snapshots), and the process-global hook lets
+    // hot kernels stamp host wall-clock spans. Recording never touches
+    // RNG streams or event ordering, so the run's numbers are
+    // bit-identical either way.
+    Recorder recorder;
+    const bool recording =
+        !args->trace_out.empty() || !args->metrics_out.empty();
+    if (recording) {
+      cfg.recorder = &recorder;
+      install_recorder(&recorder);
+    }
     const Coordinator coord(scenario);
     SimReport report;
     try {
@@ -474,6 +560,26 @@ int main(int argc, char** argv) {
     if (scenario.retry.strategy != RetryStrategy::kFixed) {
       std::printf("retry policy   : %s\n",
                   retry_strategy_name(scenario.retry.strategy));
+    }
+    if (recording) install_recorder(nullptr);
+    if (!args->trace_out.empty()) {
+      if (!write_chrome_trace(recorder, args->trace_out)) {
+        std::fprintf(stderr, "failed to write trace to '%s'\n",
+                     args->trace_out.c_str());
+        return 1;
+      }
+      std::printf("trace written  : %s (%zu spans, %zu events)\n",
+                  args->trace_out.c_str(), recorder.spans().size(),
+                  recorder.events().size());
+    }
+    if (!args->metrics_out.empty()) {
+      if (!write_metrics_jsonl(recorder, args->metrics_out)) {
+        std::fprintf(stderr, "failed to write metrics to '%s'\n",
+                     args->metrics_out.c_str());
+        return 1;
+      }
+      std::printf("metrics written: %s (%zu round snapshot(s))\n",
+                  args->metrics_out.c_str(), recorder.rounds().size());
     }
   } else if (args->sources > 1) {
     Rng rng = make_rng(args->seed, 0x9a87ULL);

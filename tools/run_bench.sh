@@ -32,6 +32,27 @@ trap cleanup EXIT
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" --target bench_assign_kernel bench_sim_scenarios -j >/dev/null
 
+# Provenance block stamped into both JSONs (the bench emits it as a
+# top-level "provenance" object): enough to answer "which commit,
+# which compiler, how many threads produced this trajectory?" when two
+# BENCH files disagree. Values degrade to "unknown" rather than failing
+# the run — a bench result without provenance still beats no result.
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+if ! git -C "$repo_root" diff --quiet HEAD -- 2>/dev/null; then
+  git_sha="$git_sha-dirty"
+fi
+compiler="$(grep -m1 '^CMAKE_CXX_COMPILER:' "$build_dir/CMakeCache.txt" 2>/dev/null | cut -d= -f2- || true)"
+if [[ -n "$compiler" ]] && command -v "$compiler" >/dev/null 2>&1; then
+  compiler="$("$compiler" --version 2>/dev/null | head -1 || echo "$compiler")"
+fi
+cxx_flags="$(grep -m1 '^CMAKE_CXX_FLAGS_RELEASE:' "$build_dir/CMakeCache.txt" 2>/dev/null | cut -d= -f2- || true)"
+meta_args=(
+  --meta "git_sha=${git_sha:-unknown}"
+  --meta "compiler=${compiler:-unknown}"
+  --meta "cxx_flags_release=${cxx_flags:-unknown}"
+  --meta "ekm_threads=${EKM_THREADS:-default}"
+)
+
 run_bench() {
   local binary="$1" target="$2"
   shift 2
@@ -60,5 +81,10 @@ run_bench() {
   echo "wrote $target"
 }
 
-run_bench "$build_dir/bench_assign_kernel" "$repo_root/BENCH_assign.json" "$@"
-run_bench "$build_dir/bench_sim_scenarios" "$repo_root/BENCH_sim.json"
+# The sim bench's scenario strings are constants compiled into the
+# bench itself and already emitted as each sweep's "scenario" field, so
+# the provenance block only adds build/host facts, never duplicates them.
+run_bench "$build_dir/bench_assign_kernel" "$repo_root/BENCH_assign.json" \
+  "${meta_args[@]}" "$@"
+run_bench "$build_dir/bench_sim_scenarios" "$repo_root/BENCH_sim.json" \
+  "${meta_args[@]}"
