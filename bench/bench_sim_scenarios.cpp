@@ -13,7 +13,13 @@
 // memory) — and a churn sweep: two sites behind an 8 kbps trace link
 // under (deadline × churn-rate) pressure, run with fixed vs adaptive
 // per-frame quantization, tracing the misses-vs-accuracy trade of
-// graceful degradation. Emits per-cell deployment metrics —
+// graceful degradation — and a fleet scale sweep: fault-free fleets
+// from 256 up to 10240 sites, each run star and as a two-level
+// aggregation tree (topology=tree, branching ≈ √sites), tracing what
+// the gateway layer buys at scale: server fan-in O(branching) instead
+// of O(sites), the time-to-fresh-model that follows, and the
+// bits-per-level split — against the event-queue high-water mark the
+// 10k-site runs exercise. Emits per-cell deployment metrics —
 // virtual completion time, site energy, goodput vs retransmitted bits,
 // attempt/drop counts, responder counts, and the k-means cost ratio
 // against the NR (ship-everything) baseline — as BENCH_sim.json so
@@ -24,14 +30,23 @@
 // EKM_THREADS setting (tests/test_sim.cpp holds the simulator to that).
 //
 // Usage: bench_sim_scenarios [--n N] [--d D] [--k K] [--sources M]
-//                            [--seed S] [--json PATH]
+//                            [--seed S] [--json PATH] [--only SECTION]
 //                            [--meta key=value ...]
 //                            [--trace-out FILE] [--metrics-out FILE]
 // --meta pairs land verbatim in a top-level "provenance" object
 // (tools/run_bench.sh stamps git SHA, compiler, flags, EKM_THREADS).
+// --only runs a single sweep section (cells | deadline_sweep |
+// realloc_sweep | overlap_sweep | churn_sweep | fleet_scale_sweep) and
+// emits a JSON holding just that section — still valid JSON with the
+// full header/provenance, so tools/run_bench.sh can splice it into an
+// existing BENCH_sim.json without re-running the other sweeps. Every
+// section's cells are bitwise independent of which other sections ran
+// (each cell builds its own Coordinator from its own spec string), so
+// a spliced section matches a full run byte for byte.
 // --trace-out/--metrics-out attach one flight recorder (src/obs/)
 // across all sweep cells — a debug artifact whose presence never
 // changes a single reported number (recording is side-effect-free).
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -39,6 +54,7 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -66,6 +82,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   std::string json_path;
   std::string trace_path, metrics_path;
+  std::string only;  // empty: run every section
   bench::MetaPairs meta;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](std::size_t& out) {
@@ -79,6 +96,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
+      only = argv[++i];
     else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
       trace_path = argv[++i];
     else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
@@ -87,6 +106,20 @@ int main(int argc, char** argv) {
       if (!bench::parse_meta_pair(argv[++i], meta)) return 2;
     }
   }
+  const std::vector<std::string> kSections = {
+      "cells",         "deadline_sweep", "realloc_sweep",
+      "overlap_sweep", "churn_sweep",    "fleet_scale_sweep"};
+  if (!only.empty() &&
+      std::find(kSections.begin(), kSections.end(), only) == kSections.end()) {
+    std::fprintf(stderr, "unknown --only section '%s' (expected one of:",
+                 only.c_str());
+    for (const std::string& s : kSections) std::fprintf(stderr, " %s", s.c_str());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  const auto selected = [&](const char* section) {
+    return only.empty() || only == section;
+  };
 
   GaussianMixtureSpec spec;
   spec.n = n;
@@ -126,6 +159,7 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   std::printf("sim scenarios  n=%zu d=%zu k=%zu sources=%zu pipeline=BKLW\n",
               n, d, k, sources);
+  if (selected("cells")) {
   std::printf("%-6s %-6s %14s %12s %14s %14s %9s %7s %10s\n", "radio",
               "fault", "completion_s", "energy_J", "goodput_bits",
               "retx_bits", "attempts", "drops", "cost_ratio");
@@ -155,6 +189,7 @@ int main(int argc, char** argv) {
       cells.push_back(std::move(cell));
     }
   }
+  }  // selected("cells")
 
   // --- deadline sweep: responders vs accuracy under partial aggregation.
   // A straggler-heavy, compute-bound fleet with lossy-mesh faults; the
@@ -174,6 +209,7 @@ int main(int argc, char** argv) {
   constexpr const char* kSweepBase =
       "lossy-mesh,stragglers=0.25,slowdown=64,sps=1e-5";
   std::vector<DeadlineCell> dcells;
+  if (selected("deadline_sweep")) {
   std::printf("\ndeadline sweep  scenario=lossy-mesh+stragglers pipeline=BKLW\n");
   std::printf("%-10s %12s %14s %14s %9s %7s %10s %10s\n", "deadline",
               "responders", "completion_s", "server_done_s", "misses", "drops",
@@ -219,6 +255,7 @@ int main(int argc, char** argv) {
                 cell.cost_ratio);
     dcells.push_back(std::move(cell));
   }
+  }  // selected("deadline_sweep")
 
   // --- realloc sweep: budget conservation under faults. A compute-
   // bound straggler fleet (deadline-fleet shaped) whose slow quarter
@@ -241,6 +278,7 @@ int main(int argc, char** argv) {
       "realloc-reserve=0.5,outage=2";
   const std::vector<double> realloc_faults = {0.0, 0.05, 0.2};
   std::vector<ReallocCell> rcells;
+  if (selected("realloc_sweep")) {
   std::printf("\nrealloc sweep  scenario=5g+stragglers,deadline=8 pipeline=BKLW\n");
   // "miss_sites" (not "responders"): sites_dropped counts any site with
   // an abandoned frame, including a responder whose wave *supplement*
@@ -290,6 +328,7 @@ int main(int argc, char** argv) {
       rcells.push_back(std::move(cell));
     }
   }
+  }  // selected("realloc_sweep")
 
   // --- overlap sweep: phase-overlap scheduling vs the lock-step
   // barriers. A 3-second-round give-up fleet where 0/1/2 sites sit
@@ -312,6 +351,7 @@ int main(int argc, char** argv) {
   constexpr const char* kOverlapBase =
       "radio=wifi,sps=1e-4,deadline=3,retry=giveup,event-log=off";
   std::vector<OverlapCell> ocells;
+  if (selected("overlap_sweep")) {
   std::printf("\noverlap sweep  scenario=wifi+2kbps-stragglers,deadline=3 "
               "pipeline=BKLW\n");
   std::printf("%-6s %-8s %14s %14s %12s %9s %7s %10s\n", "slow", "overlap",
@@ -353,6 +393,7 @@ int main(int argc, char** argv) {
       ocells.push_back(std::move(cell));
     }
   }
+  }  // selected("overlap_sweep")
 
   // --- churn sweep: graceful degradation under deadline pressure. Two
   // of the eight sites ride an 8 kbps trace link, so their full-width
@@ -380,6 +421,7 @@ int main(int argc, char** argv) {
   const std::vector<double> churn_deadlines = {8.0, 5.0};
   const std::vector<double> churn_rates = {0.0, 0.02, 0.05};
   std::vector<ChurnCell> ccells;
+  if (selected("churn_sweep")) {
   std::printf("\nchurn sweep  scenario=wifi+8kbps-trace-sites pipeline=BKLW\n");
   std::printf("%-9s %-6s %-9s %8s %8s %6s %6s %12s %10s\n", "deadline",
               "churn", "quant", "misses", "orphans", "joins", "leaves",
@@ -426,6 +468,94 @@ int main(int argc, char** argv) {
       }
     }
   }
+  }  // selected("churn_sweep")
+
+  // --- fleet scale sweep: hierarchical aggregation at fleet sizes a
+  // star server cannot reasonably fan-in. Four fault-free wifi fleets
+  // from 256 to 10240 sites, each run star and as a two-level tree
+  // with branching ≈ √sites, on small per-site shards (8 points × 8
+  // dims per site) so the cost scales with the protocol, not the data.
+  // The columns to watch: server fan-in (tree: gateways; star: sites),
+  // server_completion_seconds (time-to-fresh-model — the tree server
+  // drains O(branching) frames instead of O(sites)), and the
+  // bits-per-level split — level-0 (site uplinks) is identical star vs
+  // tree on a fault-free fleet, the gateway→server hop adds level-1
+  // on top. queue_high_water gauges the event-queue memory pressure
+  // the 10k-site runs exercise (the reservation the simulator makes
+  // up front). No cost-ratio column: every cell is fault-free, so the
+  // model quality question belongs to the fault sweeps above.
+  struct FleetCell {
+    std::size_t sites = 0;
+    bool tree = false;
+    SimReport report;
+    bool feasible = true;
+  };
+  constexpr const char* kFleetBase = "radio=wifi,sps=1e-6,event-log=off";
+  const std::vector<std::pair<std::size_t, std::size_t>> fleet_shapes = {
+      {256, 16}, {1024, 32}, {4096, 64}, {10240, 128}};
+  std::vector<FleetCell> fcells;
+  if (selected("fleet_scale_sweep")) {
+  std::printf("\nfleet scale sweep  scenario=wifi,fault-free pipeline=BKLW\n");
+  std::printf("%-7s %-5s %7s %7s %14s %14s %13s %13s %9s\n", "sites", "topo",
+              "branch", "fan_in", "server_done_s", "completion_s", "l0_bits",
+              "l1_bits", "queue_hw");
+  for (const auto& [fleet_sites, fleet_branching] : fleet_shapes) {
+    // Fresh data per fleet size, deterministic in (seed, sites) only —
+    // a --only run regenerates exactly what the full run saw.
+    GaussianMixtureSpec fleet_spec;
+    fleet_spec.n = 8 * fleet_sites;
+    fleet_spec.dim = 8;
+    fleet_spec.k = 2;
+    Rng fleet_data_rng = make_rng(seed, 0xf1ee70000ULL + fleet_sites);
+    const Dataset fleet_data = make_gaussian_mixture(fleet_spec, fleet_data_rng);
+    Rng fleet_part_rng = make_rng(seed, 0x9a870000ULL + fleet_sites);
+    const std::vector<Dataset> fleet_parts =
+        partition_random(fleet_data, fleet_sites, fleet_part_rng);
+    PipelineConfig fleet_cfg;
+    fleet_cfg.k = 2;
+    fleet_cfg.epsilon = 0.3;
+    fleet_cfg.seed = seed;
+    fleet_cfg.coreset_size = 2 * fleet_sites;
+    fleet_cfg.pca_dim = 4;
+    for (int tree_on = 0; tree_on <= 1; ++tree_on) {
+      char spec_buf[160];
+      if (tree_on != 0) {
+        std::snprintf(spec_buf, sizeof spec_buf,
+                      "%s,topology=tree,branching=%zu,seed=%llu", kFleetBase,
+                      fleet_branching, static_cast<unsigned long long>(seed));
+      } else {
+        std::snprintf(spec_buf, sizeof spec_buf, "%s,seed=%llu", kFleetBase,
+                      static_cast<unsigned long long>(seed));
+      }
+      const Coordinator coord(parse_scenario(spec_buf));
+      FleetCell cell;
+      cell.sites = fleet_sites;
+      cell.tree = tree_on != 0;
+      try {
+        cell.report = coord.run(PipelineKind::kBklw, fleet_parts, fleet_cfg);
+      } catch (const invariant_error&) {
+        cell.feasible = false;
+      }
+      if (!cell.feasible) {
+        std::printf("%-7zu %-5s %7s\n", fleet_sites,
+                    tree_on != 0 ? "tree" : "star", "infeasible");
+        fcells.push_back(std::move(cell));
+        continue;
+      }
+      std::printf(
+          "%-7zu %-5s %7llu %7llu %14.4f %14.4f %13llu %13llu %9llu\n",
+          fleet_sites, tree_on != 0 ? "tree" : "star",
+          static_cast<unsigned long long>(cell.report.branching),
+          static_cast<unsigned long long>(cell.report.server_fan_in),
+          cell.report.server_completion_seconds,
+          cell.report.completion_seconds,
+          static_cast<unsigned long long>(cell.report.result.uplink.bits),
+          static_cast<unsigned long long>(cell.report.gateway_uplink_bits),
+          static_cast<unsigned long long>(cell.report.queue_high_water));
+      fcells.push_back(std::move(cell));
+    }
+  }
+  }  // selected("fleet_scale_sweep")
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -437,14 +567,19 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"sim_scenarios\",\n");
     bench::write_provenance(f, meta, "  ");
+    // Sections are emitted in a fixed order; each selected one opens
+    // with ",\n" after the headerless nr_cost line, so a --only run
+    // stays valid JSON and a full run is byte-stable section by
+    // section (what tools/run_bench.sh's splice relies on).
     std::fprintf(f,
                  "  \"pipeline\": \"bklw\",\n"
                  "  \"n\": %zu, \"d\": %zu, \"k\": %zu, \"sources\": %zu,\n"
                  "  \"seed\": %llu,\n"
-                 "  \"nr_cost\": %.17g,\n"
-                 "  \"cells\": [\n",
+                 "  \"nr_cost\": %.17g",
                  n, d, k, sources, static_cast<unsigned long long>(seed),
                  nr_cost);
+    if (selected("cells")) {
+    std::fprintf(f, ",\n  \"cells\": [\n");
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const Cell& c = cells[i];
       const LinkStats& up = c.report.uplink_stats;
@@ -466,8 +601,11 @@ int main(int argc, char** argv) {
           c.report.event_log.size(), c.cost_ratio,
           i + 1 < cells.size() ? "," : "");
     }
+    std::fprintf(f, "  ]");
+    }  // selected("cells")
+    if (selected("deadline_sweep")) {
     std::fprintf(f,
-                 "  ],\n"
+                 ",\n"
                  "  \"deadline_sweep\": {\n"
                  "    \"scenario\": \"%s\",\n"
                  "    \"pipeline\": \"bklw\",\n"
@@ -511,8 +649,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(up.expired),
           c.cost_ratio, i + 1 < dcells.size() ? "," : "");
     }
+    std::fprintf(f, "    ]\n  }");
+    }  // selected("deadline_sweep")
+    if (selected("realloc_sweep")) {
     std::fprintf(f,
-                 "    ]\n  },\n"
+                 ",\n"
                  "  \"realloc_sweep\": {\n"
                  "    \"scenario\": \"%s\",\n"
                  "    \"pipeline\": \"bklw\",\n"
@@ -550,8 +691,11 @@ int main(int argc, char** argv) {
               c.report.uplink_stats.retransmit_bits),
           c.cost_ratio, i + 1 < rcells.size() ? "," : "");
     }
+    std::fprintf(f, "    ]\n  }");
+    }  // selected("realloc_sweep")
+    if (selected("overlap_sweep")) {
     std::fprintf(f,
-                 "    ]\n  },\n"
+                 ",\n"
                  "  \"overlap_sweep\": {\n"
                  "    \"scenario\": \"%s\",\n"
                  "    \"pipeline\": \"bklw\",\n"
@@ -589,8 +733,11 @@ int main(int argc, char** argv) {
           c.report.event_log.size(), c.cost_ratio,
           i + 1 < ocells.size() ? "," : "");
     }
+    std::fprintf(f, "    ]\n  }");
+    }  // selected("overlap_sweep")
+    if (selected("churn_sweep")) {
     std::fprintf(f,
-                 "    ]\n  },\n"
+                 ",\n"
                  "  \"churn_sweep\": {\n"
                  "    \"scenario\": \"%s\",\n"
                  "    \"pipeline\": \"bklw\",\n"
@@ -632,7 +779,54 @@ int main(int argc, char** argv) {
           c.report.energy_joules, c.cost_ratio,
           i + 1 < ccells.size() ? "," : "");
     }
-    std::fprintf(f, "    ]\n  }\n}\n");
+    std::fprintf(f, "    ]\n  }");
+    }  // selected("churn_sweep")
+    if (selected("fleet_scale_sweep")) {
+    std::fprintf(f,
+                 ",\n"
+                 "  \"fleet_scale_sweep\": {\n"
+                 "    \"scenario\": \"%s\",\n"
+                 "    \"pipeline\": \"bklw\",\n"
+                 "    \"per_site_points\": 8, \"dim\": 8, \"k\": 2,\n"
+                 "    \"cells\": [\n",
+                 kFleetBase);
+    for (std::size_t i = 0; i < fcells.size(); ++i) {
+      const FleetCell& c = fcells[i];
+      if (!c.feasible) {
+        std::fprintf(f,
+                     "      {\"sites\": %zu, \"topology\": \"%s\","
+                     " \"feasible\": false}%s\n",
+                     c.sites, c.tree ? "tree" : "star",
+                     i + 1 < fcells.size() ? "," : "");
+        continue;
+      }
+      std::fprintf(
+          f,
+          "      {\"sites\": %zu, \"topology\": \"%s\", \"feasible\": true,\n"
+          "       \"branching\": %llu, \"gateways\": %llu,\n"
+          "       \"server_fan_in\": %llu,\n"
+          "       \"server_completion_seconds\": %.17g,\n"
+          "       \"completion_seconds\": %.17g,\n"
+          "       \"level0_uplink_bits\": %llu,\n"
+          "       \"level1_uplink_bits\": %llu,\n"
+          "       \"queue_high_water\": %llu,\n"
+          "       \"summary_points\": %zu, \"rounds\": %llu,\n"
+          "       \"energy_joules\": %.17g}%s\n",
+          c.sites, c.tree ? "tree" : "star",
+          static_cast<unsigned long long>(c.report.branching),
+          static_cast<unsigned long long>(c.report.gateways),
+          static_cast<unsigned long long>(c.report.server_fan_in),
+          c.report.server_completion_seconds, c.report.completion_seconds,
+          static_cast<unsigned long long>(c.report.result.uplink.bits),
+          static_cast<unsigned long long>(c.report.gateway_uplink_bits),
+          static_cast<unsigned long long>(c.report.queue_high_water),
+          c.report.result.summary_points,
+          static_cast<unsigned long long>(c.report.rounds),
+          c.report.energy_joules, i + 1 < fcells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }");
+    }  // selected("fleet_scale_sweep")
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
   }
 

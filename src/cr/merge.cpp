@@ -1,0 +1,36 @@
+#include "cr/merge.hpp"
+
+#include <algorithm>
+
+namespace ekm {
+
+Dataset merge_weighted(const Coreset& a, const Coreset& b) {
+  const Dataset& pa = a.points;
+  const Dataset& pb = b.points;
+  EKM_EXPECTS(pa.dim() == pb.dim());
+  // Both operands are row-major and contiguous: merge with two flat
+  // copies instead of a per-row loop.
+  Matrix pts(pa.size() + pb.size(), pa.dim());
+  auto dst = pts.flat();
+  auto fa = pa.points().flat();
+  auto fb = pb.points().flat();
+  std::copy(fa.begin(), fa.end(), dst.begin());
+  std::copy(fb.begin(), fb.end(), dst.begin() + static_cast<std::ptrdiff_t>(fa.size()));
+  std::vector<double> w;
+  w.reserve(pa.size() + pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) w.push_back(pa.weight(i));
+  for (std::size_t i = 0; i < pb.size(); ++i) w.push_back(pb.weight(i));
+  return Dataset(std::move(pts), std::move(w));
+}
+
+Dataset merge_union(std::vector<Dataset> pieces) {
+  std::vector<Dataset> kept;
+  kept.reserve(pieces.size());
+  for (Dataset& p : pieces) {
+    if (p.size() > 0) kept.push_back(std::move(p));
+  }
+  if (kept.empty()) return {};
+  return concatenate(kept);
+}
+
+}  // namespace ekm

@@ -46,6 +46,15 @@ Matrix FrequentDirections::sketch() {
   return buffer_.row_range(0, std::max<std::size_t>(fill_, 1));
 }
 
+void FrequentDirections::merge(FrequentDirections& other) {
+  EKM_EXPECTS_MSG(other.dim() == dim(), "FD merge dimension mismatch");
+  const Matrix b = other.sketch();
+  // rows_seen_ must count the other stream's rows, not its sketch rows.
+  const std::size_t seen = rows_seen_ + other.rows_seen();
+  for (std::size_t r = 0; r < b.rows(); ++r) insert(b.row(r));
+  rows_seen_ = seen;
+}
+
 Matrix FrequentDirections::principal_basis(std::size_t t) {
   const Matrix b = sketch();
   Svd svd = thin_svd(b);

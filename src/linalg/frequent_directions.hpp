@@ -36,6 +36,14 @@ class FrequentDirections {
   /// stand-in for the PCA basis FSS needs.
   [[nodiscard]] Matrix principal_basis(std::size_t t);
 
+  /// Folds another sketch into this one by inserting its rows in order
+  /// (the associative FD merge of Ghashami et al. §3): the combined
+  /// sketch covers the concatenated stream within the same per-sketch
+  /// error bound. Deterministic in operand order — a gateway folding
+  /// child sketches in ascending child index gets a bitwise-stable
+  /// result (src/cr/merge.hpp has the layer-wide contract).
+  void merge(FrequentDirections& other);
+
   [[nodiscard]] std::size_t rows_seen() const { return rows_seen_; }
   [[nodiscard]] std::size_t dim() const { return buffer_.cols(); }
 

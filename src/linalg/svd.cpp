@@ -213,4 +213,18 @@ Matrix householder_q(const Matrix& a) {
   return q;
 }
 
+void append_pca_summary(Matrix& y, const Matrix& sigma_row, const Matrix& v) {
+  if (sigma_row.size() == 0) return;
+  EKM_EXPECTS_MSG(sigma_row.rows() == 1 && v.cols() == sigma_row.cols(),
+                  "PCA summary shape mismatch");
+  const std::size_t d = v.rows();
+  Matrix yi(sigma_row.cols(), d);
+  for (std::size_t j = 0; j < sigma_row.cols(); ++j) {
+    for (std::size_t c = 0; c < d; ++c) {
+      yi(j, c) = sigma_row(0, j) * v(c, j);
+    }
+  }
+  y.append_rows(yi);
+}
+
 }  // namespace ekm

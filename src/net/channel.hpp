@@ -33,6 +33,7 @@
 namespace ekm {
 
 class Recorder;  // src/obs/recorder.hpp — the optional flight recorder
+struct TreeTopology;  // net/topology.hpp — sites → gateways → server
 
 /// Absolute deadline meaning "wait forever" — the paper's synchronous
 /// protocol, and the default for every deadline-aware receive.
@@ -224,6 +225,37 @@ class Fabric {
   /// hand to enforce_availability_floor for attribution. 0 on fabrics
   /// that never count rounds (the synchronous star).
   [[nodiscard]] virtual std::uint64_t rounds_opened() const { return 0; }
+
+  /// The aggregation tree this fabric routes uplinks through, or null —
+  /// the default, and the only possibility on a star. When non-null,
+  /// sources [0, topology()->sites) are the data sites and uplink(
+  /// sites + g) is gateway g's forward hop to the server; the protocols
+  /// in src/distributed collect per gateway instead of per site. A
+  /// num_sources() of topology()->sites keeps total_uplink() measuring
+  /// the paper's site-level communication metric on either topology.
+  [[nodiscard]] virtual const TreeTopology* topology() const {
+    return nullptr;
+  }
+
+  /// Advances actor `source`'s virtual clock to at least `t` (no-op on
+  /// clock-less fabrics, and never moves a clock backwards). A gateway
+  /// blocks on its children's frames before merging; this is how the
+  /// merge barrier charges that wait to the gateway's own timeline so
+  /// its forward hop cannot depart before its inputs existed.
+  virtual void wait_until(std::size_t source, double t) {
+    (void)source;
+    (void)t;
+  }
+
+  /// Virtual time at which the most recent receive on `source`'s uplink
+  /// resolved — the frame's arrival on a hit, the moment the miss
+  /// became known on a miss. 0 on clock-less fabrics and before any
+  /// receive. Gateways take max over their children to find the instant
+  /// their merged summary is complete.
+  [[nodiscard]] virtual double uplink_consumed_at_s(std::size_t source) const {
+    (void)source;
+    return 0.0;
+  }
 
   /// The attached flight recorder (src/obs/), or null — the default,
   /// and the only possibility on fabrics without one. Protocol code

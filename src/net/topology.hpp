@@ -1,0 +1,68 @@
+// Aggregation-tree topology: sites → gateways → server.
+//
+// The star fabrics (Network, SimNetwork) give every site a direct
+// uplink to the server, so server fan-in, merge cost, and event-queue
+// pressure all grow linearly in the fleet. A TreeTopology describes the
+// two-level alternative TreeFabric composes: contiguous blocks of
+// `branching` sites share a gateway, the gateway reduces its children's
+// frames in flight (the shared merge layer, src/cr/merge.hpp), and
+// forwards one merged frame — cutting server fan-in from O(sites) to
+// O(gateways) = O(sites / branching).
+//
+// The mapping is static and index-arithmetic only: gateway g owns sites
+// [g·b, min((g+1)·b, sites)). That keeps child order — and with it the
+// fixed-order merges and every determinism contract — a pure function
+// of (sites, branching), with no RNG and no state.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/expects.hpp"
+
+namespace ekm {
+
+struct TreeTopology {
+  std::size_t sites = 0;      ///< level-0 data sources
+  std::size_t branching = 0;  ///< max children per gateway (>= 2)
+  /// Fraction of a finite round budget allotted to level 0 (site →
+  /// gateway); the remaining (1 - level_split) is the gateways' window
+  /// to merge and forward (scenario key `level-split=`, default 0.5).
+  double level_split = 0.5;
+
+  [[nodiscard]] std::size_t gateways() const {
+    EKM_EXPECTS(branching >= 1);
+    return (sites + branching - 1) / branching;
+  }
+  [[nodiscard]] std::size_t gateway_of(std::size_t site) const {
+    EKM_EXPECTS(site < sites);
+    return site / branching;
+  }
+  [[nodiscard]] std::size_t child_begin(std::size_t g) const {
+    return g * branching;
+  }
+  [[nodiscard]] std::size_t child_end(std::size_t g) const {
+    const std::size_t end = (g + 1) * branching;
+    return end < sites ? end : sites;
+  }
+  /// Children of gateway g (the last gateway may own fewer).
+  [[nodiscard]] std::size_t fan_in(std::size_t g) const {
+    return child_end(g) - child_begin(g);
+  }
+
+  /// Per-level deadline split: the absolute cutoff at which a gateway
+  /// stops waiting for its children, given the round's absolute server
+  /// deadline and the round budget (RoundPolicy::deadline_s). The
+  /// gateway cutoff precedes the server's by (1 - level_split) · budget,
+  /// leaving the tail of the round for the gateway's own forward hop.
+  /// Unbounded rounds stay unbounded at every level.
+  [[nodiscard]] double level0_deadline(double server_deadline,
+                                       double budget_s) const {
+    if (!std::isfinite(server_deadline) || !std::isfinite(budget_s)) {
+      return server_deadline;
+    }
+    return server_deadline - (1.0 - level_split) * budget_s;
+  }
+};
+
+}  // namespace ekm

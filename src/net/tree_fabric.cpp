@@ -1,0 +1,16 @@
+#include "net/tree_fabric.hpp"
+
+namespace ekm {
+
+TreeFabric::TreeFabric(Fabric& inner, const TreeTopology& topology)
+    : inner_(&inner), topo_(topology) {
+  EKM_EXPECTS_MSG(topo_.sites >= 1, "tree topology needs at least one site");
+  EKM_EXPECTS_MSG(topo_.branching >= 2, "tree branching must be >= 2");
+  EKM_EXPECTS_MSG(topo_.level_split > 0.0 && topo_.level_split < 1.0,
+                  "tree level split must be in (0, 1)");
+  EKM_EXPECTS_MSG(
+      inner.num_sources() == topo_.sites + topo_.gateways(),
+      "tree fabric needs an inner fabric with sites + gateways sources");
+}
+
+}  // namespace ekm

@@ -1,0 +1,89 @@
+// TreeFabric — hierarchical aggregation as a composition of Fabrics.
+//
+// A TreeFabric presents a fleet of `topology.sites` data sources to the
+// protocols while routing their uplinks through gateways on an inner
+// fabric that carries sites AND gateways as sources: inner source i < S
+// is data site i, inner source S + g is gateway g's forward hop. The
+// wrapper owns no links, clocks, or randomness — every Port, deadline,
+// clock and event lives on the inner fabric (in practice a SimNetwork
+// built over S + G sources), so all of the simulator's determinism
+// contracts carry over verbatim. What the wrapper adds is the
+// *addressing convention*: num_sources() is S (the paper's metric — and
+// total_uplink() — stays site-level), uplink(S + g) reaches gateway g's
+// hop, and topology() exposes the tree so protocol builders emit
+// per-gateway merge barriers instead of per-site server collects.
+//
+// The reduce itself deliberately does NOT live here: gateways run
+// protocol-specific merges (the shared associative layer,
+// src/cr/merge.hpp + linalg/svd.hpp) as tasks on the scheduler, where
+// they get their own virtual-time track and trace spans. A fabric that
+// merged opaquely inside send() could not reuse the server's merge code
+// or show up in the task graph.
+//
+// Gateways are fleet devices on the inner fabric: they burn energy,
+// obey per-device overrides (`gatewayN.*` maps to inner site S + g),
+// and are subject to the scenario's stragglers/skew draws like any
+// other site.
+#pragma once
+
+#include "net/channel.hpp"
+#include "net/topology.hpp"
+
+namespace ekm {
+
+class TreeFabric final : public Fabric {
+ public:
+  /// `inner` must carry topology.sites + topology.gateways() sources
+  /// and outlive this wrapper.
+  TreeFabric(Fabric& inner, const TreeTopology& topology);
+
+  [[nodiscard]] std::size_t num_sources() const override {
+    return topo_.sites;
+  }
+  [[nodiscard]] Port& uplink(std::size_t source) override {
+    return inner_->uplink(source);  // source may address a gateway hop
+  }
+  [[nodiscard]] Port& downlink(std::size_t source) override {
+    return inner_->downlink(source);
+  }
+  double open_round(double deadline_seconds) override {
+    return inner_->open_round(deadline_seconds);
+  }
+  double open_subround(double absolute_deadline) override {
+    return inner_->open_subround(absolute_deadline);
+  }
+  [[nodiscard]] double server_time() const override {
+    return inner_->server_time();
+  }
+  [[nodiscard]] double site_time(std::size_t source) const override {
+    return inner_->site_time(source);
+  }
+  [[nodiscard]] double uplink_airtime_s(std::size_t source,
+                                        std::uint64_t wire_bits) const override {
+    return inner_->uplink_airtime_s(source, wire_bits);
+  }
+  [[nodiscard]] bool is_member(std::size_t source) override {
+    return inner_->is_member(source);
+  }
+  [[nodiscard]] std::uint64_t rounds_opened() const override {
+    return inner_->rounds_opened();
+  }
+  [[nodiscard]] Recorder* recorder() override { return inner_->recorder(); }
+  [[nodiscard]] const TreeTopology* topology() const override {
+    return &topo_;
+  }
+  void wait_until(std::size_t source, double t) override {
+    inner_->wait_until(source, t);
+  }
+  [[nodiscard]] double uplink_consumed_at_s(std::size_t source) const override {
+    return inner_->uplink_consumed_at_s(source);
+  }
+
+  [[nodiscard]] Fabric& inner() { return *inner_; }
+
+ private:
+  Fabric* inner_;
+  TreeTopology topo_;
+};
+
+}  // namespace ekm

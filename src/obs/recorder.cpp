@@ -33,6 +33,11 @@ Recorder::Recorder() {
   id_waves_ = registry_.counter("round.realloc_waves");
   id_narrowed_ = registry_.counter("round.quant_frames_narrowed");
   id_quant_bits_ = registry_.histogram("round.quant_bits", {8.0, 16.0, 24.0});
+  // Appended after the quantization metrics (PR order) so existing
+  // JSONL consumers see their columns unmoved.
+  id_gateway_fanin_ =
+      registry_.histogram("round.gateway_fan_in", {4.0, 16.0, 64.0, 256.0});
+  id_queue_high_ = registry_.gauge("sim.queue_high_water");
 }
 
 void Recorder::record_span(std::size_t actor, std::string label,
@@ -70,6 +75,11 @@ void Recorder::note_quant_width(std::size_t site, int wire_bits,
   if (wire_bits < full_bits) quant_narrowed_round_ += 1;
 }
 
+void Recorder::note_gateway_fanin(std::size_t gateway, std::size_t fan_in) {
+  (void)gateway;
+  registry_.observe(id_gateway_fanin_, static_cast<double>(fan_in));
+}
+
 void Recorder::snapshot_round(const RoundTotals& totals) {
   EKM_EXPECTS_MSG(totals.rounds_opened > prev_.rounds_opened,
                   "round snapshot out of order");
@@ -95,6 +105,8 @@ void Recorder::snapshot_round(const RoundTotals& totals) {
   registry_.set(id_energy_, totals.energy_joules);  // cumulative by design
   registry_.add(id_waves_, totals.subrounds_opened - prev_.subrounds_opened);
   registry_.add(id_narrowed_, quant_narrowed_round_);
+  registry_.set(id_queue_high_,
+                static_cast<double>(totals.queue_high_water));  // cumulative
 
   RoundSnapshot snap;
   snap.round = totals.rounds_opened;

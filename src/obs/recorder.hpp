@@ -81,6 +81,10 @@ struct RoundTotals {
   std::uint64_t uplink_bits = 0;
   std::uint64_t uplink_frames = 0;
   double energy_joules = 0.0;
+  /// Event-queue high-water mark (max events simultaneously pending
+  /// since the run started) — the simulator's memory-pressure gauge at
+  /// 10k-site fleet scale.
+  std::size_t queue_high_water = 0;
   /// Per-uplink cumulative missed counts, used to count responders:
   /// a site whose uplink took no new miss this round responded.
   std::vector<std::uint64_t> per_uplink_missed;
@@ -107,6 +111,10 @@ class Recorder {
   /// quantization under deadline pressure). Full-width frames are noted
   /// too, so the histogram carries the whole width distribution.
   void note_quant_width(std::size_t site, int wire_bits, int full_bits);
+  /// A gateway merge barrier closed over `fan_in` delivered children
+  /// (hierarchical aggregation, net/tree_fabric.hpp). Folds into the
+  /// round's fan-in histogram; star-topology runs never call this.
+  void note_gateway_fanin(std::size_t gateway, std::size_t fan_in);
   /// Closes the round `totals.rounds_opened` (1-based): computes the
   /// per-round deltas against the previous snapshot, folds them into
   /// the registry, and serializes one JSONL line.
@@ -144,6 +152,8 @@ class Recorder {
   MetricsRegistry::Id id_waves_;
   MetricsRegistry::Id id_narrowed_;
   MetricsRegistry::Id id_quant_bits_;
+  MetricsRegistry::Id id_gateway_fanin_;
+  MetricsRegistry::Id id_queue_high_;
 
   std::vector<RecordedSpan> spans_;
   std::vector<RecordedEvent> events_;

@@ -12,8 +12,8 @@
 // EKM_THREADS → identical event order") bottoms out in.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/expects.hpp"
@@ -55,20 +55,39 @@ struct SimEvent {
 
 /// Min-heap on (time, seq). Push order assigns seq, so two queues fed
 /// the same push sequence pop identically — including time ties.
+///
+/// Implemented directly over a std::vector with std::push_heap /
+/// std::pop_heap — exactly the operations std::priority_queue is
+/// specified in terms of, so the pop order is unchanged — to expose the
+/// two things 10k-site fleets need that the adapter hides: an up-front
+/// reserve() (a cold fleet's first round would otherwise grow the heap
+/// through a dozen reallocations) and a high-water mark (the
+/// queue-pressure gauge the flight recorder reports per round).
 class EventQueue {
  public:
   void push(SimEvent ev) {
     ev.seq = next_seq_++;
-    heap_.push(ev);
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    if (heap_.size() > high_water_) high_water_ = heap_.size();
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
+  /// Pre-sizes the backing store (never shrinks). Capacity only — no
+  /// effect on contents, order, or the high-water mark.
+  void reserve(std::size_t events) { heap_.reserve(events); }
+
+  /// Largest number of events ever simultaneously pending — the
+  /// simulator's memory-pressure signal at fleet scale.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
   [[nodiscard]] SimEvent pop() {
     EKM_EXPECTS_MSG(!heap_.empty(), "pop on empty event queue");
-    SimEvent ev = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    SimEvent ev = heap_.back();
+    heap_.pop_back();
     return ev;
   }
 
@@ -79,8 +98,9 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::vector<SimEvent> heap_;
   std::uint64_t next_seq_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace ekm

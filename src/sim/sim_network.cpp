@@ -50,6 +50,11 @@ SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
     EKM_EXPECTS(r.bandwidth_bps > 0.0);
   }
 
+  // A cold fleet's first round pushes O(sites) events before the first
+  // receive drains any; reserving here keeps a 10k-site sweep from
+  // growing the heap through a dozen reallocations mid-round.
+  queue_.reserve(4 * num_sites);
+
   sites_.resize(num_sites);
   for (std::size_t i = 0; i < num_sites; ++i) {
     Site& s = sites_[i];
@@ -468,6 +473,7 @@ std::optional<Message> SimNetwork::do_receive_by(SimLink& link,
       Site& s = sites_[link.site_];
       s.clock_s = std::max(s.clock_s, learn);
     }
+    link.consumed_at_ = learn;
     return std::nullopt;
   }
 
@@ -487,6 +493,7 @@ std::optional<Message> SimNetwork::do_receive_by(SimLink& link,
     Site& s = sites_[link.site_];
     s.clock_s = std::max(s.clock_s, frame.arrival);
   }
+  link.consumed_at_ = frame.arrival;
   return std::move(frame.msg);
 }
 
@@ -578,6 +585,7 @@ void SimNetwork::snapshot_round_to_recorder() {
   totals.orphaned_frames = orphaned_frames_;
   totals.subrounds_opened = subrounds_opened_;
   totals.energy_joules = energy_joules();
+  totals.queue_high_water = queue_.high_water();
   totals.per_uplink_missed.reserve(up_.size());
   for (const SimLink& l : up_) {
     totals.uplink_bits += l.ledger().bits;

@@ -346,8 +346,12 @@ constexpr const char* kUsage =
     "    stragglers slowdown skew sps server-speed deadline\n"
     "    min-responders realloc realloc-reserve overlap event-log\n"
     "    retry churn quant backoff-base backoff-cap backoff-jitter seed\n"
-    "    siteN.{radio,bandwidth,loss,dropout,speed,retry,join,leave,trace};\n"
-    "    sim algorithms: nr bklw jl+bklw stream)\n"
+    "    topology (star|tree) branching (tree: children per gateway, >= 2)\n"
+    "    level-split (tree: level-0 share of a finite round budget)\n"
+    "    siteN.{radio,bandwidth,loss,dropout,speed,retry,join,leave,trace}\n"
+    "    gatewayN.{same fields} (tree: per-gateway device overrides);\n"
+    "    sim algorithms: nr bklw jl+bklw stream — topology=tree supports\n"
+    "    bklw and jl+bklw only)\n"
     "  --rounds R   uplink rounds for --algorithm stream (default 4)\n"
     "  --deadline SECONDS   per-round deadline on the virtual clock (sim\n"
     "    only): sites that miss it are dropped from that round and the\n"

@@ -3,16 +3,31 @@
 # BENCH_sim.json in the repo root so successive PRs can track the perf
 # and scenario trajectories.
 #
-# Usage: tools/run_bench.sh [build_dir] [extra bench_assign_kernel args...]
+# Usage: tools/run_bench.sh [--only SWEEP] [build_dir]
+#                           [extra bench_assign_kernel args...]
 #   EKM_THREADS caps the pool for the multi-threaded series.
 #   BENCH_sim.json is bitwise deterministic for a fixed seed at any
 #   EKM_THREADS (it lives on the simulator's virtual clock).
+#   --only SWEEP re-runs a single BENCH_sim.json sweep (cells |
+#   deadline_sweep | realloc_sweep | overlap_sweep | churn_sweep |
+#   fleet_scale_sweep) and splices that section — plus fresh
+#   provenance — into the existing BENCH_sim.json, leaving every other
+#   section's bytes untouched (each bench cell is independent of which
+#   other sections ran, so the splice equals a full run byte for
+#   byte). Requires an existing BENCH_sim.json (run the full bench
+#   once first) and skips BENCH_assign.json entirely.
 #
 # Each bench writes to a temp file that is moved into place only after
 # the binary exits cleanly: a crashing bench fails this script loudly
 # and leaves the previously committed JSON untouched, instead of
 # shipping a partial or stale trajectory.
 set -euo pipefail
+
+only=""
+if [[ "${1:-}" == "--only" ]]; then
+  only="${2:?--only requires a sweep name}"
+  shift 2
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
@@ -30,7 +45,11 @@ cleanup() {
 trap cleanup EXIT
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build_dir" --target bench_assign_kernel bench_sim_scenarios -j >/dev/null
+if [[ -n "$only" ]]; then
+  cmake --build "$build_dir" --target bench_sim_scenarios -j >/dev/null
+else
+  cmake --build "$build_dir" --target bench_assign_kernel bench_sim_scenarios -j >/dev/null
+fi
 
 # Provenance block stamped into both JSONs (the bench emits it as a
 # top-level "provenance" object): enough to answer "which commit,
@@ -80,6 +99,99 @@ run_bench() {
   mv "$tmp" "$target"
   echo "wrote $target"
 }
+
+# --only: re-run one sim sweep and splice its section (plus fresh
+# provenance) into the committed BENCH_sim.json textually — a
+# brace-depth scan, not a parse/re-serialize round trip, so every
+# untouched section keeps its exact bytes.
+if [[ -n "$only" ]]; then
+  sim_json="$repo_root/BENCH_sim.json"
+  if [[ ! -s "$sim_json" ]]; then
+    echo "error: --only splices into an existing $sim_json — run the full bench first" >&2
+    exit 1
+  fi
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "error: --only needs python3 for the section splice" >&2
+    exit 1
+  fi
+  frag="$(mktemp "$sim_json.XXXXXX")"
+  tmp_files+=("$frag")
+  # The bench validates the sweep name itself (exit 2 listing the
+  # sections), so a typo fails here before anything is touched.
+  "$build_dir/bench_sim_scenarios" --json "$frag" --only "$only" "${meta_args[@]}"
+  [[ -s "$frag" ]] || { echo "error: bench_sim_scenarios wrote no JSON" >&2; exit 1; }
+  spliced="$(mktemp "$sim_json.XXXXXX")"
+  tmp_files+=("$spliced")
+  python3 - "$frag" "$sim_json" "$only" > "$spliced" <<'PYEOF'
+import sys
+
+frag_path, target_path, name = sys.argv[1], sys.argv[2], sys.argv[3]
+frag = open(frag_path).read()
+target = open(target_path).read()
+
+
+def extract(txt, key):
+    """Span of the two-space-indented `"key": <value>` member, where
+    <value> is a {...} or [...] scanned to its matching close (string-
+    aware, so a brace inside a scenario spec cannot derail it)."""
+    anchor = '\n  "%s":' % key
+    i = txt.find(anchor)
+    if i < 0:
+        return None
+    start = i + 1  # first char of the member line
+    p = i + len(anchor)
+    while txt[p] in ' \t':
+        p += 1
+    open_ch = txt[p]
+    close_ch = {'[': ']', '{': '}'}[open_ch]
+    depth = 0
+    in_str = False
+    while True:
+        c = txt[p]
+        if in_str:
+            if c == '\\':
+                p += 2
+                continue
+            if c == '"':
+                in_str = False
+        elif c == '"':
+            in_str = True
+        elif c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return txt[start:p + 1], start, p + 1
+        p += 1
+
+
+frag_sec = extract(frag, name)
+if frag_sec is None:
+    sys.exit("splice: fragment JSON has no section '%s'" % name)
+old_sec = extract(target, name)
+if old_sec is not None:
+    target = target[:old_sec[1]] + frag_sec[0] + target[old_sec[2]:]
+else:
+    # First run of a newly added sweep: append it after the last
+    # section, just inside the closing brace.
+    end = target.rfind('\n}')
+    if end < 0:
+        sys.exit("splice: %s does not end in a closing brace" % target_path)
+    target = target[:end] + ',\n' + frag_sec[0] + target[end:]
+frag_prov = extract(frag, 'provenance')
+old_prov = extract(target, 'provenance')
+if frag_prov is not None and old_prov is not None:
+    target = target[:old_prov[1]] + frag_prov[0] + target[old_prov[2]:]
+sys.stdout.write(target)
+PYEOF
+  if ! python3 -m json.tool "$spliced" >/dev/null 2>&1; then
+    echo "error: splice produced invalid JSON — $sim_json left untouched" >&2
+    exit 1
+  fi
+  mv "$spliced" "$sim_json"
+  echo "wrote $sim_json (spliced $only)"
+  exit 0
+fi
 
 # The sim bench's scenario strings are constants compiled into the
 # bench itself and already emitted as each sweep's "scenario" field, so
