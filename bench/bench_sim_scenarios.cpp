@@ -10,7 +10,11 @@
 // stragglers, run with phase-overlap scheduling off vs on, tracing the
 // server time-to-model the expiry-NAK commit rule buys (event logging
 // off: a sweep of lossy multi-round runs has no use for full traces in
-// memory) — and a churn sweep: two sites behind an 8 kbps trace link
+// memory) — and a pipeline sweep: the same straggler shape run with
+// cross-round pipelining off vs on, tracing how close predicted-arrival
+// NAKs plus committed-barrier round edges push server completion to the
+// per-run critical-path lower bound (`server_critical_path_seconds`,
+// also emitted for every overlap cell) — and a churn sweep: two sites behind an 8 kbps trace link
 // under (deadline × churn-rate) pressure, run with fixed vs adaptive
 // per-frame quantization, tracing the misses-vs-accuracy trade of
 // graceful degradation — and a fleet scale sweep: fault-free fleets
@@ -31,12 +35,15 @@
 //
 // Usage: bench_sim_scenarios [--n N] [--d D] [--k K] [--sources M]
 //                            [--seed S] [--json PATH] [--only SECTION]
-//                            [--meta key=value ...]
+//                            [--list] [--meta key=value ...]
 //                            [--trace-out FILE] [--metrics-out FILE]
 // --meta pairs land verbatim in a top-level "provenance" object
 // (tools/run_bench.sh stamps git SHA, compiler, flags, EKM_THREADS).
+// --list prints the splice-able section names, one per line, and exits
+// (the single source of truth tools/run_bench.sh --list defers to).
 // --only runs a single sweep section (cells | deadline_sweep |
-// realloc_sweep | overlap_sweep | churn_sweep | fleet_scale_sweep) and
+// realloc_sweep | overlap_sweep | pipeline_sweep | churn_sweep |
+// fleet_scale_sweep) and
 // emits a JSON holding just that section — still valid JSON with the
 // full header/provenance, so tools/run_bench.sh can splice it into an
 // existing BENCH_sim.json without re-running the other sweeps. Every
@@ -83,6 +90,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path, metrics_path;
   std::string only;  // empty: run every section
+  bool list_sections = false;
   bench::MetaPairs meta;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](std::size_t& out) {
@@ -98,6 +106,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc)
       only = argv[++i];
+    else if (std::strcmp(argv[i], "--list") == 0)
+      list_sections = true;
     else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
       trace_path = argv[++i];
     else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
@@ -107,8 +117,12 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<std::string> kSections = {
-      "cells",         "deadline_sweep", "realloc_sweep",
-      "overlap_sweep", "churn_sweep",    "fleet_scale_sweep"};
+      "cells",          "deadline_sweep", "realloc_sweep",   "overlap_sweep",
+      "pipeline_sweep", "churn_sweep",    "fleet_scale_sweep"};
+  if (list_sections) {
+    for (const std::string& s : kSections) std::printf("%s\n", s.c_str());
+    return 0;
+  }
   if (!only.empty() &&
       std::find(kSections.begin(), kSections.end(), only) == kSections.end()) {
     std::fprintf(stderr, "unknown --only section '%s' (expected one of:",
@@ -354,9 +368,9 @@ int main(int argc, char** argv) {
   if (selected("overlap_sweep")) {
   std::printf("\noverlap sweep  scenario=wifi+2kbps-stragglers,deadline=3 "
               "pipeline=BKLW\n");
-  std::printf("%-6s %-8s %14s %14s %12s %9s %7s %10s\n", "slow", "overlap",
-              "server_done_s", "completion_s", "energy_J", "misses", "suppl",
-              "cost_ratio");
+  std::printf("%-6s %-8s %14s %12s %14s %12s %9s %7s %10s\n", "slow",
+              "overlap", "server_done_s", "cp_bound_s", "completion_s",
+              "energy_J", "misses", "suppl", "cost_ratio");
   for (std::size_t slow = 0; slow <= 2; ++slow) {
     for (int overlap_on = 0; overlap_on <= 1; ++overlap_on) {
       std::string spec = kOverlapBase;
@@ -382,9 +396,10 @@ int main(int argc, char** argv) {
         ocells.push_back(std::move(cell));
         continue;
       }
-      std::printf("%-6zu %-8s %14.4f %14.4f %12.4e %9llu %7llu %10.4f\n", slow,
-                  overlap_on ? "on" : "off",
+      std::printf("%-6zu %-8s %14.4f %12.4f %14.4f %12.4e %9llu %7llu %10.4f\n",
+                  slow, overlap_on ? "on" : "off",
                   cell.report.server_completion_seconds,
+                  cell.report.server_critical_path_seconds,
                   cell.report.completion_seconds, cell.report.energy_joules,
                   static_cast<unsigned long long>(cell.report.deadline_misses),
                   static_cast<unsigned long long>(
@@ -394,6 +409,72 @@ int main(int argc, char** argv) {
     }
   }
   }  // selected("overlap_sweep")
+
+  // --- pipeline sweep: cross-round pipelining vs lock-step rounds on
+  // the overlap sweep's straggler shape. The give-up stragglers' frames
+  // expire at compute-ready time without keying the radio, so centers,
+  // ledgers, and energy are identical pipelined or not; what pipelining
+  // changes is when the server *learns*: predicted-arrival NAKs prove
+  // the miss at scheduled-send time and round r+1's task graph hangs
+  // off round r's committed barrier instead of its cutoff. The column
+  // to watch is server_completion_seconds against
+  // server_critical_path_seconds — the per-run lower bound (server
+  // compute + downlink sends + consumed uplink arrivals only); the
+  // pipelined rows should close most of the gap the unpipelined rows
+  // leave. The 0-straggler rows are the control: the fleet is
+  // fault-free there, so pipelining must change nothing at all.
+  struct PipelineCell {
+    std::size_t slow_sites = 0;
+    bool pipelined = false;
+    SimReport report;
+    double cost_ratio = 0.0;
+    bool feasible = true;
+  };
+  constexpr const char* kPipelineBase =
+      "radio=wifi,sps=1e-4,deadline=3,retry=giveup,event-log=off";
+  std::vector<PipelineCell> pcells;
+  if (selected("pipeline_sweep")) {
+  std::printf("\npipeline sweep  scenario=wifi+2kbps-stragglers,deadline=3 "
+              "pipeline=BKLW\n");
+  std::printf("%-6s %-9s %14s %12s %14s %12s %9s %10s\n", "slow", "pipeline",
+              "server_done_s", "cp_bound_s", "completion_s", "energy_J",
+              "misses", "cost_ratio");
+  for (std::size_t slow = 0; slow <= 2; ++slow) {
+    for (int pipeline_on = 0; pipeline_on <= 1; ++pipeline_on) {
+      std::string spec = kPipelineBase;
+      for (std::size_t j = 0; j < slow; ++j) {
+        spec += ",site" + std::to_string(j) + ".bandwidth=2000";
+      }
+      spec += std::string(",pipeline=") + (pipeline_on ? "on" : "off");
+      spec += ",seed=" + std::to_string(seed);
+      const Coordinator coord(parse_scenario(spec));
+      PipelineCell cell;
+      cell.slow_sites = slow;
+      cell.pipelined = pipeline_on != 0;
+      try {
+        cell.report = coord.run(PipelineKind::kBklw, parts, cfg);
+        cell.cost_ratio =
+            kmeans_cost(data, cell.report.result.centers) / nr_cost;
+      } catch (const invariant_error&) {
+        cell.feasible = false;
+      }
+      if (!cell.feasible) {
+        std::printf("%-6zu %-9s %14s\n", slow, pipeline_on ? "on" : "off",
+                    "infeasible");
+        pcells.push_back(std::move(cell));
+        continue;
+      }
+      std::printf("%-6zu %-9s %14.4f %12.4f %14.4f %12.4e %9llu %10.4f\n",
+                  slow, pipeline_on ? "on" : "off",
+                  cell.report.server_completion_seconds,
+                  cell.report.server_critical_path_seconds,
+                  cell.report.completion_seconds, cell.report.energy_joules,
+                  static_cast<unsigned long long>(cell.report.deadline_misses),
+                  cell.cost_ratio);
+      pcells.push_back(std::move(cell));
+    }
+  }
+  }  // selected("pipeline_sweep")
 
   // --- churn sweep: graceful degradation under deadline pressure. Two
   // of the eight sites ride an 8 kbps trace link, so their full-width
@@ -716,6 +797,7 @@ int main(int argc, char** argv) {
           f,
           "      {\"slow_sites\": %zu, \"overlap\": %s, \"feasible\": true,\n"
           "       \"server_completion_seconds\": %.17g,\n"
+          "       \"server_critical_path_seconds\": %.17g,\n"
           "       \"completion_seconds\": %.17g,\n"
           "       \"energy_joules\": %.17g,\n"
           "       \"deadline_misses\": %llu, \"supplemental_misses\": %llu,\n"
@@ -723,7 +805,8 @@ int main(int argc, char** argv) {
           "       \"rounds\": %llu, \"events\": %zu,\n"
           "       \"cost_ratio_vs_nr\": %.17g}%s\n",
           c.slow_sites, c.overlap ? "true" : "false",
-          c.report.server_completion_seconds, c.report.completion_seconds,
+          c.report.server_completion_seconds,
+          c.report.server_critical_path_seconds, c.report.completion_seconds,
           c.report.energy_joules,
           static_cast<unsigned long long>(c.report.deadline_misses),
           static_cast<unsigned long long>(c.report.supplemental_misses),
@@ -735,6 +818,46 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "    ]\n  }");
     }  // selected("overlap_sweep")
+    if (selected("pipeline_sweep")) {
+    std::fprintf(f,
+                 ",\n"
+                 "  \"pipeline_sweep\": {\n"
+                 "    \"scenario\": \"%s\",\n"
+                 "    \"pipeline\": \"bklw\",\n"
+                 "    \"straggler_bandwidth_bps\": 2000,\n"
+                 "    \"cells\": [\n",
+                 kPipelineBase);
+    for (std::size_t i = 0; i < pcells.size(); ++i) {
+      const PipelineCell& c = pcells[i];
+      if (!c.feasible) {
+        std::fprintf(f,
+                     "      {\"slow_sites\": %zu, \"pipelined\": %s,"
+                     " \"feasible\": false}%s\n",
+                     c.slow_sites, c.pipelined ? "true" : "false",
+                     i + 1 < pcells.size() ? "," : "");
+        continue;
+      }
+      std::fprintf(
+          f,
+          "      {\"slow_sites\": %zu, \"pipelined\": %s, \"feasible\": true,\n"
+          "       \"server_completion_seconds\": %.17g,\n"
+          "       \"server_critical_path_seconds\": %.17g,\n"
+          "       \"completion_seconds\": %.17g,\n"
+          "       \"energy_joules\": %.17g,\n"
+          "       \"deadline_misses\": %llu, \"sites_dropped\": %llu,\n"
+          "       \"rounds\": %llu,\n"
+          "       \"cost_ratio_vs_nr\": %.17g}%s\n",
+          c.slow_sites, c.pipelined ? "true" : "false",
+          c.report.server_completion_seconds,
+          c.report.server_critical_path_seconds, c.report.completion_seconds,
+          c.report.energy_joules,
+          static_cast<unsigned long long>(c.report.deadline_misses),
+          static_cast<unsigned long long>(c.report.sites_dropped),
+          static_cast<unsigned long long>(c.report.rounds),
+          c.cost_ratio, i + 1 < pcells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }");
+    }  // selected("pipeline_sweep")
     if (selected("churn_sweep")) {
     std::fprintf(f,
                  ",\n"

@@ -73,7 +73,7 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
     // Each refine iteration is one deadline-driven collection round:
     // stragglers' sufficient statistics are left out, and the center
     // update divides by the responding mass only (FedAvg-style).
-    const double deadline = net.open_round(cfg.round_deadline_s);
+    const RoundId round = net.open_round(cfg.round_deadline_s);
     Matrix sums(k, d);
     std::vector<double> mass(k, 0.0);
     std::vector<char> sent(parts.size(), 0);
@@ -81,7 +81,7 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
       Matrix stats(k, d + 1);  // row c: [weighted sum | weighted count]
       {
         auto scope = device_work.measure();
-        auto pushed_frame = net.downlink(i).receive_by(kNoDeadline);
+        auto pushed_frame = net.downlink(i).receive_by(kNoRound);
         if (!pushed_frame.has_value()) continue;  // lost the broadcast
         if (!parts[i].empty()) {
           const Matrix pushed = decode_matrix(*pushed_frame);
@@ -105,7 +105,7 @@ Matrix refine_distributed(Matrix centers, std::span<const Dataset> parts,
     std::size_t responders = 0;
     for (std::size_t i = 0; i < parts.size(); ++i) {
       if (!sent[i]) continue;
-      auto frame = net.uplink(i).receive_by(deadline);
+      auto frame = net.uplink(i).receive_by(round);
       if (!frame.has_value()) continue;
       responders += 1;
       const Matrix stats = decode_matrix(*frame);
@@ -338,7 +338,7 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
 
   switch (kind) {
     case PipelineKind::kNoReduction: {
-      const double deadline = net.open_round(cfg.round_deadline_s);
+      const RoundId round = net.open_round(cfg.round_deadline_s);
       for (std::size_t i = 0; i < parts.size(); ++i) {
         Matrix payload = parts[i].points();
         if (cfg.significant_bits < kDoubleSignificandBits) {
@@ -352,7 +352,7 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       Matrix all;
       std::size_t responders = 0;
       for (std::size_t i = 0; i < parts.size(); ++i) {
-        auto frame = net.uplink(i).receive_by(deadline);
+        auto frame = net.uplink(i).receive_by(round);
         if (!frame.has_value()) continue;
         responders += 1;
         Matrix part = decode_matrix(*frame);
@@ -386,6 +386,7 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       opts.min_responders = cfg.min_round_responders;
       opts.reallocate = cfg.reallocate_budget;
       opts.realloc_reserve = cfg.realloc_reserve;
+      opts.pipeline = cfg.pipeline_rounds;
       Coreset cs = bklw_coreset(parts, opts, net, device_work, cfg.seed);
       // QT on the server-held coreset is a no-op for communication (the
       // billing happened inside disSS); the points were quantized by each
@@ -433,6 +434,7 @@ PipelineResult run_distributed_pipeline(PipelineKind kind,
       opts.min_responders = cfg.min_round_responders;
       opts.reallocate = cfg.reallocate_budget;
       opts.realloc_reserve = cfg.realloc_reserve;
+      opts.pipeline = cfg.pipeline_rounds;
       Coreset cs = bklw_coreset(projected, opts, net, device_work, cfg.seed);
       if (cfg.significant_bits < kDoubleSignificandBits) {
         quantize_points(cs, cfg.significant_bits);

@@ -114,6 +114,20 @@ struct PipelineConfig {
   /// overlap). Default off = PR 4's wait-out-the-round timing.
   bool overlap_phases = false;
 
+  /// Cross-round pipelining (RoundPolicy::pipeline; scenario key
+  /// `pipeline=`, CLI `--pipeline`). Two coupled changes: the task
+  /// graphs let round r+1 depend only on round r's *committed* merge
+  /// barrier (instead of every collect of round r), and the SimNetwork
+  /// fires sender-side predicted-arrival NAKs so that barrier commits
+  /// the moment each straggler's miss is provable — round r+1's
+  /// broadcast then rides the fabric while round r's stragglers
+  /// resolve, tracked per round in SimNetwork's RoundContext table.
+  /// Barriers never speculate, so fault-free and infinite-deadline
+  /// runs stay bitwise identical with this on or off; straggler fleets
+  /// keep identical centers/ledgers/energy with strictly earlier
+  /// server completion. Default off = PR 8's round-serial timing.
+  bool pipeline_rounds = false;
+
   /// Optional flight recorder (src/obs/; non-owning, may be null = the
   /// default). The Coordinator attaches it to the SimNetwork it builds,
   /// from where the phase scheduler, the simulator, and adaptive

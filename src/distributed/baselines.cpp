@@ -59,7 +59,7 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
   // samples; the server keeps k of them at random. Like every
   // collection round here, it is deadline-bounded: late candidates are
   // simply not in the draw.
-  const double seed_deadline = net.open_round(opts.round_deadline_s);
+  const RoundId seed_round = net.open_round(opts.round_deadline_s);
   Matrix candidates;
   for (std::size_t i = 0; i < parts.size(); ++i) {
     Matrix local(0, d);
@@ -79,7 +79,7 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
   }
   std::size_t seed_responders = 0;
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    auto frame = net.uplink(i).receive_by(seed_deadline);
+    auto frame = net.uplink(i).receive_by(seed_round);
     if (!frame.has_value()) continue;
     seed_responders += 1;
     const Matrix local = decode_matrix(*frame);
@@ -108,7 +108,7 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
     for (std::size_t i = 0; i < parts.size(); ++i) {
       net.downlink(i).send(encode_matrix(centers));
     }
-    const double deadline = net.open_round(opts.round_deadline_s);
+    const RoundId rid = net.open_round(opts.round_deadline_s);
     Matrix sums(k, d);
     std::vector<double> mass(k, 0.0);
     double round_cost = 0.0;
@@ -117,7 +117,7 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
       Matrix stats(k, d + 2);
       {
         auto scope = device_work.measure();
-        auto pushed_frame = net.downlink(i).receive_by(kNoDeadline);
+        auto pushed_frame = net.downlink(i).receive_by(kNoRound);
         if (!pushed_frame.has_value()) continue;  // lost the broadcast
         const Matrix pushed = decode_matrix(*pushed_frame);
         if (!parts[i].empty()) stats = local_stats(parts[i], pushed);
@@ -131,7 +131,7 @@ DistributedBaselineResult distributed_lloyd(std::span<const Dataset> parts,
     std::size_t responders = 0;
     for (std::size_t i = 0; i < parts.size(); ++i) {
       if (!sent[i]) continue;
-      auto frame = net.uplink(i).receive_by(deadline);
+      auto frame = net.uplink(i).receive_by(rid);
       if (!frame.has_value()) continue;
       responders += 1;
       const Matrix stats = decode_matrix(*frame);
@@ -177,7 +177,7 @@ DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
   EKM_EXPECTS_MSG(d > 0, "all sources empty");
 
   // Map: local k-means; uplink k centers + k cluster masses.
-  const double deadline = net.open_round(opts.round_deadline_s);
+  const RoundId round = net.open_round(opts.round_deadline_s);
   for (std::size_t i = 0; i < parts.size(); ++i) {
     Matrix payload(0, d + 1);
     if (!parts[i].empty()) {
@@ -208,7 +208,7 @@ DistributedBaselineResult mapreduce_kmeans(std::span<const Dataset> parts,
   std::vector<double> all_mass;
   std::size_t responders = 0;
   for (std::size_t i = 0; i < parts.size(); ++i) {
-    auto frame = net.uplink(i).receive_by(deadline);
+    auto frame = net.uplink(i).receive_by(round);
     if (!frame.has_value()) continue;
     responders += 1;
     const Matrix payload = decode_matrix(*frame);
@@ -276,8 +276,8 @@ DistributedBaselineResult gossip_kmeans(std::span<const Dataset> parts,
         // skipped — gossip tolerates lost rounds by construction.
         net.uplink(i).send(encode_matrix(local_centers[i]));
         net.uplink(j).send(encode_matrix(local_centers[j]));
-        auto mine_frame = net.uplink(i).receive_by(kNoDeadline);
-        auto theirs_frame = net.uplink(j).receive_by(kNoDeadline);
+        auto mine_frame = net.uplink(i).receive_by(kNoRound);
+        auto theirs_frame = net.uplink(j).receive_by(kNoRound);
         if (!mine_frame.has_value() || !theirs_frame.has_value()) continue;
         const Matrix mine = decode_matrix(*mine_frame);
         const Matrix theirs = decode_matrix(*theirs_frame);

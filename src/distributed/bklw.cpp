@@ -56,7 +56,7 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
                          // broadcast: a frame left queued would alias
                          // the next downlink read on this link (disSS's
                          // allocation, or a refine round's centers).
-                         (void)net.downlink(i).receive_by(kNoDeadline);
+                         (void)net.downlink(i).receive_by(kNoRound);
                        },
                        {}});
       continue;
@@ -69,7 +69,7 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
            // project; it enters disSS as an empty source (transmitting
            // only the empty-summary sentinel) instead of wedging the
            // protocol.
-           auto basis_frame = net.downlink(i).receive_by(kNoDeadline);
+           auto basis_frame = net.downlink(i).receive_by(kNoRound);
            if (!basis_frame.has_value()) return;
            const Matrix v = decode_matrix(*basis_frame);
            Matrix coords = matmul(parts[i].points(), v);
@@ -95,6 +95,7 @@ Coreset bklw_coreset(std::span<const Dataset> parts, const BklwOptions& opts,
   sopts.min_responders = opts.min_responders;
   sopts.reallocate = opts.reallocate;
   sopts.realloc_reserve = opts.realloc_reserve;
+  sopts.pipeline = opts.pipeline;
   Coreset coreset = disss(projected, sopts, net, device_work, seed);
 
   coreset.delta = 0.0;

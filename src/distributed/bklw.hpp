@@ -45,6 +45,10 @@ struct BklwOptions {
   /// Forwarded to DisSsOptions::realloc_reserve (0 = no first-wave
   /// sub-deadline; finite-deadline rounds then skip the wave).
   double realloc_reserve = 0.0;
+  /// Forwarded to DisSsOptions::pipeline: cross-round task-graph edges
+  /// (disSS's summary round opens on the cost round's committed
+  /// barrier instead of its broadcasts).
+  bool pipeline = false;
 };
 
 /// Runs the BKLW coreset construction over `parts` through `net`. The

@@ -52,7 +52,9 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
   // Shared round state, written by the tasks below in dependency order.
   // (Everything a task lambda captures must live here, at function
   // scope — the graph runs long after any inner block has closed.)
-  double deadline = kNoDeadline;
+  RoundId round = kNoRound;
+  double deadline = kNoDeadline;  ///< the round's cutoff, for schedule
+                                  ///< arithmetic (level-0 hop deadlines)
   std::vector<Matrix> sigma(m);  // 1 x t1 each
   std::vector<Matrix> v(m);      // d x t1 each
   Matrix y;                      // (Σ_responders t1_i) x d
@@ -67,7 +69,10 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
   // cancel retransmissions that would outlive the deadline.
   const TaskId open = graph.add(
       {TaskKind::kBarrier, kServerActor, "disPCA/open-round",
-       [&] { deadline = net.open_round(opts.round_deadline_s); },
+       [&] {
+         round = net.open_round(opts.round_deadline_s);
+         deadline = net.round_cutoff(round);
+       },
        {}});
 
   // --- data sources: local SVD, uplink (Σ^(t1), V^(t1)). ---
@@ -119,7 +124,7 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
              // The Σ/V pair is one summary: both frames are consumed
              // either way, and a half-arrived pair is one site miss —
              // never half-aggregated (receive_frames_by).
-             auto frames = receive_frames_by(net.uplink(i), 2, deadline);
+             auto frames = receive_frames_by(net.uplink(i), 2, round);
              if (!frames.has_value()) return;
              responders += 1;
              const Matrix sigma_row = decode_matrix((*frames)[0]);
@@ -147,9 +152,12 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
         child_collects.push_back(graph.add(
             {TaskKind::kCollect, actor, "disPCA/gw-collect",
              [&, g, c] {
+               // The level-0 hop deadline caps the round's cutoff: the
+               // child's frame is still round-scoped (the aliasing
+               // guard), just due earlier at the gateway.
                const double cutoff =
                    topo->level0_deadline(deadline, opts.round_deadline_s);
-               auto frames = receive_frames_by(net.uplink(c), 2, cutoff);
+               auto frames = receive_frames_by(net.uplink(c), 2, round, cutoff);
                if (!frames.has_value()) return;
                responders_gw[g] += 1;
                const Matrix sigma_row = decode_matrix((*frames)[0]);
@@ -179,7 +187,7 @@ DisPcaResult dispca(std::span<const Dataset> parts, const DisPcaOptions& opts,
           {TaskKind::kCollect, kServerActor, "disPCA/collect-gateway",
            [&, g] {
              auto frames =
-                 receive_frames_by(net.uplink(topo->sites + g), 2, deadline);
+                 receive_frames_by(net.uplink(topo->sites + g), 2, round);
              if (!frames.has_value()) return;
              responders += static_cast<std::size_t>(
                  std::llround(decode_scalar((*frames)[0])));

@@ -175,6 +175,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   const std::size_t m = parts.size();
 
   // Shared protocol state, written by the tasks in dependency order.
+  RoundId cost_round = kNoRound;
   double cost_deadline = kNoDeadline;
   std::vector<Matrix> local_centers(m);
   std::vector<double> local_cost(m, 0.0);
@@ -182,6 +183,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   double total_cost = 0.0;
   std::size_t cost_responders = 0;
   std::vector<std::size_t> alloc(m, 0);
+  RoundId summary_round = kNoRound;
   double summary_deadline = kNoDeadline;
   double wave1_deadline = kNoDeadline;
   std::vector<SiteSample> samples(m);
@@ -213,7 +215,10 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   // --- step 1: local bicriteria solutions, uplink local costs. ---
   const TaskId cost_open = graph.add(
       {TaskKind::kBarrier, kServerActor, "disSS/open-cost-round",
-       [&] { cost_deadline = net.open_round(opts.round_deadline_s); },
+       [&] {
+         cost_round = net.open_round(opts.round_deadline_s);
+         cost_deadline = net.round_cutoff(cost_round);
+       },
        {}});
   std::vector<TaskId> cost_uplinks(m);
   for (std::size_t i = 0; i < m; ++i) {
@@ -253,7 +258,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
       cost_collects[i] = graph.add(
           {TaskKind::kCollect, kServerActor, "disSS/collect-cost",
            [&, i] {
-             auto frames = receive_frames_by(net.uplink(i), 1, cost_deadline);
+             auto frames = receive_frames_by(net.uplink(i), 1, cost_round);
              if (!frames.has_value()) return;
              in_round[i] = 1;
              cost_responders += 1;
@@ -279,7 +284,8 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
              [&, g, c] {
                const double cutoff =
                    topo->level0_deadline(cost_deadline, opts.round_deadline_s);
-               auto frames = receive_frames_by(net.uplink(c), 1, cutoff);
+               auto frames = receive_frames_by(net.uplink(c), 1, cost_round,
+                                               cutoff);
                if (!frames.has_value()) return;
                gw_cost[g].emplace_back(c, decode_scalar((*frames)[0]));
              },
@@ -308,7 +314,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
           {TaskKind::kCollect, kServerActor, "disSS/collect-cost-gateway",
            [&, g] {
              auto frames = receive_frames_by(net.uplink(topo->sites + g), 1,
-                                             cost_deadline);
+                                             cost_round);
              if (!frames.has_value()) return;
              const Matrix rows = decode_matrix((*frames)[0]);
              for (std::size_t r = 0; r < rows.rows(); ++r) {
@@ -349,10 +355,23 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
   }
 
   // --- step 3: sources sample ∝ cost({p}, X_i), uplink S_i ∪ X_i. ---
+  // Cross-round pipelining: with `pipeline=on` the summary round's open
+  // barrier depends only on the cost round's *committed* budget-split
+  // barrier, not on the allocation broadcasts — the summary round's
+  // handle is minted (and its cutoff anchored) while the allocation
+  // frames still ride the fabric, and each site's sample task waits on
+  // the open barrier plus its OWN allocation broadcast only. Off keeps
+  // PR 8's serial edges. Either way the tasks are created in the same
+  // program order, so the creation-order replay — and with it every
+  // draw, ledger, and clock — is identical; the edges declare the true
+  // dataflow for any topological executor.
+  const std::vector<TaskId> summary_open_deps =
+      opts.pipeline ? std::vector<TaskId>{budget_split} : alloc_broadcasts;
   const TaskId summary_open = graph.add(
       {TaskKind::kBarrier, kServerActor, "disSS/open-summary-round",
        [&] {
-         summary_deadline = net.open_round(opts.round_deadline_s);
+         summary_round = net.open_round(opts.round_deadline_s);
+         summary_deadline = net.round_cutoff(summary_round);
          // The server only learns who missed a finite round when the
          // collection deadline passes, so a wave opened at the round
          // cutoff itself could never deliver. Reallocation under a
@@ -371,9 +390,12 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
                  ? summary_deadline - opts.realloc_reserve * opts.round_deadline_s
                  : summary_deadline;
        },
-       alloc_broadcasts});
+       summary_open_deps});
   std::vector<TaskId> summary_uplinks(m);
   for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<TaskId> sample_deps =
+        opts.pipeline ? std::vector<TaskId>{summary_open, alloc_broadcasts[i]}
+                      : std::vector<TaskId>{summary_open};
     summary_uplinks[i] = graph.add(
         {TaskKind::kCompute, i, "disSS/sample+uplink",
          [&, i] {
@@ -382,14 +404,14 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
              // moot — leaving it queued would alias the next downlink
              // read on this link (e.g. a refine round's pushed
              // centers).
-             (void)net.downlink(i).receive_by(kNoDeadline);
+             (void)net.downlink(i).receive_by(kNoRound);
              net.uplink(i).send(encode_coreset(Coreset{}, opts.significant_bits));
              sent[i] = 1;
              return;
            }
            // A NAK'd source — or one whose allocation frame expired on
            // the downlink — sits this round out and transmits nothing.
-           auto alloc_frame = net.downlink(i).receive_by(kNoDeadline);
+           auto alloc_frame = net.downlink(i).receive_by(kNoRound);
            const double si_signed =
                alloc_frame.has_value() ? decode_scalar(*alloc_frame) : -1.0;
            if (si_signed < 0.0) return;
@@ -452,7 +474,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
            // O(n) per site through the rest of the round.
            if (!realloc_armed) samples[i] = SiteSample{};
          },
-         {summary_open}});
+         sample_deps});
   }
 
   // --- step 4: server unions the local coresets that made the
@@ -468,7 +490,11 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
           {TaskKind::kCollect, kServerActor, "disSS/collect-summary",
            [&, i] {
              if (!sent[i]) return;
-             auto frames = receive_frames_by(net.uplink(i), 1, wave1_deadline);
+             // The first-wave split (wave1_deadline) caps the round's
+             // cutoff when a reallocation reserve is scheduled.
+             auto frames =
+                 receive_frames_by(net.uplink(i), 1, summary_round,
+                                   wave1_deadline);
              if (!frames.has_value()) return;
              got[i] = 1;
              summary_responders += 1;
@@ -498,7 +524,8 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
                if (!sent[c]) return;
                const double cutoff = topo->level0_deadline(
                    summary_deadline, opts.round_deadline_s);
-               auto frames = receive_frames_by(net.uplink(c), 1, cutoff);
+               auto frames = receive_frames_by(net.uplink(c), 1, summary_round,
+                                               cutoff);
                if (!frames.has_value()) return;
                got[c] = 1;
                gw_responders[g] += 1;
@@ -536,7 +563,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
           {TaskKind::kCollect, kServerActor, "disSS/collect-gateway",
            [&, g] {
              auto frames = receive_frames_by(net.uplink(topo->sites + g), 2,
-                                             summary_deadline);
+                                             summary_round);
              if (!frames.has_value()) return;
              summary_responders += static_cast<std::size_t>(
                  std::llround(decode_scalar((*frames)[0])));
@@ -660,7 +687,10 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
          }
          const TaskId wave_open = graph.add(
              {TaskKind::kBarrier, kServerActor, "disSS/open-wave",
-              [&] { wave.deadline = net.open_subround(summary_deadline); },
+              [&] {
+                wave.deadline = net.round_cutoff(
+                    net.open_subround(summary_round, summary_deadline));
+              },
               {summary_barrier}});
          std::vector<TaskId> wave_broadcasts;
          for (std::size_t i = 0; i < m; ++i) {
@@ -682,7 +712,7 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
                 [&, i] {
                   // A receiver that loses the wave broadcast sits the
                   // wave out — its first-wave coreset already stands.
-                  auto wave_frame = net.downlink(i).receive_by(kNoDeadline);
+                  auto wave_frame = net.downlink(i).receive_by(kNoRound);
                   if (!wave_frame.has_value()) return;
                   const auto more =
                       static_cast<std::size_t>(decode_scalar(*wave_frame));
@@ -721,7 +751,8 @@ Coreset disss(std::span<const Dataset> parts, const DisSsOptions& opts,
                 [&, i] {
                   if (!wave.sent[i]) return;
                   auto frames =
-                      receive_frames_by(net.uplink(i), 1, wave.deadline);
+                      receive_frames_by(net.uplink(i), 1, summary_round,
+                                        wave.deadline);
                   if (!frames.has_value()) return;  // first-wave coreset stands
                   Coreset supplement = decode_coreset((*frames)[0]);
                   if (supplement.size() > 0) {

@@ -72,6 +72,15 @@ struct DisSsOptions {
   /// infinite: there the server learns of a miss the moment the
   /// sender gives up, and the wave is unbounded.
   double realloc_reserve = 0.0;
+  /// Cross-round pipelining (RoundPolicy::pipeline): the summary
+  /// round's open barrier depends only on the cost round's *committed*
+  /// budget-split barrier, and each site's sample task on its own
+  /// allocation broadcast — so on a time-aware fabric the summary
+  /// round opens (and its downlink allocations ride) while the cost
+  /// round's stragglers still resolve under their own RoundContext.
+  /// Task creation order is unchanged, so runs that never miss are
+  /// bitwise identical with this on or off.
+  bool pipeline = false;
 };
 
 /// Runs disSS over `parts` through `net`; returns the server-side coreset

@@ -36,8 +36,22 @@ class Recorder;  // src/obs/recorder.hpp — the optional flight recorder
 struct TreeTopology;  // net/topology.hpp — sites → gateways → server
 
 /// Absolute deadline meaning "wait forever" — the paper's synchronous
-/// protocol, and the default for every deadline-aware receive.
+/// protocol, and the default cap for every deadline-aware receive.
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// Handle to one open collection round. Fabric::open_round mints them
+/// (1-based, in open order, on fabrics that track rounds); every
+/// round-scoped receive names the round it collects for, so a
+/// time-aware fabric can keep *per-round* cutoff state — several
+/// rounds' frames can ride the fabric at once without a late straggler
+/// from round r aliasing round r+1's traffic (the simulator asserts
+/// the pairing frame by frame).
+using RoundId = std::uint64_t;
+
+/// "No round": the state before the first open_round, and the id
+/// clock-less fabrics hand back. Its cutoff is kNoDeadline — a receive
+/// scoped to kNoRound waits forever (minus any explicit cap).
+inline constexpr RoundId kNoRound = 0;
 
 /// Availability floor shared by every deadline-driven collection round:
 /// a round that leaves fewer *distinct* responding sites than `floor`
@@ -114,23 +128,36 @@ class Port {
   [[nodiscard]] virtual Message receive() = 0;
   [[nodiscard]] virtual const TrafficLedger& ledger() const = 0;
 
-  /// Deadline-aware receive: hands back the next frame if it is (or
-  /// will be) delivered no later than `deadline` (absolute virtual
-  /// seconds, kNoDeadline = block forever), and nullopt if the frame
-  /// misses — in which case the frame is *consumed* (abandoned): the
-  /// round has moved on and a late arrival must not alias the next
-  /// round's frame. On an instant fabric every pending frame already
-  /// arrived, so a miss only means the peer never sent.
-  [[nodiscard]] virtual std::optional<Message> receive_by(double deadline) {
-    (void)deadline;
+  /// Round-scoped deadline-aware receive: hands back the next frame if
+  /// it is (or will be) delivered no later than round `round`'s cutoff
+  /// — further capped by `deadline_cap` (absolute virtual seconds; the
+  /// tighter of the two applies, e.g. a tree's level-0 cutoff or a
+  /// reallocation wave's first-wave deadline) — and nullopt if the
+  /// frame misses, in which case the frame is *consumed* (abandoned):
+  /// the round has moved on and a late arrival must not alias the next
+  /// round's frame. kNoRound scopes to no round (cutoff kNoDeadline):
+  /// the blocking-receive idiom for downlinks and round-less protocols.
+  /// On an instant fabric every pending frame already arrived, so a
+  /// miss only means the peer never sent. A time-aware fabric asserts
+  /// that the frame consumed was sent under `round` (when not
+  /// kNoRound) — the structural guard against cross-round aliasing.
+  [[nodiscard]] virtual std::optional<Message> receive_by(
+      RoundId round, double deadline_cap = kNoDeadline) {
+    (void)round;
+    (void)deadline_cap;
     if (has_pending()) return receive();
     return std::nullopt;
   }
+  /// The pre-round-handle spelling, deleted so a raw deadline cannot
+  /// silently convert to a RoundId: scope the receive to its round and
+  /// pass any tighter deadline as the cap.
+  std::optional<Message> receive_by(double) = delete;
 };
 
-/// Receives one site's round uplink of `count` frames under a shared
-/// deadline. Every frame is consumed regardless of outcome (a late
-/// frame left queued would alias the next round's traffic on this
+/// Receives one site's round uplink of `count` frames, scoped to
+/// `round` and optionally capped by `deadline_cap` (same semantics as
+/// Port::receive_by). Every frame is consumed regardless of outcome (a
+/// late frame left queued would alias the next round's traffic on this
 /// link); the group is all-or-nothing — if any member misses, nullopt
 /// comes back and the site counts as ONE round miss. This is what
 /// keeps a multi-frame summary (disPCA's Σ/V pair) from being
@@ -139,12 +166,13 @@ class Port {
 /// single-frame collection loops (NR, refine, the baselines,
 /// streaming) still call receive_by directly.
 [[nodiscard]] inline std::optional<std::vector<Message>> receive_frames_by(
-    Port& port, std::size_t count, double deadline) {
+    Port& port, std::size_t count, RoundId round,
+    double deadline_cap = kNoDeadline) {
   std::vector<Message> frames;
   frames.reserve(count);
   bool complete = true;
   for (std::size_t i = 0; i < count; ++i) {
-    auto frame = port.receive_by(deadline);
+    auto frame = port.receive_by(round, deadline_cap);
     if (frame.has_value()) {
       frames.push_back(std::move(*frame));
     } else {
@@ -154,6 +182,11 @@ class Port {
   if (!complete) return std::nullopt;
   return frames;
 }
+
+/// Deleted like Port::receive_by(double): a raw deadline is not a
+/// round handle.
+std::optional<std::vector<Message>> receive_frames_by(Port&, std::size_t,
+                                                      double) = delete;
 
 /// Star topology around one edge server: per-source uplink (counted by
 /// the paper's metric) and downlink (coordination traffic the paper
@@ -166,28 +199,41 @@ class Fabric {
   [[nodiscard]] virtual Port& downlink(std::size_t source) = 0;
 
   /// Opens one deadline-driven collection round (src/sim/round_policy.hpp)
-  /// and returns the absolute deadline the round's receive_by calls
-  /// should pass. A time-aware fabric anchors it at the server's
-  /// current virtual clock and stops uplink retransmissions that would
-  /// start after it; on the idealized synchronous star every frame
-  /// arrives instantly, so the deadline is vacuous and kNoDeadline
-  /// comes back regardless of `deadline_seconds`.
-  virtual double open_round(double deadline_seconds) {
+  /// and returns its handle — what the round's receive_by calls scope
+  /// themselves to, and what round_cutoff() resolves to an absolute
+  /// deadline. A time-aware fabric anchors the cutoff at the server's
+  /// current virtual clock, keeps it as *per-round* state (several
+  /// rounds may be in flight under cross-round pipelining), and stops
+  /// uplink retransmissions that would start after it; on the
+  /// idealized synchronous star every frame arrives instantly, so
+  /// rounds are vacuous and kNoRound comes back regardless of
+  /// `deadline_seconds`.
+  virtual RoundId open_round(double deadline_seconds) {
     (void)deadline_seconds;
+    return kNoRound;
+  }
+
+  /// Absolute cutoff of round `round`: the deadline its receives
+  /// resolve against, kNoDeadline for kNoRound or on fabrics without
+  /// time. Protocols use it to derive schedule values (a wave's
+  /// first-wave deadline, a tree's level-0 split) from the handle.
+  [[nodiscard]] virtual double round_cutoff(RoundId round) const {
+    (void)round;
     return kNoDeadline;
   }
 
-  /// Opens a sub-deadline *inside* the currently open round: a second
-  /// collection wave (e.g. disSS's budget-reallocation wave) that must
-  /// respect the enclosing round's cutoff. `absolute_deadline` is an
-  /// absolute virtual time (typically the value open_round returned);
-  /// a time-aware fabric clamps the open round's cutoff to
-  /// min(current cutoff, absolute_deadline) and returns it, so the
-  /// wave can never outlive its round. On the idealized synchronous
-  /// star every frame already arrived and kNoDeadline comes back.
-  virtual double open_subround(double absolute_deadline) {
+  /// Opens a sub-deadline *inside* round `round`: a second collection
+  /// wave (e.g. disSS's budget-reallocation wave) that must respect
+  /// the enclosing round's cutoff. `absolute_deadline` is an absolute
+  /// virtual time (typically that round's cutoff); a time-aware fabric
+  /// clamps the round's cutoff to min(current cutoff,
+  /// absolute_deadline) — so the wave can never outlive its round —
+  /// and returns the same handle, whose round_cutoff() now reads the
+  /// clamped value. On the idealized synchronous star every frame
+  /// already arrived and the handle passes through untouched.
+  virtual RoundId open_subround(RoundId round, double absolute_deadline) {
     (void)absolute_deadline;
-    return kNoDeadline;
+    return round;
   }
 
   /// Virtual clocks, for schedulers and timelines (src/sched/). The

@@ -46,11 +46,18 @@ class TreeFabric final : public Fabric {
   [[nodiscard]] Port& downlink(std::size_t source) override {
     return inner_->downlink(source);
   }
-  double open_round(double deadline_seconds) override {
+  // Round handles pass through untouched: the inner fabric mints them,
+  // and the gateway merge barriers thread the same RoundId through
+  // their level-0 collects (as a deadline cap on the round's cutoff),
+  // so a tree round is ONE round on the inner network's books.
+  RoundId open_round(double deadline_seconds) override {
     return inner_->open_round(deadline_seconds);
   }
-  double open_subround(double absolute_deadline) override {
-    return inner_->open_subround(absolute_deadline);
+  [[nodiscard]] double round_cutoff(RoundId round) const override {
+    return inner_->round_cutoff(round);
+  }
+  RoundId open_subround(RoundId round, double absolute_deadline) override {
+    return inner_->open_subround(round, absolute_deadline);
   }
   [[nodiscard]] double server_time() const override {
     return inner_->server_time();

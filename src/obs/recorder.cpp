@@ -38,6 +38,10 @@ Recorder::Recorder() {
   id_gateway_fanin_ =
       registry_.histogram("round.gateway_fan_in", {4.0, 16.0, 64.0, 256.0});
   id_queue_high_ = registry_.gauge("sim.queue_high_water");
+  // Registered last (PR order): the server's committed clock when this
+  // round closed — under cross-round pipelining the column that shrinks
+  // while the deadline-miss columns stay put.
+  id_server_commit_ = registry_.gauge("round.server_commit_seconds");
 }
 
 void Recorder::record_span(std::size_t actor, std::string label,
@@ -107,6 +111,9 @@ void Recorder::snapshot_round(const RoundTotals& totals) {
   registry_.add(id_narrowed_, quant_narrowed_round_);
   registry_.set(id_queue_high_,
                 static_cast<double>(totals.queue_high_water));  // cumulative
+  // The round's commit time is the server clock at the snapshot — the
+  // moment the next round opened over the closed one's final inputs.
+  registry_.set(id_server_commit_, totals.server_time_s);
 
   RoundSnapshot snap;
   snap.round = totals.rounds_opened;

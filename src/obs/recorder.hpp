@@ -154,6 +154,7 @@ class Recorder {
   MetricsRegistry::Id id_quant_bits_;
   MetricsRegistry::Id id_gateway_fanin_;
   MetricsRegistry::Id id_queue_high_;
+  MetricsRegistry::Id id_server_commit_;
 
   std::vector<RecordedSpan> spans_;
   std::vector<RecordedEvent> events_;

@@ -6,6 +6,7 @@
 #include "kmeans/lloyd.hpp"
 #include "net/summary_codec.hpp"
 #include "net/tree_fabric.hpp"
+#include "sched/scheduler.hpp"
 
 namespace ekm {
 namespace {
@@ -35,6 +36,7 @@ SimReport make_report(const SimScenario& scenario, std::string pipeline,
   report.result = std::move(result);
   report.completion_seconds = net.finish();
   report.server_completion_seconds = net.server_clock();
+  report.server_critical_path_seconds = net.server_critical_path();
   report.energy_joules = net.energy_joules();
   report.outages = net.total_outages();
   report.uplink_stats = net.total_uplink_stats();
@@ -102,6 +104,9 @@ PipelineConfig apply_round_policy(PipelineConfig cfg,
   // Overlap defaults off on both sides; either side opting in wins
   // (scenario `overlap=` / CLI `--overlap`, or an explicit config).
   cfg.overlap_phases = cfg.overlap_phases || round.overlap;
+  // Pipelining follows the same opt-in rule (scenario `pipeline=` /
+  // CLI `--pipeline`, or an explicit config).
+  cfg.pipeline_rounds = cfg.pipeline_rounds || round.pipeline;
   // Quantization policy defaults to fixed on both sides; the scenario's
   // `quant=` fills the config wherever it still holds the default.
   if (cfg.quant_policy == QuantPolicy::kFixed) {
@@ -163,6 +168,7 @@ SimReport Coordinator::run(PipelineKind kind, std::span<const Dataset> parts,
     SimNetwork net(topo.sites + gateways, inner);
     TreeFabric fabric(net, topo);
     net.set_phase_overlap(effective.overlap_phases);
+    net.set_round_pipelining(effective.pipeline_rounds);
     net.set_recorder(effective.recorder);
     PipelineResult result =
         run_distributed_pipeline(kind, parts, effective, fabric);
@@ -175,6 +181,10 @@ SimReport Coordinator::run(PipelineKind kind, std::span<const Dataset> parts,
   // Coordinator pushes the resolved setting down to the network that
   // the phase scheduler will drive.
   net.set_phase_overlap(effective.overlap_phases);
+  // Predicted-arrival NAKs live on the fabric for the same reason: the
+  // sender's schedule proves a miss long before the cutoff passes, and
+  // only the network sees that schedule.
+  net.set_round_pipelining(effective.pipeline_rounds);
   // The flight recorder (if any) rides the same path: the network owns
   // the attachment point, and the scheduler/protocols reach it through
   // Fabric::recorder(). Null — the default — records nothing.
@@ -217,23 +227,70 @@ SimReport Coordinator::run_streaming(std::span<const Dataset> parts,
   const PipelineConfig effective = apply_round_policy(cfg, scenario_);
   const double deadline_s = effective.round_deadline_s;
   net.set_phase_overlap(effective.overlap_phases);
+  net.set_round_pipelining(effective.pipeline_rounds);
   net.set_recorder(effective.recorder);
   std::vector<Coreset> latest(m);
+  // The rounds form a task graph rather than a loop so the cross-round
+  // dependency is explicit and gateable: unpipelined, round r+1's open
+  // barrier depends on every round-r collect (the PR 8 lock-step
+  // order); pipelined, it depends only on round r's *committed* barrier
+  // — declared structure the creation-order replay does not reorder
+  // (scheduler.hpp), so host-side behavior is bitwise identical either
+  // way and the timing win comes from the fabric's predicted-arrival
+  // NAKs alone. Each round holds its own RoundContext handle: a late
+  // summary expiring under round r's cutoff while round r+1's uplinks
+  // ride the fabric can never be consumed by an r+1 collect
+  // (SimNetwork asserts frame.round against the receiving round).
+  std::vector<RoundId> rids(rounds, kNoRound);
+  TaskGraph graph;
+  std::vector<TaskId> prev_collects;
+  TaskId prev_commit = 0;
   for (std::size_t r = 0; r < rounds; ++r) {
-    const double deadline = net.open_round(deadline_s);
-    for (std::size_t i = 0; i < m; ++i) {
-      (void)stream_round_uplink(streams[i], round_batch(parts[i], r, rounds),
-                                net.uplink(i), cfg.significant_bits);
+    std::vector<TaskId> open_deps;
+    if (r > 0) {
+      open_deps = effective.pipeline_rounds ? std::vector<TaskId>{prev_commit}
+                                            : prev_collects;
     }
+    const TaskId open = graph.add(
+        {TaskKind::kBarrier, kServerActor, "streaming/round-open",
+         [&net, &rids, deadline_s, r] { rids[r] = net.open_round(deadline_s); },
+         std::move(open_deps)});
+    std::vector<TaskId> uplinks;
+    uplinks.reserve(m);
     for (std::size_t i = 0; i < m; ++i) {
-      auto frame = net.uplink(i).receive_by(deadline);
-      if (!frame.has_value()) continue;  // stale summary survives the round
-      Coreset summary = decode_coreset(*frame);
-      if (summary.size() > 0 || latest[i].size() == 0) {
-        latest[i] = std::move(summary);
-      }
+      uplinks.push_back(graph.add(
+          {TaskKind::kUplink, i, "streaming/uplink",
+           [&, r, i] {
+             (void)stream_round_uplink(streams[i],
+                                       round_batch(parts[i], r, rounds),
+                                       net.uplink(i), cfg.significant_bits);
+           },
+           {open}}));
     }
+    std::vector<TaskId> collects;
+    collects.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      collects.push_back(graph.add(
+          {TaskKind::kCollect, kServerActor, "streaming/collect",
+           [&net, &rids, &latest, r, i] {
+             auto frame = net.uplink(i).receive_by(rids[r]);
+             // A stale summary survives the round: the server keeps the
+             // site's previous summary when this round's expired.
+             if (!frame.has_value()) return;
+             Coreset summary = decode_coreset(*frame);
+             if (summary.size() > 0 || latest[i].size() == 0) {
+               latest[i] = std::move(summary);
+             }
+           },
+           {uplinks[i]}}));
+    }
+    // The commit barrier is purely structural (no fabric calls): it is
+    // the "round r is final" join that pipelined round r+1 opens on.
+    prev_commit = graph.add({TaskKind::kBarrier, kServerActor,
+                             "streaming/commit", {}, collects});
+    prev_collects = std::move(collects);
   }
+  PhaseScheduler(net).run(graph);
 
   std::vector<Dataset> pieces;
   for (Coreset& c : latest) {

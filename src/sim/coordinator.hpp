@@ -40,6 +40,14 @@ struct SimReport {
   /// while the dropped sites' own clocks (and thus the quiescence time
   /// above) still run.
   double server_completion_seconds = 0.0;
+  /// Critical-path lower bound on server_completion_seconds: the
+  /// server's clock replayed counting only its own compute, its
+  /// downlink sends, and the arrival times of the uplink frames it
+  /// actually aggregated — never the waiting-to-learn-of-a-miss time
+  /// that cross-round pipelining (RoundPolicy::pipeline) attacks. The
+  /// gap between the two columns is the headroom pipelining can
+  /// reclaim; a pipelined run is judged against this bound.
+  double server_critical_path_seconds = 0.0;
   double energy_joules = 0.0;       ///< summed site radio energy
   std::uint64_t outages = 0;        ///< dropout windows across sites
   LinkStats uplink_stats;           ///< attempts/drops/retx bits/airtime

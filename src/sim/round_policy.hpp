@@ -130,6 +130,25 @@ struct RoundPolicy {
   /// round behavior, bit for bit.
   bool overlap = false;
 
+  /// Cross-round pipelining (scenario key `pipeline=`, CLI
+  /// `--pipeline`): two mechanisms behind one switch. On the fabric,
+  /// sender-side *predicted-arrival* NAKs fire the moment a site's
+  /// scheduled airtime provably overshoots its round's cutoff — at the
+  /// attempt start whose best-case (minimum-jitter) airtime cannot
+  /// finish in time — instead of at abandon time, so merge barriers
+  /// commit as early as the physics allows (strictly no later than the
+  /// `overlap` NAK, and covering delivered-but-late frames overlap
+  /// never sees). In the task graphs, round r+1's tasks depend only on
+  /// round r's *committed* barrier, so the next round's downlink
+  /// broadcast rides the fabric while round r's stragglers resolve
+  /// (per-round RoundContext state in SimNetwork keeps their frames
+  /// from aliasing). Barriers stay committed-only, so fault-free and
+  /// infinite-deadline runs are bitwise identical with this on or off;
+  /// straggler fleets keep identical centers/ledgers/energy with a
+  /// strictly earlier server completion. Off (the default) is PR 8's
+  /// round-serial behavior, bit for bit.
+  bool pipeline = false;
+
   /// True when rounds can actually drop sites.
   [[nodiscard]] bool active() const { return std::isfinite(deadline_s); }
 };

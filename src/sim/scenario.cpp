@@ -383,6 +383,8 @@ void apply_override(SimScenario& s, SeenKeys& seen, const std::string& key,
                     "realloc-reserve must be in [0, 1)");
   } else if (key == "overlap") {
     s.round.overlap = bool_by_name(key, value);
+  } else if (key == "pipeline") {
+    s.round.pipeline = bool_by_name(key, value);
   } else if (key == "event-log") {
     // "off" = keep nothing; N = keep the first N events processed.
     if (value == "off") {

@@ -29,7 +29,7 @@ namespace {
 void SimLink::send(Message msg) { net_->do_send(*this, std::move(msg)); }
 
 Message SimLink::receive() {
-  std::optional<Message> msg = net_->do_receive_by(*this, kNoDeadline);
+  std::optional<Message> msg = net_->do_receive_by(*this, kNoRound, kNoDeadline);
   EKM_ENSURES_MSG(msg.has_value(),
                   "blocking receive on a frame that expired (retry budget or "
                   "round deadline) — deadline-aware protocols must use "
@@ -37,12 +37,14 @@ Message SimLink::receive() {
   return std::move(*msg);
 }
 
-std::optional<Message> SimLink::receive_by(double deadline) {
-  return net_->do_receive_by(*this, deadline);
+std::optional<Message> SimLink::receive_by(RoundId round, double deadline_cap) {
+  return net_->do_receive_by(*this, round, deadline_cap);
 }
 
 SimNetwork::SimNetwork(std::size_t num_sites, const SimScenario& scenario)
-    : scenario_(scenario), overlap_(scenario.round.overlap) {
+    : scenario_(scenario),
+      overlap_(scenario.round.overlap),
+      pipelining_(scenario.round.pipeline) {
   EKM_EXPECTS(num_sites >= 1);
   EKM_EXPECTS(scenario_.radio.bandwidth_bps > 0.0);
   EKM_EXPECTS(scenario_.seconds_per_scalar >= 0.0);
@@ -187,33 +189,48 @@ const Site& SimNetwork::site(std::size_t i) const {
   return sites_[i];
 }
 
-double SimNetwork::open_round(double deadline_seconds) {
+RoundId SimNetwork::open_round(double deadline_seconds) {
   EKM_EXPECTS_MSG(deadline_seconds > 0.0, "round deadline must be > 0");
   // The round now closing gets its metrics snapshot before the new
-  // one's state replaces it. Pure read of existing counters — nothing
-  // about the simulation changes (see set_recorder).
+  // one's context stops being current. Pure read of existing counters —
+  // nothing about the simulation changes (see set_recorder).
   if (recorder_ != nullptr) snapshot_round_to_recorder();
-  round_deadline_ = std::isfinite(deadline_seconds)
-                        ? server_clock_ + deadline_seconds
-                        : kNoDeadline;
-  in_wave_ = false;
+  RoundContext ctx;
+  ctx.cutoff = std::isfinite(deadline_seconds)
+                   ? server_clock_ + deadline_seconds
+                   : kNoDeadline;
+  rounds_.push_back(ctx);
   rounds_opened_ += 1;
-  return round_deadline_;
+  // Handles are 1-based so kNoRound (0) stays the "no round" sentinel;
+  // the context table is indexed by handle - 1 and never shrinks — a
+  // straggler's frame from round r keeps its cutoff resolvable after
+  // round r+1 opened, which is what cross-round pipelining rides on.
+  current_round_ = static_cast<RoundId>(rounds_.size());
+  return current_round_;
 }
 
-double SimNetwork::open_subround(double absolute_deadline) {
+double SimNetwork::round_cutoff(RoundId round) const {
+  if (round == kNoRound) return kNoDeadline;
+  EKM_EXPECTS_MSG(round <= rounds_.size(), "round handle from another fabric");
+  return rounds_[round - 1].cutoff;
+}
+
+RoundId SimNetwork::open_subround(RoundId round, double absolute_deadline) {
   EKM_EXPECTS_MSG(!std::isnan(absolute_deadline),
                   "sub-round deadline must not be NaN");
+  EKM_EXPECTS_MSG(round != kNoRound && round <= rounds_.size(),
+                  "open_subround needs an open round's handle");
+  RoundContext& ctx = rounds_[round - 1];
   // A wave can only tighten the enclosing round's cutoff, never extend
   // it past the round boundary the sites already scheduled around.
-  round_deadline_ = std::min(round_deadline_, absolute_deadline);
-  // Frames from here to the next open_round are wave supplements: a
+  ctx.cutoff = std::min(ctx.cutoff, absolute_deadline);
+  // Frames sent under this round from here on are wave supplements: a
   // miss of one is counted supplemental (the sender's first-wave data
   // still stands), which is what makes deadline_misses decomposable
   // into exact data loss + superseded supplements.
-  in_wave_ = true;
+  ctx.in_wave = true;
   subrounds_opened_ += 1;
-  return round_deadline_;
+  return round;
 }
 
 void SimNetwork::do_send(SimLink& link, Message msg) {
@@ -263,16 +280,22 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
       ready = site.clock_s;
     }
   } else {
-    server_clock_ += static_cast<double>(msg.scalars) *
-                     scenario_.seconds_per_scalar / scenario_.server_speed;
+    const double compute = static_cast<double>(msg.scalars) *
+                           scenario_.seconds_per_scalar / scenario_.server_speed;
+    server_clock_ += compute;
+    cp_server_clock_ += compute;  // producing the broadcast is real work
     ready = server_clock_;
   }
 
   // Round deadlines govern the collection direction only: an uplink
-  // attempt that would start at or after the open round's cutoff is
+  // attempt that would start at or after the sending round's cutoff is
   // never made (the sites know the round schedule and stop wasting the
-  // radio). Downlink broadcasts are not round-bounded.
-  const double cutoff = link.uplink_ ? round_deadline_ : kNoDeadline;
+  // radio). Downlink broadcasts are not round-bounded. The frame is
+  // bound to the round open *now* — under pipelining a later round may
+  // already be open by the time the receiver reaches for this frame,
+  // and the fate decided here stays judged against this cutoff.
+  const RoundId frame_round = link.uplink_ ? current_round_ : kNoRound;
+  const double cutoff = round_cutoff(frame_round);
 
   // --- transmission attempts: serialize on the link, ride the radio,
   // retransmit on loss until delivered, the retry budget is spent, or
@@ -291,6 +314,17 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
   double end = start;  ///< end of the last attempt actually made
   bool delivered = false;
   double abandon_at = start;
+  // Predicted-arrival NAK (round pipelining): the earliest moment the
+  // sender can *prove* this frame will miss its round's cutoff. An
+  // attempt whose best-case airtime (minimum jitter) already overshoots
+  // is proof at that attempt's start — even if the attempt is still
+  // made and even if it delivers (late). Pure arithmetic over values
+  // already computed: no draw, no event, no billing, so runs that never
+  // consult nak_at (fault-free, unbounded rounds, pipelining off) are
+  // bitwise unperturbed.
+  const bool predict_nak =
+      pipelining_ && link.uplink_ && std::isfinite(cutoff);
+  double provable_miss_at = kNoDeadline;
   const double base_airtime =
       bits / radio.bandwidth_bps + radio.per_message_latency_s;
   const auto energy_of = [&](double b) { return b * radio.energy_per_bit_j; };
@@ -324,6 +358,15 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
       attempt_airtime =
           bits / seg->bandwidth_bps + radio.per_message_latency_s;
       attempt_loss = seg->loss_rate;
+    }
+    if (predict_nak && !std::isfinite(provable_miss_at) &&
+        start + attempt_airtime * (1.0 - scenario_.jitter_frac) > cutoff) {
+      // Even the luckiest jitter draw cannot land this attempt before
+      // the cutoff, and any retransmission starts after this attempt
+      // ends — past the cutoff, hence canceled. Miss proven at `start`;
+      // the attempt itself still proceeds (it may deliver late, which
+      // the receiver will discard like before).
+      provable_miss_at = start;
     }
     if (strategy == RetryStrategy::kGiveUp &&
         start + attempt_airtime > cutoff) {
@@ -360,6 +403,7 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
         site.clock_s = std::max(site.clock_s, end);
       } else {
         server_clock_ = std::max(server_clock_, end);
+        cp_server_clock_ = std::max(cp_server_clock_, end);
       }
       delivered = true;
       break;
@@ -395,18 +439,19 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
 
   SimFrame frame;
   frame.msg = std::move(msg);
-  // Only uplink frames sent during the wave are supplements. The tag
-  // must not touch downlink traffic: a *later* protocol phase may
-  // broadcast before it opens its own round (refine pushes centers
-  // first), and in_wave_ only resets at the next open_round — tagging
-  // those broadcasts would smuggle real losses into the supplemental
-  // (loses-nothing) bucket. A lost wave *broadcast* therefore stays in
-  // the conservative upper bound, like any other downlink miss.
-  // (Uplinks rely on the protocol convention that every uplink frame
-  // is sent under the round — or wave — it belongs to, which all of
-  // src/distributed and streaming observe; per-round cutoff state, the
-  // ROADMAP's next scheduler step, would enforce it structurally.)
-  frame.wave = in_wave_ && link.uplink_;
+  // Uplink frames carry the round they were sent under; round-scoped
+  // receives assert the tag matches, which structurally enforces the
+  // convention every protocol in src/distributed and streaming
+  // observes — a late straggler from round r can never be consumed as
+  // round r+1's frame. Downlink traffic stays round-less (kNoRound): a
+  // later protocol phase may broadcast before it opens its own round
+  // (refine pushes centers first), and tagging broadcasts with a stale
+  // round — or its wave flag — would smuggle real losses into the
+  // supplemental (loses-nothing) bucket. A lost wave *broadcast*
+  // therefore stays in the conservative upper bound, like any other
+  // downlink miss.
+  frame.round = frame_round;
+  frame.wave = frame_round != kNoRound && rounds_[frame_round - 1].in_wave;
   if (delivered) {
     frame.arrival = end;
     frame.delivery_seq = link.deliveries_scheduled_++;
@@ -423,19 +468,47 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
       site.clock_s = std::max(site.clock_s, end);
     } else {
       server_clock_ = std::max(server_clock_, end);
+      cp_server_clock_ = std::max(cp_server_clock_, end);
     }
     queue_.push({abandon_at, 0, SimEventType::kExpire, link.site_, link.uplink_,
                  0, frame.msg.wire_bits});
+    // Abandonment is itself proof of the miss (orphan, deadline cancel,
+    // give-up, or a spent retry budget) — it can only tighten the
+    // attempt-level prediction above, never loosen it.
+    if (predict_nak) {
+      provable_miss_at = std::min(provable_miss_at, abandon_at);
+    }
+  }
+  if (std::isfinite(provable_miss_at)) {
+    // The NAK is a control-plane frame: one per-frame latency to reach
+    // the server, no payload airtime, no energy, nothing on any ledger.
+    frame.nak_at = provable_miss_at + radio.per_message_latency_s;
   }
   link.in_flight_.push_back(std::move(frame));
 }
 
-std::optional<Message> SimNetwork::do_receive_by(SimLink& link,
-                                                 double deadline) {
+std::optional<Message> SimNetwork::do_receive_by(SimLink& link, RoundId round,
+                                                 double deadline_cap) {
   EKM_EXPECTS_MSG(!link.in_flight_.empty(),
                   "receive on idle simulated network");
+  // The effective deadline is the round's cutoff *as of now* (a wave
+  // may have tightened it since the frame was sent), further capped by
+  // the caller (tree level-0 collects cap gateway-bound frames at an
+  // earlier hop deadline). kNoRound receives are uncapped unless the
+  // caller says otherwise.
+  const double deadline = std::min(round_cutoff(round), deadline_cap);
   SimFrame frame = std::move(link.in_flight_.front());
   link.in_flight_.pop_front();
+  // Round-scoped uplink receives must consume a frame of that round:
+  // under pipelining, round r+1's collect running while round r's
+  // straggler is still on the air must never swallow the straggler's
+  // frame. FIFO links + the one-outstanding-frame-per-round protocol
+  // convention make this structural; the assert keeps it so.
+  if (round != kNoRound && link.uplink_) {
+    EKM_EXPECTS_MSG(frame.round == round,
+                    "cross-round frame aliasing: round-scoped receive "
+                    "consumed a frame sent under another round");
+  }
   const bool miss = frame.expired || frame.arrival > deadline;
   // Either way the frame is consumed: a miss means the round moved on,
   // and a late delivery must not alias the next round's frame.
@@ -460,6 +533,16 @@ std::optional<Message> SimNetwork::do_receive_by(SimLink& link,
       learn = std::min(
           deadline,
           frame.arrival + sites_[link.site_].radio.per_message_latency_s);
+    }
+    if (pipelining_ && std::isfinite(deadline) && link.uplink_) {
+      // Predicted-arrival NAK (round pipelining): the sender proved the
+      // miss — possibly attempts before abandoning, possibly before a
+      // late delivery the overlap NAK never covers — and the server
+      // learned of it one control-frame latency later. Strictly no
+      // later than the overlap NAK's resolution, often much earlier.
+      // frame.nak_at is kNoDeadline when no miss was provable, making
+      // the clamp a no-op.
+      learn = std::min(learn, frame.nak_at);
     }
     if (!frame.expired) {
       // Delivered, but after the deadline: trace the receiver-side
@@ -489,6 +572,9 @@ std::optional<Message> SimNetwork::do_receive_by(SimLink& link,
   // reader's clock to the arrival time (it may already be later).
   if (link.uplink_) {
     server_clock_ = std::max(server_clock_, frame.arrival);
+    // A consumed arrival is real critical-path work; what the mirror
+    // clock deliberately skips is the miss path's learn wait above.
+    cp_server_clock_ = std::max(cp_server_clock_, frame.arrival);
   } else {
     Site& s = sites_[link.site_];
     s.clock_s = std::max(s.clock_s, frame.arrival);

@@ -100,6 +100,11 @@ struct SimFrame {
   /// Delivery time; for expired frames, the moment the sender gave up.
   double arrival = 0.0;
   bool expired = false;
+  /// The round the frame was sent under (kNoRound for downlinks and
+  /// round-less traffic). Uplink receives scoped to a round assert
+  /// this matches — the structural guard that a late straggler from
+  /// round r can never be consumed as round r+1's frame.
+  RoundId round = kNoRound;
   /// An uplink frame sent during a reallocation wave (between
   /// open_subround and the next open_round): a miss of such a frame is
   /// supplemental — the sender's first-wave data still stands at the
@@ -107,6 +112,14 @@ struct SimFrame {
   /// broadcast before opening its own round, e.g. refine's centers
   /// push), so a lost wave broadcast counts like any downlink miss.
   bool wave = false;
+  /// Predicted-arrival NAK time (round pipelining only): the earliest
+  /// moment the sender could *prove* the frame would miss its round's
+  /// cutoff — an attempt whose minimum-possible airtime overshoots, or
+  /// the abandonment itself — plus one control-frame latency.
+  /// kNoDeadline when no miss is provable (delivered in time, or an
+  /// unbounded round). Consulted only on the receiver's miss path, so
+  /// it cannot perturb hits.
+  double nak_at = kNoDeadline;
   /// Index among this link's delivered frames (valid when !expired);
   /// ties the frame to its kDeliver event for the receive drain.
   std::uint64_t delivery_seq = 0;
@@ -119,7 +132,9 @@ class SimLink final : public Port {
   void send(Message msg) override;
   [[nodiscard]] bool has_pending() const override { return !in_flight_.empty(); }
   [[nodiscard]] Message receive() override;
-  [[nodiscard]] std::optional<Message> receive_by(double deadline) override;
+  [[nodiscard]] std::optional<Message> receive_by(
+      RoundId round, double deadline_cap = kNoDeadline) override;
+  std::optional<Message> receive_by(double) = delete;  // see Port
   [[nodiscard]] const TrafficLedger& ledger() const override { return ledger_; }
 
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
@@ -157,18 +172,26 @@ class SimNetwork final : public Fabric {
   [[nodiscard]] Port& uplink(std::size_t source) override;
   [[nodiscard]] Port& downlink(std::size_t source) override;
 
-  /// Anchors one collection round's deadline at the server's current
-  /// virtual clock. While the round is open, uplink transmission
-  /// attempts that would start at or after the deadline are canceled
-  /// (the sites know the round schedule), so a straggling or lossy
-  /// site's frame expires instead of arriving eventually.
-  double open_round(double deadline_seconds) override;
+  /// Opens collection round r (handles are 1-based, in open order) and
+  /// anchors its cutoff at the server's current virtual clock. Cutoff
+  /// and wave state live in a per-round RoundContext table — NOT one
+  /// global — so a prior round's stragglers can still be resolving
+  /// (their frames tagged with *their* round) while this round's
+  /// traffic rides the fabric. Uplink transmission attempts that would
+  /// start at or after the sending round's cutoff are canceled (the
+  /// sites know the round schedule), so a straggling or lossy site's
+  /// frame expires instead of arriving eventually.
+  RoundId open_round(double deadline_seconds) override;
 
-  /// Opens a sub-deadline inside the current round (the budget
-  /// reallocation wave): clamps the open round's cutoff to
+  /// Absolute cutoff of round `round` (kNoDeadline for kNoRound).
+  [[nodiscard]] double round_cutoff(RoundId round) const override;
+
+  /// Opens a sub-deadline inside round `round` (the budget
+  /// reallocation wave): clamps that round's cutoff to
   /// min(current, absolute_deadline) so the wave respects the round
-  /// boundary, and counts the wave in subrounds_opened().
-  double open_subround(double absolute_deadline) override;
+  /// boundary, marks the round as in-wave (frames sent under it from
+  /// here are supplements), and counts the wave in subrounds_opened().
+  RoundId open_subround(RoundId round, double absolute_deadline) override;
 
   // --- inspection ---------------------------------------------------------
   [[nodiscard]] const SimLink& uplink_view(std::size_t source) const;
@@ -240,9 +263,46 @@ class SimNetwork final : public Fabric {
     return supplemental_misses_;
   }
 
-  /// Absolute deadline of the currently open round (kNoDeadline when
-  /// rounds are unbounded).
-  [[nodiscard]] double round_deadline() const { return round_deadline_; }
+  /// Absolute cutoff of the most recently opened round (kNoDeadline
+  /// before the first open_round, or when that round is unbounded).
+  /// Inspection convenience over round_cutoff(current round).
+  [[nodiscard]] double round_deadline() const {
+    return round_cutoff(current_round_);
+  }
+
+  /// The most recently opened round's handle (kNoRound before the
+  /// first open_round). New uplink frames are tagged with this round.
+  [[nodiscard]] RoundId current_round() const { return current_round_; }
+
+  /// Cross-round pipelining (RoundPolicy::pipeline, scenario
+  /// `pipeline=`, CLI `--pipeline`): when on, sender-side
+  /// predicted-arrival NAKs fire the moment a site's scheduled airtime
+  /// *provably* overshoots its round's cutoff — at the attempt start
+  /// whose minimum-possible (best-jitter) airtime cannot finish in
+  /// time, not at abandon time — so the server learns of a miss (and
+  /// commits the round's barrier) as early as the physics allows, and
+  /// the next round's downlink broadcast rides the fabric while the
+  /// straggler's timeline still runs. Like the overlap NAK this is a
+  /// control-plane frame: no payload airtime, no energy, nothing on
+  /// any ledger, no event pushed — which is why fault-free and
+  /// infinite-deadline runs are bitwise identical with this on or off
+  /// (the miss path never consults nak_at). Initialized from the
+  /// scenario; the Coordinator may override it from
+  /// PipelineConfig::pipeline_rounds.
+  void set_round_pipelining(bool on) { pipelining_ = on; }
+  [[nodiscard]] bool round_pipelining() const { return pipelining_; }
+
+  /// Critical-path lower bound on the server commit clock: mirrors
+  /// every server_clock_ advancement that is real work or a real
+  /// arrival (downlink compute, downlink store-and-forward, uplink
+  /// arrivals actually consumed) but deletes the waits spent purely on
+  /// learning that a straggler missed. By induction it never exceeds
+  /// server_clock(); pipelined schedules are judged against it (the
+  /// bench's critical-path column — how close the predicted NAKs get
+  /// the commit clock to the no-stall schedule).
+  [[nodiscard]] double server_critical_path() const {
+    return cp_server_clock_;
+  }
 
   /// Frames a receive_by caller abandoned: expired in flight, or
   /// delivered after the round deadline. These are the protocol-level
@@ -315,7 +375,8 @@ class SimNetwork final : public Fabric {
   friend class SimLink;
   void do_send(SimLink& link, Message msg);
   [[nodiscard]] std::optional<Message> do_receive_by(SimLink& link,
-                                                     double deadline);
+                                                     RoundId round,
+                                                     double deadline_cap);
   void advance_one_event();
   void assert_link_invariants(const SimLink& link) const;
 
@@ -338,9 +399,23 @@ class SimNetwork final : public Fabric {
   std::vector<SimEvent> log_;
   double clock_ = 0.0;         ///< latest processed event time
   double server_clock_ = 0.0;  ///< server actor's committed time
-  double round_deadline_ = kNoDeadline;  ///< current round's cutoff
-  bool in_wave_ = false;   ///< between open_subround and the next round
-  bool overlap_ = false;   ///< phase-overlap commit rule (see above)
+  double cp_server_clock_ = 0.0;  ///< critical-path mirror (see above)
+
+  /// Per-round lifecycle state, indexed by RoundId - 1. A context is
+  /// never erased: a late frame's round stays resolvable (its cutoff,
+  /// its wave flag) for the whole run, which is what lets round r+1
+  /// open while round r's stragglers are still on the air.
+  struct RoundContext {
+    double cutoff = kNoDeadline;  ///< absolute deadline (server clock)
+    bool in_wave = false;  ///< open_subround seen; later uplink frames
+                           ///< in this round are supplements
+  };
+  std::vector<RoundContext> rounds_;
+  RoundId current_round_ = kNoRound;  ///< latest open_round handle;
+                                      ///< tags new uplink frames
+
+  bool overlap_ = false;     ///< phase-overlap commit rule (see above)
+  bool pipelining_ = false;  ///< predicted-arrival NAKs (see above)
   std::uint64_t missed_frames_ = 0;
   std::uint64_t supplemental_misses_ = 0;
   std::uint64_t rounds_opened_ = 0;

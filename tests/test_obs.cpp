@@ -153,6 +153,11 @@ TEST(Obs, RecorderSnapshotsDiffTotalsIntoRoundDeltas) {
   EXPECT_NE(line2.find("\"round.deadline_misses\": 1"), std::string::npos);
   EXPECT_NE(line2.find("\"round.uplink_bits\": 600"), std::string::npos);
   EXPECT_NE(line2.find("\"server.time_s\": 5"), std::string::npos);
+  // The commit gauge is the last column (appended in PR order), so
+  // existing JSONL consumers see their columns unmoved.
+  const auto commit_at = line2.find("\"round.server_commit_seconds\": 5");
+  ASSERT_NE(commit_at, std::string::npos);
+  EXPECT_GT(commit_at, line2.find("\"sim.queue_high_water\""));
 
   // Snapshots must close rounds in order; a stale ordinal throws.
   EXPECT_THROW(rec.snapshot_round(t1), precondition_error);

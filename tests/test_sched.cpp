@@ -202,7 +202,7 @@ TEST(Scheduler, TimelinesRideTheSimulatedClocks) {
                              },
                              {}});
   (void)g.add({TaskKind::kCollect, kServerActor, "recv",
-               [&] { (void)net.uplink(0).receive_by(kNoDeadline); },
+               [&] { (void)net.uplink(0).receive_by(kNoRound); },
                {send}});
   PhaseScheduler sched(net);
   sched.run(g);

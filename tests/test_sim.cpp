@@ -582,7 +582,7 @@ TEST(Exhaustion, SpentRetryBudgetIsAFirstClassDrop) {
     msg.wire_bits = 512;
     msg.scalars = 8;
     up.send(std::move(msg));
-    delivered += up.receive_by(kNoDeadline).has_value();
+    delivered += up.receive_by(kNoRound).has_value();
   }
   (void)net.finish();  // asserts the per-link ledger invariants
 
@@ -630,7 +630,7 @@ TEST(Exhaustion, BlockingReceiveOnExpiredFrameThrowsLoudly) {
 
 TEST(Exhaustion, ProtocolsSurviveExpiredFramesWithoutDeadlines) {
   // Even with no round deadline, a spent retry budget drops sites from
-  // rounds instead of wedging the protocol — receive_by(kNoDeadline)
+  // rounds instead of wedging the protocol — receive_by(kNoRound)
   // reports the expiry and the aggregation is partial. refine_iters
   // additionally regression-tests frame alignment: a site knocked out
   // by a lost basis broadcast must still drain its downlink FIFO, or
@@ -730,7 +730,7 @@ TEST(Retry, BackoffDelaysRetriesWithoutTouchingGoodput) {
   // of a frame on (backoff factor 2^k vs always 1).
   const auto run = [](const char* spec) {
     SimNetwork net(1, parse_scenario(spec));
-    const double deadline = net.open_round(kNoDeadline);
+    const RoundId round = net.open_round(kNoDeadline);
     Port& up = net.uplink(0);
     std::size_t delivered = 0;
     for (int i = 0; i < 20; ++i) {
@@ -739,7 +739,7 @@ TEST(Retry, BackoffDelaysRetriesWithoutTouchingGoodput) {
       msg.wire_bits = 512;
       msg.scalars = 8;
       up.send(std::move(msg));
-      delivered += up.receive_by(deadline).has_value();
+      delivered += up.receive_by(round).has_value();
     }
     const double completion = net.finish();  // asserts ledger invariants
     return std::tuple(net.uplink_view(0).stats(),
@@ -799,13 +799,13 @@ TEST(Retry, GiveUpSkipsAttemptsThatCannotMakeTheDeadline) {
   // give-up sender sees start + airtime > cutoff and never transmits.
   const auto run = [](const char* spec) {
     SimNetwork net(1, parse_scenario(spec));
-    const double deadline = net.open_round(2.0);
+    const RoundId round = net.open_round(2.0);
     Message msg;
     msg.payload.resize(1 << 17);
     msg.wire_bits = 1'000'000;
     msg.scalars = 4;
     net.uplink(0).send(std::move(msg));
-    EXPECT_FALSE(net.uplink(0).receive_by(deadline).has_value());
+    EXPECT_FALSE(net.uplink(0).receive_by(round).has_value());
     (void)net.finish();  // asserts the attempt/frame ledger invariants
     return std::pair(net.uplink_view(0).stats(), net.energy_joules());
   };
@@ -1107,6 +1107,131 @@ TEST(Overlap, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(one.result.centers, eight.result.centers);
 }
 
+// --- cross-round pipelining (RoundPolicy::pipeline) -----------------------
+
+TEST(Pipeline, FaultFreeFiniteDeadlineRunsBitIdentical) {
+  // Pipelining must be unobservable when nothing misses: the cross-round
+  // task-graph edges never reorder the creation-order replay, and with
+  // every frame inside its cutoff there is no provable miss to NAK.
+  const auto parts = make_parts(5, 1500, 24, 11);
+  const PipelineConfig cfg = base_config();
+  const Coordinator off(parse_scenario("ideal,deadline=1e6"));
+  const Coordinator on(parse_scenario("ideal,deadline=1e6,pipeline=on"));
+  for (const PipelineKind kind :
+       {PipelineKind::kNoReduction, PipelineKind::kBklw,
+        PipelineKind::kJlBklw}) {
+    const SimReport a = off.run(kind, parts, cfg);
+    const SimReport b = on.run(kind, parts, cfg);
+    EXPECT_EQ(b.result.uplink, a.result.uplink) << pipeline_name(kind);
+    EXPECT_EQ(b.result.centers, a.result.centers) << pipeline_name(kind);
+    EXPECT_EQ(b.completion_seconds, a.completion_seconds);
+    EXPECT_EQ(b.server_completion_seconds, a.server_completion_seconds);
+    EXPECT_EQ(b.energy_joules, a.energy_joules);
+    ASSERT_EQ(b.event_log.size(), a.event_log.size());
+    for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+      EXPECT_EQ(b.event_log[i], a.event_log[i]) << "event " << i;
+    }
+  }
+  // Streaming rounds ride the same task-graph machinery now; the
+  // conversion itself (and the pipeline edges) must be invisible on a
+  // fault-free fleet too.
+  StreamingCoresetOptions sopts;
+  sopts.k = cfg.k;
+  sopts.coreset_size = 120;
+  sopts.seed = 11;
+  const SimReport sa = off.run_streaming(parts, sopts, cfg, 3);
+  const SimReport sb = on.run_streaming(parts, sopts, cfg, 3);
+  EXPECT_EQ(sb.result.centers, sa.result.centers);
+  EXPECT_EQ(sb.result.uplink, sa.result.uplink);
+  EXPECT_EQ(sb.completion_seconds, sa.completion_seconds);
+  EXPECT_EQ(sb.server_completion_seconds, sa.server_completion_seconds);
+  EXPECT_EQ(sb.energy_joules, sa.energy_joules);
+}
+
+TEST(Pipeline, InfiniteDeadlineStragglerRunsBitIdentical) {
+  // Predicted-arrival NAKs are gated on a *finite* cutoff: with no
+  // deadline nothing can provably miss, so even a fleet with a hard
+  // straggler and retry-budget expiries reproduces bit for bit.
+  const auto parts = make_parts(4, 1200, 16, 47);
+  const PipelineConfig cfg = base_config(47);
+  const Coordinator off(
+      parse_scenario("radio=wifi,loss=0.5,retries=2,site2.speed=0.02,seed=47"));
+  const Coordinator on(parse_scenario(
+      "radio=wifi,loss=0.5,retries=2,site2.speed=0.02,seed=47,pipeline=on"));
+  const SimReport a = off.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = on.run(PipelineKind::kBklw, parts, cfg);
+  EXPECT_GT(a.deadline_misses, 0u);  // expiries actually happened
+  EXPECT_EQ(b.deadline_misses, a.deadline_misses);
+  EXPECT_EQ(b.result.centers, a.result.centers);
+  EXPECT_EQ(b.result.uplink, a.result.uplink);
+  EXPECT_EQ(b.completion_seconds, a.completion_seconds);
+  EXPECT_EQ(b.server_completion_seconds, a.server_completion_seconds);
+  EXPECT_EQ(b.energy_joules, a.energy_joules);
+  ASSERT_EQ(b.event_log.size(), a.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    EXPECT_EQ(b.event_log[i], a.event_log[i]) << "event " << i;
+  }
+}
+
+TEST(Pipeline, PredictedNaksFireBeforeAbandonTime) {
+  // The case overlap's expiry NAKs cannot touch: a lossless fleet whose
+  // straggler *delivers* its frames — hundreds of seconds late. The
+  // sender never gives up, so there is no expiry to NAK and overlap
+  // learns nothing before the cutoff; the predicted-arrival NAK fires
+  // at the first attempt whose best-case airtime already overshoots the
+  // round, and the server commits each round at that NAK instead.
+  const auto parts = make_parts(4, 2000, 16, 5);
+  const PipelineConfig cfg = base_config(5);
+  const char* base =
+      "radio=wifi,loss=0,sps=1e-4,deadline=3,site0.bandwidth=2000,seed=5";
+  const Coordinator off(parse_scenario(base));
+  const Coordinator overlap(parse_scenario(std::string(base) + ",overlap=on"));
+  const Coordinator piped(parse_scenario(std::string(base) + ",pipeline=on"));
+  const SimReport a = off.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport o = overlap.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport b = piped.run(PipelineKind::kBklw, parts, cfg);
+
+  // The straggler missed rounds by late delivery, identically everywhere.
+  EXPECT_GT(a.deadline_misses, 0u);
+  EXPECT_EQ(b.deadline_misses, a.deadline_misses);
+  EXPECT_EQ(b.result.centers, a.result.centers);
+  EXPECT_EQ(b.result.uplink, a.result.uplink);
+  EXPECT_EQ(b.energy_joules, a.energy_joules);
+  // Delivered-late frames give overlap nothing...
+  EXPECT_EQ(o.server_completion_seconds, a.server_completion_seconds);
+  // ...while the sender-side schedule proves the miss well before the
+  // cutoff, and the critical-path bound brackets the result.
+  EXPECT_LT(b.server_completion_seconds, a.server_completion_seconds);
+  EXPECT_GE(b.server_completion_seconds, b.server_critical_path_seconds);
+}
+
+TEST(Pipeline, StreamingStragglerKeepsSummariesAndCommitsEarlier) {
+  // Streaming rounds under pipelining: round r+1 opens on round r's
+  // committed barrier, so the slow site's expired summary stops pinning
+  // the server to each cutoff. Same summaries survive (the stale-over-
+  // fresh rule sees identical frames), same centers, earlier commit.
+  const auto parts = make_parts(4, 1600, 16, 9);
+  const PipelineConfig cfg = base_config(9);
+  StreamingCoresetOptions sopts;
+  sopts.k = cfg.k;
+  sopts.coreset_size = 120;
+  sopts.seed = 9;
+  const char* base =
+      "radio=wifi,sps=1e-4,deadline=3,retry=giveup,site0.bandwidth=2000,"
+      "seed=9";
+  const Coordinator off(parse_scenario(base));
+  const Coordinator on(parse_scenario(std::string(base) + ",pipeline=on"));
+  const SimReport a = off.run_streaming(parts, sopts, cfg, 4);
+  const SimReport b = on.run_streaming(parts, sopts, cfg, 4);
+  EXPECT_GT(a.deadline_misses, 0u);
+  EXPECT_EQ(b.deadline_misses, a.deadline_misses);
+  EXPECT_EQ(b.result.centers, a.result.centers);
+  EXPECT_EQ(b.result.uplink, a.result.uplink);
+  EXPECT_EQ(b.energy_joules, a.energy_joules);
+  EXPECT_LT(b.server_completion_seconds, a.server_completion_seconds);
+  EXPECT_GE(b.server_completion_seconds, b.server_critical_path_seconds);
+}
+
 // --- event-log cap (scenario `event-log=off|N`) ---------------------------
 
 TEST(EventLog, CapShrinksTraceNotMetrics) {
@@ -1148,13 +1273,13 @@ TEST(Supplemental, WaveFrameMissesAreClassified) {
     msg.scalars = 4;
     net.uplink(0).send(std::move(msg));
   };
-  const double round = net.open_round(2.0);
+  const RoundId round = net.open_round(2.0);
   send_big();
   EXPECT_FALSE(net.uplink(0).receive_by(round).has_value());
   EXPECT_EQ(net.missed_frames(), 1u);
   EXPECT_EQ(net.supplemental_misses(), 0u);
 
-  const double wave = net.open_subround(round);
+  const RoundId wave = net.open_subround(round, net.round_cutoff(round));
   send_big();
   EXPECT_FALSE(net.uplink(0).receive_by(wave).has_value());
   EXPECT_EQ(net.missed_frames(), 2u);
@@ -1162,7 +1287,7 @@ TEST(Supplemental, WaveFrameMissesAreClassified) {
   EXPECT_EQ(net.uplink_view(0).stats().supplemental, 1u);
 
   // The next round resets the wave tag.
-  const double next = net.open_round(2.0);
+  const RoundId next = net.open_round(2.0);
   send_big();
   EXPECT_FALSE(net.uplink(0).receive_by(next).has_value());
   EXPECT_EQ(net.missed_frames(), 3u);
@@ -1177,8 +1302,8 @@ TEST(Supplemental, DownlinkFramesAreNeverWaveTagged) {
   // wave supplements — a lost broadcast is real data impact and must
   // stay out of the loses-nothing bucket.
   SimNetwork net(1, parse_scenario("radio=wifi,loss=0.9,retries=0,seed=3"));
-  (void)net.open_round(2.0);
-  (void)net.open_subround(2.0);
+  const RoundId rid = net.open_round(2.0);
+  (void)net.open_subround(rid, net.round_cutoff(rid));
   // Post-wave "next phase" broadcasts, still under the stale wave flag:
   // at 90% loss with no retries most of these expire.
   std::size_t missed = 0;
@@ -1187,7 +1312,7 @@ TEST(Supplemental, DownlinkFramesAreNeverWaveTagged) {
     msg.wire_bits = 512;
     msg.scalars = 8;
     net.downlink(0).send(std::move(msg));
-    missed += !net.downlink(0).receive_by(kNoDeadline).has_value();
+    missed += !net.downlink(0).receive_by(kNoRound).has_value();
   }
   EXPECT_GT(missed, 0u);  // p(no expiry in 20 frames) ~ 1e-20
   EXPECT_EQ(net.supplemental_misses(), 0u);
@@ -1312,14 +1437,14 @@ TEST(Churn, MidRoundLeaveDropsTheSiteOnceNotPerFrame) {
   // not one per frame — and no frame is double-counted in any ledger.
   SimNetwork net(2, parse_scenario(
       "radio=wifi,sps=0,site0.bandwidth=1000,site0.leave=1"));
-  const double deadline = net.open_round(100.0);
+  const RoundId round = net.open_round(100.0);
   for (int f = 0; f < 2; ++f) {
     Message msg;
     msg.wire_bits = 1000;  // 1 s + latency per frame at 1 kbps
     msg.scalars = 0;
     net.uplink(0).send(std::move(msg));
   }
-  const auto frames = receive_frames_by(net.uplink(0), 2, deadline);
+  const auto frames = receive_frames_by(net.uplink(0), 2, round);
   EXPECT_FALSE(frames.has_value());  // all-or-nothing: ONE site miss
   (void)net.finish();  // asserts the ledgers, incl. orphaned <= expired
 
@@ -1464,7 +1589,7 @@ TEST(Trace, SegmentsLayerBandwidthAndLossUnderTheRadio) {
     msg.wire_bits = 512;
     msg.scalars = 0;
     lossy.uplink(0).send(std::move(msg));
-    (void)lossy.uplink(0).receive_by(kNoDeadline);
+    (void)lossy.uplink(0).receive_by(kNoRound);
   }
   EXPECT_GT(lossy.uplink_view(0).stats().drops, 0u);
   (void)lossy.finish();

@@ -308,5 +308,101 @@ TEST(Tree, CoordinatorRejectsUnsupportedCombinations) {
                precondition_error);
 }
 
+// --- cross-round pipelining on a tree (RoundPolicy::pipeline) -------------
+
+TEST(Pipeline, LateGatewayReduceNeverAliasesTheNextRound) {
+  // The inner fabric of a tree carries sites + gateways as ordinary
+  // sources; a gateway's reduce rides its uplink like any site frame.
+  // Model a 2-site + 1-gateway inner fleet where the gateway (index 2)
+  // is behind a 1 kbps link: its round-r reduce is still on the air
+  // when round r+1 opens. Round r's receive consumes the late frame
+  // (abandoning it); an r+1-scoped receive reaching the same link
+  // while the r frame is queued is cross-round aliasing and must trip
+  // the fabric's assert rather than hand round r's data to round r+1.
+  SimNetwork net(3, parse_scenario("radio=wifi,site2.bandwidth=1000"));
+  net.set_round_pipelining(true);
+  const auto send_reduce = [&] {
+    Message msg;
+    msg.payload.resize(1 << 14);
+    msg.wire_bits = 100'000;  // ~100 s at 1 kbps: late for any 2 s round
+    msg.scalars = 4;
+    net.uplink(2).send(std::move(msg));
+  };
+
+  // Correct lifecycle: the round that sent the frame receives it.
+  const RoundId r1 = net.open_round(2.0);
+  send_reduce();
+  const RoundId r2 = net.open_round(2.0);  // pipelined round r+1 opens
+  EXPECT_FALSE(net.uplink(2).receive_by(r1).has_value());  // late → miss
+  send_reduce();
+  EXPECT_FALSE(net.uplink(2).receive_by(r2).has_value());
+
+  // Violation: a frame sent under r3 but reached for with r4's handle.
+  const RoundId r3 = net.open_round(2.0);
+  send_reduce();
+  const RoundId r4 = net.open_round(2.0);
+  EXPECT_GT(r4, r3);
+  EXPECT_THROW((void)net.uplink(2).receive_by(r4), precondition_error);
+}
+
+TEST(Pipeline, StragglingGatewayFleetKeepsResultsAndCommitsEarlier) {
+  // One gateway behind a 2 kbps link under a 3 s round with give-up
+  // retry: its reduces expire at ready without keying the radio, so
+  // pipelining changes *when the server learns* (predicted-arrival NAK
+  // at the provable miss instead of the round cutoff) and nothing
+  // else — centers, ledgers, energy, misses all bit-identical, with a
+  // strictly earlier server commit bounded below by the critical path.
+  const auto parts = make_parts(12, 2400, 16, 7);
+  const PipelineConfig cfg = base_config(7);
+  const char* base =
+      "radio=wifi,deadline=3,retry=giveup,topology=tree,branching=4,"
+      "gateway0.bandwidth=2000,seed=7";
+  const Coordinator off(parse_scenario(base));
+  const Coordinator on(parse_scenario(std::string(base) + ",pipeline=on"));
+
+  const SimReport plain = off.run(PipelineKind::kBklw, parts, cfg);
+  const SimReport piped = on.run(PipelineKind::kBklw, parts, cfg);
+
+  ASSERT_GT(plain.deadline_misses, 0u);  // the gateway really straggled
+  EXPECT_EQ(piped.result.centers, plain.result.centers);
+  EXPECT_EQ(piped.result.uplink, plain.result.uplink);
+  EXPECT_EQ(piped.result.downlink, plain.result.downlink);
+  EXPECT_EQ(piped.energy_joules, plain.energy_joules);
+  EXPECT_EQ(piped.deadline_misses, plain.deadline_misses);
+  EXPECT_EQ(piped.gateway_uplink_bits, plain.gateway_uplink_bits);
+  EXPECT_LT(piped.server_completion_seconds, plain.server_completion_seconds);
+  EXPECT_GE(piped.server_completion_seconds,
+            piped.server_critical_path_seconds);
+  EXPECT_GE(plain.server_completion_seconds,
+            plain.server_critical_path_seconds);
+}
+
+TEST(Pipeline, TreeDeterministicAcrossThreadCountsWithPipelining) {
+  const auto parts = make_parts(12, 1800, 16, 23);
+  const PipelineConfig cfg = base_config(23);
+  const Coordinator coord(parse_scenario(
+      "lossy-mesh,seed=23,topology=tree,branching=4,deadline=4,"
+      "retry=giveup,pipeline=on"));
+
+  set_parallel_threads(1);
+  const SimReport one = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(8);
+  const SimReport eight = coord.run(PipelineKind::kBklw, parts, cfg);
+  set_parallel_threads(0);
+
+  ASSERT_EQ(one.event_log.size(), eight.event_log.size());
+  for (std::size_t i = 0; i < one.event_log.size(); ++i) {
+    EXPECT_EQ(one.event_log[i], eight.event_log[i]) << "event " << i;
+  }
+  EXPECT_EQ(one.completion_seconds, eight.completion_seconds);
+  EXPECT_EQ(one.server_completion_seconds, eight.server_completion_seconds);
+  EXPECT_EQ(one.server_critical_path_seconds,
+            eight.server_critical_path_seconds);
+  EXPECT_EQ(one.energy_joules, eight.energy_joules);
+  EXPECT_EQ(one.result.uplink, eight.result.uplink);
+  EXPECT_EQ(one.result.centers, eight.result.centers);
+  EXPECT_EQ(one.gateway_uplink_bits, eight.gateway_uplink_bits);
+}
+
 }  // namespace
 }  // namespace ekm

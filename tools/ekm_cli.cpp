@@ -42,6 +42,13 @@
 //                         deadline — fast sites start the next phase while
 //                         stragglers' timelines still run. Equivalent to
 //                         scenario key overlap=on.
+//   --pipeline            cross-round pipelining (sim only): round r+1's
+//                         task graph depends only on round r's committed
+//                         barrier, and the sender's schedule NAKs a frame
+//                         the moment its airtime provably overshoots the
+//                         round cutoff — the server opens the next round
+//                         while stragglers resolve. Equivalent to scenario
+//                         key pipeline=on.
 //   --trace-out FILE      write a Chrome/Perfetto trace of the run (sim
 //                         only): one track per actor on the virtual clock
 //                         plus host wall-clock kernel spans. Recording is
@@ -102,6 +109,7 @@ struct CliArgs {
   bool deadline_set = false;
   std::string retry;  // empty = keep the scenario's strategy
   bool overlap = false;
+  bool pipeline = false;
   std::string trace_out;    // empty = no trace export
   std::string metrics_out;  // empty = no metrics export
   std::size_t event_log_limit = 0;
@@ -246,6 +254,8 @@ std::optional<CliArgs> parse(int argc, char** argv) {
       }
     } else if (want("--overlap")) {
       a.overlap = true;
+    } else if (want("--pipeline")) {
+      a.pipeline = true;
     } else if (want("--trace-out")) {
       const char* v = next(i);
       if (v == nullptr) return std::nullopt;
@@ -344,7 +354,7 @@ constexpr const char* kUsage =
     "    ble-swarm lora-field nr5g-fleet lossy-mesh hetero-mesh\n"
     "    deadline-fleet; keys: radio loss dropout outage retries jitter\n"
     "    stragglers slowdown skew sps server-speed deadline\n"
-    "    min-responders realloc realloc-reserve overlap event-log\n"
+    "    min-responders realloc realloc-reserve overlap pipeline event-log\n"
     "    retry churn quant backoff-base backoff-cap backoff-jitter seed\n"
     "    topology (star|tree) branching (tree: children per gateway, >= 2)\n"
     "    level-split (tree: level-0 share of a finite round budget)\n"
@@ -363,6 +373,9 @@ constexpr const char* kUsage =
     "  --overlap    phase-overlap scheduling (sim only): expiry NAKs let\n"
     "    round barriers commit as soon as every frame's fate is final,\n"
     "    so fast sites start the next phase early (= overlap=on)\n"
+    "  --pipeline   cross-round pipelining (sim only): round r+1 opens on\n"
+    "    round r's committed barrier and predicted-arrival NAKs fire when\n"
+    "    a frame's schedule provably overshoots the cutoff (= pipeline=on)\n"
     "  --trace-out FILE     Chrome/Perfetto trace of the run (sim only):\n"
     "    one track per actor (server, sites, event queue) on the virtual\n"
     "    clock, plus host wall-clock kernel spans; side-effect-free\n"
@@ -425,6 +438,11 @@ int main(int argc, char** argv) {
                          "simulator's virtual clock)\n");
     return 2;
   }
+  if (args->pipeline && args->sim.empty()) {
+    std::fprintf(stderr, "--pipeline needs --sim (cross-round pipelining "
+                         "lives on the simulator's virtual clock)\n");
+    return 2;
+  }
   if (!args->trace_out.empty() && args->sim.empty()) {
     std::fprintf(stderr, "--trace-out needs --sim (the trace's timelines are "
                          "the simulator's virtual clocks)\n");
@@ -476,6 +494,8 @@ int main(int argc, char** argv) {
     // scenario's `overlap=on` off (same either-side-opts-in layering
     // as the Coordinator's config merge).
     if (args->overlap) scenario.round.overlap = true;
+    // --pipeline layers the same way: either side opting in wins.
+    if (args->pipeline) scenario.round.pipeline = true;
     // --event-log overrides the scenario's retention cap, like --deadline.
     if (args->event_log_set) scenario.event_log_limit = args->event_log_limit;
 
@@ -560,6 +580,12 @@ int main(int argc, char** argv) {
     if (scenario.round.overlap) {
       std::printf("phase overlap  : on (server done at %.6g virtual s)\n",
                   report.server_completion_seconds);
+    }
+    if (scenario.round.pipeline) {
+      std::printf("pipelining     : on (server done at %.6g virtual s, "
+                  "critical-path bound %.6g s)\n",
+                  report.server_completion_seconds,
+                  report.server_critical_path_seconds);
     }
     if (scenario.retry.strategy != RetryStrategy::kFixed) {
       std::printf("retry policy   : %s\n",

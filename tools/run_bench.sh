@@ -3,14 +3,17 @@
 # BENCH_sim.json in the repo root so successive PRs can track the perf
 # and scenario trajectories.
 #
-# Usage: tools/run_bench.sh [--only SWEEP] [build_dir]
+# Usage: tools/run_bench.sh [--list] [--only SWEEP] [build_dir]
 #                           [extra bench_assign_kernel args...]
 #   EKM_THREADS caps the pool for the multi-threaded series.
 #   BENCH_sim.json is bitwise deterministic for a fixed seed at any
 #   EKM_THREADS (it lives on the simulator's virtual clock).
+#   --list prints the splice-able --only section names, one per line,
+#   and exits (it asks the bench binary itself, so the list can never
+#   drift from what --only accepts).
 #   --only SWEEP re-runs a single BENCH_sim.json sweep (cells |
-#   deadline_sweep | realloc_sweep | overlap_sweep | churn_sweep |
-#   fleet_scale_sweep) and splices that section — plus fresh
+#   deadline_sweep | realloc_sweep | overlap_sweep | pipeline_sweep |
+#   churn_sweep | fleet_scale_sweep) and splices that section — plus fresh
 #   provenance — into the existing BENCH_sim.json, leaving every other
 #   section's bytes untouched (each bench cell is independent of which
 #   other sections ran, so the splice equals a full run byte for
@@ -22,6 +25,16 @@
 # and leaves the previously committed JSON untouched, instead of
 # shipping a partial or stale trajectory.
 set -euo pipefail
+
+# --list builds just the sim bench and defers to its own --list, the
+# single source of truth for which sections --only can splice.
+if [[ "${1:-}" == "--list" ]]; then
+  repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+  build_dir="${2:-$repo_root/build}"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$build_dir" --target bench_sim_scenarios -j >/dev/null
+  exec "$build_dir/bench_sim_scenarios" --list
+fi
 
 only=""
 if [[ "${1:-}" == "--only" ]]; then
