@@ -23,7 +23,12 @@
 // the gateway layer buys at scale: server fan-in O(branching) instead
 // of O(sites), the time-to-fresh-model that follows, and the
 // bits-per-level split — against the event-queue high-water mark the
-// 10k-site runs exercise. Emits per-cell deployment metrics —
+// 10k-site runs exercise — and an attribution section: the overlap and
+// pipeline grids re-run under a flight recorder, each cell's recorded
+// server-clock op stream replayed into a critical-path blame
+// decomposition (src/obs/attribution.hpp) with a per-cell
+// `critical_path_matches` verdict asserting the replay reproduces
+// `server_critical_path_seconds` bit for bit. Emits per-cell deployment metrics —
 // virtual completion time, site energy, goodput vs retransmitted bits,
 // attempt/drop counts, responder counts, and the k-means cost ratio
 // against the NR (ship-everything) baseline — as BENCH_sim.json so
@@ -43,7 +48,7 @@
 // (the single source of truth tools/run_bench.sh --list defers to).
 // --only runs a single sweep section (cells | deadline_sweep |
 // realloc_sweep | overlap_sweep | pipeline_sweep | churn_sweep |
-// fleet_scale_sweep) and
+// fleet_scale_sweep | attribution) and
 // emits a JSON holding just that section — still valid JSON with the
 // full header/provenance, so tools/run_bench.sh can splice it into an
 // existing BENCH_sim.json without re-running the other sweeps. Every
@@ -68,6 +73,7 @@
 #include "core/pipeline.hpp"
 #include "data/generators.hpp"
 #include "kmeans/cost.hpp"
+#include "obs/attribution.hpp"
 #include "obs/trace_export.hpp"
 #include "sim/coordinator.hpp"
 
@@ -117,8 +123,8 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<std::string> kSections = {
-      "cells",          "deadline_sweep", "realloc_sweep",   "overlap_sweep",
-      "pipeline_sweep", "churn_sweep",    "fleet_scale_sweep"};
+      "cells",          "deadline_sweep", "realloc_sweep",    "overlap_sweep",
+      "pipeline_sweep", "churn_sweep",    "fleet_scale_sweep", "attribution"};
   if (list_sections) {
     for (const std::string& s : kSections) std::printf("%s\n", s.c_str());
     return 0;
@@ -638,6 +644,83 @@ int main(int argc, char** argv) {
   }
   }  // selected("fleet_scale_sweep")
 
+  // --- attribution: the causal-replay audit over the overlap and
+  // pipeline grids. Every (slow × knob × on/off) cell of the two timing
+  // sweeps is re-run with its own flight recorder attached, the
+  // recorded server-clock op stream is replayed (src/obs/attribution),
+  // and the cell reports whether the replayed critical path reproduces
+  // the run's server_critical_path_seconds BIT FOR BIT (`cp_match`) —
+  // plus where the server's completion time went, per blame category.
+  // Each cell builds its own Coordinator and Recorder, so the section
+  // is bitwise independent of which other sections ran (the splice
+  // contract), and recording never changes a reported number (the
+  // recorder contract) — the runs here ARE the overlap_sweep /
+  // pipeline_sweep runs, re-observed.
+  struct AttrCell {
+    std::size_t slow_sites = 0;
+    const char* knob = "overlap";
+    bool on = false;
+    bool feasible = true;
+    bool cp_match = false;
+    RunAttribution attribution;
+    SimReport report;
+  };
+  constexpr const char* kAttrBase =
+      "radio=wifi,sps=1e-4,deadline=3,retry=giveup,event-log=off";
+  std::vector<AttrCell> acells;
+  if (selected("attribution")) {
+  std::printf("\nattribution  scenario=wifi+2kbps-stragglers,deadline=3 "
+              "pipeline=BKLW\n");
+  std::printf("%-6s %-9s %-4s %9s %12s %14s %12s %12s %12s\n", "slow", "knob",
+              "on", "cp_match", "cp_s", "server_done_s", "site_cmp_s",
+              "airtime_s", "dl_wait_s");
+  for (const char* knob : {"overlap", "pipeline"}) {
+    for (std::size_t slow = 0; slow <= 2; ++slow) {
+      for (int knob_on = 0; knob_on <= 1; ++knob_on) {
+        std::string spec = kAttrBase;
+        for (std::size_t j = 0; j < slow; ++j) {
+          spec += ",site" + std::to_string(j) + ".bandwidth=2000";
+        }
+        spec += std::string(",") + knob + "=" + (knob_on ? "on" : "off");
+        spec += ",seed=" + std::to_string(seed);
+        const Coordinator coord(parse_scenario(spec));
+        AttrCell cell;
+        cell.slow_sites = slow;
+        cell.knob = knob;
+        cell.on = knob_on != 0;
+        Recorder cell_recorder;
+        PipelineConfig attr_cfg = cfg;
+        attr_cfg.recorder = &cell_recorder;
+        try {
+          cell.report = coord.run(PipelineKind::kBklw, parts, attr_cfg);
+        } catch (const invariant_error&) {
+          cell.feasible = false;
+        }
+        if (!cell.feasible) {
+          std::printf("%-6zu %-9s %-4s %9s\n", slow, knob,
+                      knob_on ? "on" : "off", "infeasible");
+          acells.push_back(std::move(cell));
+          continue;
+        }
+        cell.attribution = attribute_run(cell_recorder);
+        cell.cp_match = cell.attribution.valid &&
+                        cell.attribution.critical_path_s ==
+                            cell.report.server_critical_path_seconds;
+        const double* blame = cell.attribution.blame_total;
+        std::printf(
+            "%-6zu %-9s %-4s %9s %12.4f %14.4f %12.4f %12.4f %12.4f\n", slow,
+            knob, knob_on ? "on" : "off", cell.cp_match ? "yes" : "NO",
+            cell.attribution.critical_path_s,
+            cell.attribution.server_completion_s,
+            blame[static_cast<std::size_t>(BlameCategory::kSiteCompute)],
+            blame[static_cast<std::size_t>(BlameCategory::kUplinkAirtime)],
+            blame[static_cast<std::size_t>(BlameCategory::kDeadlineWait)]);
+        acells.push_back(std::move(cell));
+      }
+    }
+  }
+  }  // selected("attribution")
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -949,6 +1032,46 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "    ]\n  }");
     }  // selected("fleet_scale_sweep")
+    if (selected("attribution")) {
+    std::fprintf(f,
+                 ",\n"
+                 "  \"attribution\": {\n"
+                 "    \"scenario\": \"%s\",\n"
+                 "    \"pipeline\": \"bklw\",\n"
+                 "    \"straggler_bandwidth_bps\": 2000,\n"
+                 "    \"cells\": [\n",
+                 kAttrBase);
+    for (std::size_t i = 0; i < acells.size(); ++i) {
+      const AttrCell& c = acells[i];
+      if (!c.feasible) {
+        std::fprintf(f,
+                     "      {\"slow_sites\": %zu, \"knob\": \"%s\","
+                     " \"on\": %s, \"feasible\": false}%s\n",
+                     c.slow_sites, c.knob, c.on ? "true" : "false",
+                     i + 1 < acells.size() ? "," : "");
+        continue;
+      }
+      std::fprintf(
+          f,
+          "      {\"slow_sites\": %zu, \"knob\": \"%s\", \"on\": %s,\n"
+          "       \"feasible\": true, \"critical_path_matches\": %s,\n"
+          "       \"critical_path_seconds\": %.17g,\n"
+          "       \"reported_server_critical_path_seconds\": %.17g,\n"
+          "       \"server_completion_seconds\": %.17g,\n"
+          "       \"blame\": {",
+          c.slow_sites, c.knob, c.on ? "true" : "false",
+          c.cp_match ? "true" : "false", c.attribution.critical_path_s,
+          c.report.server_critical_path_seconds,
+          c.attribution.server_completion_s);
+      for (std::size_t b = 0; b < kBlameCategoryCount; ++b) {
+        std::fprintf(f, "%s\"%s\": %.17g", b == 0 ? "" : ", ",
+                     blame_category_name(static_cast<BlameCategory>(b)),
+                     c.attribution.blame_total[b]);
+      }
+      std::fprintf(f, "}}%s\n", i + 1 < acells.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }");
+    }  // selected("attribution")
     std::fprintf(f, "\n}\n");
     std::fclose(f);
   }

@@ -1,6 +1,15 @@
 #include "net/tree_fabric.hpp"
 
+#include "obs/recorder.hpp"
+
 namespace ekm {
+
+RoundId TreeFabric::open_round(double deadline_seconds) {
+  if (Recorder* rec = inner_->recorder()) {
+    rec->note_topology(topo_.sites, topo_.gateways());
+  }
+  return inner_->open_round(deadline_seconds);
+}
 
 TreeFabric::TreeFabric(Fabric& inner, const TreeTopology& topology)
     : inner_(&inner), topo_(topology) {

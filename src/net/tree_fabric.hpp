@@ -49,10 +49,12 @@ class TreeFabric final : public Fabric {
   // Round handles pass through untouched: the inner fabric mints them,
   // and the gateway merge barriers thread the same RoundId through
   // their level-0 collects (as a deadline cap on the round's cutoff),
-  // so a tree round is ONE round on the inner network's books.
-  RoundId open_round(double deadline_seconds) override {
-    return inner_->open_round(deadline_seconds);
-  }
+  // so a tree round is ONE round on the inner network's books. Opening
+  // a round also (re-)declares the actor split to any attached
+  // recorder — here rather than at construction because the recorder
+  // is typically attached after the wrapper is built, and begin_run
+  // resets the split. Idempotent metadata, never a simulation effect.
+  RoundId open_round(double deadline_seconds) override;
   [[nodiscard]] double round_cutoff(RoundId round) const override {
     return inner_->round_cutoff(round);
   }

@@ -1,0 +1,56 @@
+// Shared JSON string escaping for every observability writer.
+//
+// The trace exporter, the metrics registry, and the attribution writer
+// all serialize strings that originate outside their control: span
+// labels carry scenario specs (PR 6's `site0.trace=0:8000:0.05` is
+// already one `"` away from breaking a writer), and --meta values on
+// the bench come straight from the shell. PR 7 gave each writer its
+// own policy — trace_export kept a private escape loop that pushed a
+// (signed) `char` through the `%04x` varargs promotion and spelled
+// the common control characters as u-escapes instead of the short
+// forms, while metrics.cpp skipped escaping entirely on the grounds
+// that metric names are dotted identifiers. This header is the single
+// implementation both now use, so the next writer cannot re-introduce
+// either shortcut.
+//
+// Escaping follows RFC 8259 minimally: the two mandatory escapes
+// (`"`, `\`), the short forms for the common control characters, and
+// `\u00XX` for the rest of C0. Bytes >= 0x20 pass through untouched,
+// so UTF-8 multi-byte sequences survive verbatim.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ekm {
+
+[[nodiscard]] inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          // The cast matters: a bare `char` is signed on most ABIs, and
+          // handing a negative byte to `%x` through the varargs
+          // promotion is undefined behavior.
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace ekm

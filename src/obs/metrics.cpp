@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/expects.hpp"
+#include "obs/json_util.hpp"
 
 namespace ekm {
 namespace {
@@ -107,7 +108,9 @@ std::string MetricsRegistry::to_json() const {
     const Metric& m = metrics_[i];
     if (i > 0) out += ", ";
     out += '"';
-    out += m.name;  // names are dotted identifiers; nothing to escape
+    // Names are dotted identifiers today, but the writer must stay
+    // total if a caller registers something wilder (obs/json_util.hpp).
+    out += json_escape(m.name);
     out += "\": ";
     switch (m.kind) {
       case Kind::kCounter:

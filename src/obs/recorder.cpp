@@ -84,6 +84,34 @@ void Recorder::note_gateway_fanin(std::size_t gateway, std::size_t fan_in) {
   registry_.observe(id_gateway_fanin_, static_cast<double>(fan_in));
 }
 
+void Recorder::record_server_op(ServerOpKind kind, double value,
+                                std::uint32_t site, std::uint64_t frame,
+                                std::uint64_t round) {
+  server_ops_.push_back({kind, site, frame, round, value});
+}
+
+std::uint64_t Recorder::record_frame_causal(const FrameCausal& causal) {
+  frame_causals_.push_back(causal);
+  return frame_causals_.size() - 1;
+}
+
+void Recorder::record_flow(std::size_t from_actor, double from_s,
+                           std::size_t to_actor, double to_s, bool critical) {
+  flows_.push_back({from_actor, from_s, to_actor, to_s, critical});
+}
+
+void Recorder::note_topology(std::size_t data_sites, std::size_t gateways) {
+  if (data_sites_ == data_sites && gateway_count_ == gateways) return;
+  data_sites_ = data_sites;
+  gateway_count_ = gateways;
+  // Mirror into the op stream so attribution of an *earlier* run on a
+  // shared recorder (the bench sweeps) still sees that run's actor
+  // split — the members above only describe the latest run.
+  server_ops_.push_back({ServerOpKind::kTopology,
+                         static_cast<std::uint32_t>(data_sites),
+                         static_cast<std::uint64_t>(gateways), 0, 0.0});
+}
+
 void Recorder::snapshot_round(const RoundTotals& totals) {
   EKM_EXPECTS_MSG(totals.rounds_opened > prev_.rounds_opened,
                   "round snapshot out of order");
@@ -117,6 +145,8 @@ void Recorder::snapshot_round(const RoundTotals& totals) {
 
   RoundSnapshot snap;
   snap.round = totals.rounds_opened;
+  snap.server_time_s = totals.server_time_s;
+  snap.queue_high_water = totals.queue_high_water;
   char head[48];
   std::snprintf(head, sizeof head, "{\"round\": %llu, \"metrics\": ",
                 static_cast<unsigned long long>(totals.rounds_opened));
@@ -132,6 +162,12 @@ void Recorder::begin_run() {
   prev_ = RoundTotals{};
   quant_narrowed_round_ = 0;
   registry_.reset_values();  // drop observations of a run that never closed
+  // Segment marker for attribution; the topology reverts to "all
+  // sites" until the new run's fabric declares otherwise (a tree run
+  // followed by a star run must not inherit the gateway split).
+  server_ops_.push_back({ServerOpKind::kBeginRun, 0, kNoCausalFrame, 0, 0.0});
+  data_sites_ = static_cast<std::size_t>(-1);
+  gateway_count_ = 0;
 }
 
 Recorder* installed_recorder() { return g_recorder; }

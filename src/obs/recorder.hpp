@@ -68,6 +68,65 @@ struct RecordedEvent {
   std::uint64_t bits = 0;
 };
 
+/// "No FrameCausal was recorded for this frame" sentinel.
+inline constexpr std::uint64_t kNoCausalFrame = static_cast<std::uint64_t>(-1);
+
+/// One operation the simulator applied to its server clocks, recorded
+/// at the exact mutation site. The op sequence *is* the run's causal
+/// DAG flattened in dependency order: replaying the identical IEEE-754
+/// fold (attribution.hpp) reproduces `server_clock_` — and, skipping
+/// kMissLearn, `cp_server_clock_` / SimReport::server_critical_path_
+/// seconds — bit for bit. Everything here is a value the run already
+/// computed; recording it draws nothing and advances nothing.
+enum class ServerOpKind : std::uint8_t {
+  kBeginRun,          ///< run boundary marker (pushed by begin_run)
+  kTopology,          ///< site = data sites, frame = gateways (note_topology)
+  kRoundOpen,         ///< value = the new round's cutoff, round = ordinal
+  kCompute,           ///< server-side compute charge: clock += value
+  kDownlinkForward,   ///< downlink settled: clock = max(clock, value)
+  kUplinkArrival,     ///< consumed uplink hit: clock = max(clock, value)
+  kMissLearn,         ///< server learned of a miss: server clock only
+};
+
+struct ServerOp {
+  ServerOpKind kind = ServerOpKind::kBeginRun;
+  std::uint32_t site = 0;             ///< sending/receiving actor (hits/misses)
+  std::uint64_t frame = kNoCausalFrame;  ///< index into frame_causals()
+  std::uint64_t round = 0;            ///< kRoundOpen: 1-based ordinal
+  double value = 0.0;
+};
+
+/// Why one uplink frame arrived when it did: the per-frame timeline the
+/// blame decomposition walks backward (compute → outage → link-busy
+/// wait → retransmits → delivering airtime). All times are on the
+/// sending actor's virtual clock, recorded at send time when the
+/// simulator seals the frame's fate.
+struct FrameCausal {
+  std::uint32_t site = 0;
+  std::uint64_t round = 0;        ///< 1-based round the frame belongs to
+  double compute_s = 0.0;         ///< local compute charged before the send
+  double outage_s = 0.0;          ///< dropout window sat out before sending
+  double ready_s = 0.0;           ///< sender clock when the frame was ready
+  double first_start_s = 0.0;     ///< first attempt's start (after link busy)
+  double send_start_s = 0.0;      ///< start of the last attempt made
+  double arrival_s = 0.0;         ///< delivery time (or abandon time if expired)
+  double nak_at_s = 0.0;          ///< predicted-arrival NAK time (inf if none)
+  std::uint16_t attempts = 0;     ///< transmission attempts actually made
+  bool expired = false;
+  bool wave = false;              ///< supplemental (realloc-wave) frame
+};
+
+/// One causal arrow between actors for the trace exporter: the
+/// scheduler records cross-actor task-graph edges, attribution records
+/// critical-path hops. Perfetto draws them as flow arrows.
+struct RecordedFlow {
+  std::size_t from_actor = kRecorderServerActor;
+  double from_s = 0.0;
+  std::size_t to_actor = kRecorderServerActor;
+  double to_s = 0.0;
+  bool critical = false;  ///< tagged cp=1 in the trace
+};
+
 /// Cumulative run totals a time-aware fabric hands to snapshot_round.
 /// Everything here is a value the run already computed; the Recorder
 /// diffs consecutive snapshots into per-round deltas itself.
@@ -91,9 +150,13 @@ struct RoundTotals {
 };
 
 /// One closed collection round, both as structured fields and as the
-/// deterministic JSONL line the exporter writes.
+/// deterministic JSONL line the exporter writes. The structured fields
+/// exist so the exporter can place counter samples (`ph:"C"`) on the
+/// timeline without re-parsing its own JSON.
 struct RoundSnapshot {
   std::uint64_t round = 0;
+  double server_time_s = 0.0;
+  std::size_t queue_high_water = 0;
   std::string json_line;
 };
 
@@ -119,11 +182,32 @@ class Recorder {
   /// per-round deltas against the previous snapshot, folds them into
   /// the registry, and serializes one JSONL line.
   void snapshot_round(const RoundTotals& totals);
+  /// Appends one server-clock op (see ServerOpKind). The simulator
+  /// calls this adjacent to each `server_clock_` mutation, behind its
+  /// one `if (recorder_)` branch.
+  void record_server_op(ServerOpKind kind, double value, std::uint32_t site = 0,
+                        std::uint64_t frame = kNoCausalFrame,
+                        std::uint64_t round = 0);
+  /// Appends one frame timeline and returns its index, which the
+  /// simulator stamps onto the in-flight SimFrame so receive-side ops
+  /// can name their cause.
+  [[nodiscard]] std::uint64_t record_frame_causal(const FrameCausal& causal);
+  /// Appends one causal arrow for the trace (scheduler task-graph
+  /// edges; attribution adds critical-path hops at export time).
+  void record_flow(std::size_t from_actor, double from_s, std::size_t to_actor,
+                   double to_s, bool critical = false);
+  /// Declares the actor split of the current run: actors < data_sites
+  /// hold data, actors >= data_sites are aggregation gateways
+  /// (net/tree_fabric.hpp). Star runs never call this; begin_run resets
+  /// to "every actor is a site". Blame categorization and gateway track
+  /// naming read it; idempotent, so per-round calls are fine.
+  void note_topology(std::size_t data_sites, std::size_t gateways);
   /// Re-arms the per-run delta baseline. A fabric calls this when the
   /// recorder is attached, so one Recorder can ride several runs in
   /// sequence (the bench sweeps) without the first round of a new run
   /// diffing against the last round of the previous one. Accumulated
-  /// spans/events/snapshots are kept — they are the artifact.
+  /// spans/events/snapshots are kept — they are the artifact. Pushes a
+  /// kBeginRun marker so attribution can segment the op stream per run.
   void begin_run();
 
   // --- consumers ----------------------------------------------------------
@@ -136,6 +220,19 @@ class Recorder {
   [[nodiscard]] const std::vector<RoundSnapshot>& rounds() const {
     return rounds_;
   }
+  [[nodiscard]] const std::vector<ServerOp>& server_ops() const {
+    return server_ops_;
+  }
+  [[nodiscard]] const std::vector<FrameCausal>& frame_causals() const {
+    return frame_causals_;
+  }
+  [[nodiscard]] const std::vector<RecordedFlow>& flows() const {
+    return flows_;
+  }
+  /// Actors below this index hold data; SIZE_MAX when no topology was
+  /// declared (star runs: every actor is a site).
+  [[nodiscard]] std::size_t data_sites() const { return data_sites_; }
+  [[nodiscard]] std::size_t gateway_count() const { return gateway_count_; }
   [[nodiscard]] MetricsRegistry& registry() { return registry_; }
   [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
 
@@ -159,6 +256,11 @@ class Recorder {
   std::vector<RecordedSpan> spans_;
   std::vector<RecordedEvent> events_;
   std::vector<RoundSnapshot> rounds_;
+  std::vector<ServerOp> server_ops_;
+  std::vector<FrameCausal> frame_causals_;
+  std::vector<RecordedFlow> flows_;
+  std::size_t data_sites_ = static_cast<std::size_t>(-1);
+  std::size_t gateway_count_ = 0;
   RoundTotals prev_;  ///< totals at the previous snapshot (zeros at start)
   std::uint64_t quant_narrowed_round_ = 0;  ///< narrowed frames this round
 };

@@ -35,6 +35,7 @@ void PhaseScheduler::run(TaskGraph& graph) {
     // being executed — would dangle.
     TaskSpan span;
     std::function<void()> action;
+    std::vector<TaskId> deps;
     {
       const PhaseTask& task = graph.task(id);
       span.id = id;
@@ -42,17 +43,31 @@ void PhaseScheduler::run(TaskGraph& graph) {
       span.actor = task.actor;
       span.label = task.label;
       action = task.action;
+      deps = task.deps;
     }
     span.start_s = actor_clock(span.actor);
     if (action) action();
     span.finish_s = actor_clock(span.actor);
     // Forward to the fabric's flight recorder (src/obs/), if attached:
-    // the exported per-actor timeline is exactly this trace. A null
-    // recorder — the default — costs one branch per task.
+    // the exported per-actor timeline is exactly this trace, and every
+    // cross-actor dependency edge becomes a flow arrow (the causal
+    // arrows of the protocol DAG — compute → uplink → collect →
+    // barrier). A null recorder — the default — costs one branch per
+    // task; the finished-task table below is plain bookkeeping over
+    // values the run already produced.
     if (Recorder* rec = net_->recorder()) {
       rec->record_span(span.actor, span.label, task_kind_name(span.kind),
                        span.start_s, span.finish_s);
+      for (const TaskId dep : deps) {
+        if (dep < finished_.size() && finished_[dep].done &&
+            finished_[dep].actor != span.actor) {
+          rec->record_flow(finished_[dep].actor, finished_[dep].finish_s,
+                           span.actor, span.start_s);
+        }
+      }
     }
+    if (id >= finished_.size()) finished_.resize(id + 1);
+    finished_[id] = {span.actor, span.finish_s, true};
     trace_.push_back(std::move(span));
     executed += 1;
     for (const TaskId unblocked : graph.complete(id)) ready.push(unblocked);

@@ -83,8 +83,18 @@ class PhaseScheduler {
                                  : net_->site_time(actor);
   }
 
+  /// Completion record per executed task id, kept so a dependent task
+  /// can record a flow arrow (obs/recorder.hpp RecordedFlow) from each
+  /// cross-actor dependency's finish to its own start.
+  struct Finished {
+    std::size_t actor = kServerActor;
+    double finish_s = 0.0;
+    bool done = false;
+  };
+
   Fabric* net_;
   std::vector<TaskSpan> trace_;
+  std::vector<Finished> finished_;
 };
 
 }  // namespace ekm

@@ -206,6 +206,10 @@ RoundId SimNetwork::open_round(double deadline_seconds) {
   // straggler's frame from round r keeps its cutoff resolvable after
   // round r+1 opened, which is what cross-round pipelining rides on.
   current_round_ = static_cast<RoundId>(rounds_.size());
+  if (recorder_ != nullptr) {
+    recorder_->record_server_op(ServerOpKind::kRoundOpen, ctx.cutoff, 0,
+                                kNoCausalFrame, rounds_opened_);
+  }
   return current_round_;
 }
 
@@ -255,13 +259,20 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
   // produced at the server as usual, then orphans in the retry loop.
   double ready;
   bool orphaned = false;
+  // Per-frame causal timeline (obs/recorder.hpp FrameCausal): plain
+  // locals over values the send is computing anyway, recorded only
+  // behind the recorder branch at the bottom. No draw, no event, no
+  // clock touches either way.
+  double causal_compute = 0.0;
+  double causal_outage = 0.0;
   if (link.uplink_) {
     if (membership_active_ && !site_member_at(link.site_, site.clock_s)) {
       orphaned = true;
       ready = site.clock_s;
     } else {
-      site.clock_s += static_cast<double>(msg.scalars) *
-                      scenario_.seconds_per_scalar / site.compute_speed;
+      causal_compute = static_cast<double>(msg.scalars) *
+                       scenario_.seconds_per_scalar / site.compute_speed;
+      site.clock_s += causal_compute;
       // Trace-driven links may override the dropout rate from the
       // active segment; the draw itself stays on the link stream in
       // the same program order (no trace → identical draws).
@@ -274,6 +285,7 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
         // it sits the outage out, then proceeds.
         site.outages += 1;
         site.clock_s += scenario_.outage_seconds;
+        causal_outage = scenario_.outage_seconds;
         queue_.push({site.clock_s, 0, SimEventType::kOutage, link.site_,
                      link.uplink_, 0, msg.wire_bits});
       }
@@ -285,6 +297,9 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     server_clock_ += compute;
     cp_server_clock_ += compute;  // producing the broadcast is real work
     ready = server_clock_;
+    if (recorder_ != nullptr) {
+      recorder_->record_server_op(ServerOpKind::kCompute, compute, link.site_);
+    }
   }
 
   // Round deadlines govern the collection direction only: an uplink
@@ -314,6 +329,9 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
   double end = start;  ///< end of the last attempt actually made
   bool delivered = false;
   double abandon_at = start;
+  const double first_start = start;  ///< after the link-busy wait
+  double causal_send_start = start;  ///< start of the last attempt made
+  std::uint16_t causal_attempts = 0;
   // Predicted-arrival NAK (round pipelining): the earliest moment the
   // sender can *prove* this frame will miss its round's cutoff. An
   // attempt whose best-case airtime (minimum jitter) already overshoots
@@ -389,6 +407,8 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     }
     link.stats_.attempts += 1;
     link.stats_.airtime_s += airtime;
+    causal_send_start = start;
+    if (causal_attempts < 0xFFFF) causal_attempts += 1;
     if (link.uplink_) site.energy_j += energy_of(bits);  // transmit energy
     queue_.push({start, 0, SimEventType::kSendStart, link.site_, link.uplink_,
                  attempt_tag, msg.wire_bits});
@@ -404,6 +424,10 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
       } else {
         server_clock_ = std::max(server_clock_, end);
         cp_server_clock_ = std::max(cp_server_clock_, end);
+        if (recorder_ != nullptr) {
+          recorder_->record_server_op(ServerOpKind::kDownlinkForward, end,
+                                      link.site_);
+        }
       }
       delivered = true;
       break;
@@ -469,6 +493,10 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     } else {
       server_clock_ = std::max(server_clock_, end);
       cp_server_clock_ = std::max(cp_server_clock_, end);
+      if (recorder_ != nullptr) {
+        recorder_->record_server_op(ServerOpKind::kDownlinkForward, end,
+                                    link.site_);
+      }
     }
     queue_.push({abandon_at, 0, SimEventType::kExpire, link.site_, link.uplink_,
                  0, frame.msg.wire_bits});
@@ -483,6 +511,25 @@ void SimNetwork::do_send(SimLink& link, Message msg) {
     // The NAK is a control-plane frame: one per-frame latency to reach
     // the server, no payload airtime, no energy, nothing on any ledger.
     frame.nak_at = provable_miss_at + radio.per_message_latency_s;
+  }
+  if (recorder_ != nullptr && link.uplink_) {
+    // Seal the frame's causal timeline for attribution. Every value is
+    // one the send just computed; the index rides the frame so the
+    // receive-side op can name its cause.
+    FrameCausal causal;
+    causal.site = static_cast<std::uint32_t>(link.site_);
+    causal.round = frame.round;
+    causal.compute_s = causal_compute;
+    causal.outage_s = causal_outage;
+    causal.ready_s = ready;
+    causal.first_start_s = first_start;
+    causal.send_start_s = causal_send_start;
+    causal.arrival_s = frame.arrival;
+    causal.nak_at_s = frame.nak_at;
+    causal.attempts = causal_attempts;
+    causal.expired = frame.expired;
+    causal.wave = frame.wave;
+    frame.causal = recorder_->record_frame_causal(causal);
   }
   link.in_flight_.push_back(std::move(frame));
 }
@@ -552,6 +599,10 @@ std::optional<Message> SimNetwork::do_receive_by(SimLink& link, RoundId round,
     }
     if (link.uplink_) {
       server_clock_ = std::max(server_clock_, learn);
+      if (recorder_ != nullptr) {
+        recorder_->record_server_op(ServerOpKind::kMissLearn, learn,
+                                    link.site_, frame.causal);
+      }
     } else {
       Site& s = sites_[link.site_];
       s.clock_s = std::max(s.clock_s, learn);
@@ -575,6 +626,10 @@ std::optional<Message> SimNetwork::do_receive_by(SimLink& link, RoundId round,
     // A consumed arrival is real critical-path work; what the mirror
     // clock deliberately skips is the miss path's learn wait above.
     cp_server_clock_ = std::max(cp_server_clock_, frame.arrival);
+    if (recorder_ != nullptr) {
+      recorder_->record_server_op(ServerOpKind::kUplinkArrival, frame.arrival,
+                                  link.site_, frame.causal);
+    }
   } else {
     Site& s = sites_[link.site_];
     s.clock_s = std::max(s.clock_s, frame.arrival);

@@ -123,6 +123,11 @@ struct SimFrame {
   /// Index among this link's delivered frames (valid when !expired);
   /// ties the frame to its kDeliver event for the receive drain.
   std::uint64_t delivery_seq = 0;
+  /// Index of this frame's FrameCausal in the attached Recorder
+  /// (obs/recorder.hpp), or kNoCausalFrame when none is attached. Pure
+  /// annotation: set and read only behind the recorder branch, so the
+  /// member's existence cannot perturb an unrecorded run.
+  std::uint64_t causal = static_cast<std::uint64_t>(-1);
 };
 
 /// One direction of one site's radio, wrapping the Channel billing

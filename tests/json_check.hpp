@@ -1,0 +1,150 @@
+// Minimal JSON well-formedness checker shared by the observability
+// tests (test_obs.cpp, test_attribution.cpp). CI validates exporter
+// artifacts with `python3 -m json.tool`; this is the in-process stand-in
+// so the same property is asserted where no interpreter is available.
+// It accepts exactly the RFC 8259 grammar — objects, arrays, strings
+// with the two-character and \uXXXX escapes, numbers, the three
+// literals — and nothing else (trailing garbage, bare NaN/Infinity, and
+// raw control characters inside strings all fail).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ekm::test {
+
+class JsonChecker {
+ public:
+  [[nodiscard]] static bool valid(const std::string& text) {
+    JsonChecker c(text);
+    c.skip_ws();
+    if (!c.value()) return false;
+    c.skip_ws();
+    return c.p_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& t) : t_(t) {}
+
+  [[nodiscard]] bool eof() const { return p_ >= t_.size(); }
+  [[nodiscard]] char peek() const { return t_[p_]; }
+  void skip_ws() {
+    while (!eof() && (t_[p_] == ' ' || t_[p_] == '\t' || t_[p_] == '\n' ||
+                      t_[p_] == '\r')) {
+      ++p_;
+    }
+  }
+  bool lit(const char* s) {
+    for (; *s != '\0'; ++s, ++p_) {
+      if (eof() || t_[p_] != *s) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return lit("true");
+      case 'f': return lit("false");
+      case 'n': return lit("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++p_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') { ++p_; return true; }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"' || !string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return false;
+      ++p_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == '}') { ++p_; return true; }
+      if (peek() != ',') return false;
+      ++p_;
+    }
+  }
+
+  bool array() {
+    ++p_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') { ++p_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (peek() == ']') { ++p_; return true; }
+      if (peek() != ',') return false;
+      ++p_;
+    }
+  }
+
+  bool string() {
+    ++p_;  // opening '"'
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(t_[p_]);
+      if (c == '"') { ++p_; return true; }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++p_;
+        if (eof()) return false;
+        const char e = t_[p_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (eof() || !is_hex(t_[p_])) return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    if (peek() == '-') ++p_;
+    if (eof()) return false;
+    if (peek() == '0') {
+      ++p_;
+    } else if (is_digit(peek())) {
+      while (!eof() && is_digit(peek())) ++p_;
+    } else {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++p_;
+      if (eof() || !is_digit(peek())) return false;
+      while (!eof() && is_digit(peek())) ++p_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++p_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++p_;
+      if (eof() || !is_digit(peek())) return false;
+      while (!eof() && is_digit(peek())) ++p_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+  [[nodiscard]] static bool is_hex(char c) {
+    return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  const std::string& t_;
+  std::size_t p_ = 0;
+};
+
+}  // namespace ekm::test

@@ -16,6 +16,8 @@
 #include "common/parallel.hpp"
 #include "core/pipeline.hpp"
 #include "data/generators.hpp"
+#include "json_check.hpp"
+#include "obs/json_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace_export.hpp"
@@ -116,6 +118,47 @@ TEST(Metrics, RegistryIsDeterministicAndTyped) {
             "\"counts\": [0, 0, 0, 0], \"sum\": 0, \"count\": 0}}");
 }
 
+TEST(Obs, JsonEscapeHandlesQuotesBackslashesAndControls) {
+  // The single escape helper every obs writer shares (json_util.hpp).
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape("\r\b\f"), "\\r\\b\\f");
+  // Remaining C0 controls take the \u form; the high bit passes through
+  // untouched (UTF-8 continuation bytes must survive verbatim).
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(Obs, ExportersEscapeHostileLabels) {
+  // A span label or metric name carrying quotes, backslashes, and
+  // control characters must come out of every writer as valid JSON —
+  // the PR 7 writers each had their own partial policy (one skipped
+  // escaping entirely); this is the regression fence for the shared
+  // helper.
+  const std::string evil = "say \"hi\"\\path\nnext\x02";
+
+  Recorder rec;
+  rec.record_span(0, evil, "kernel", 0.0, 1.0);
+  const std::string trace_path = "test_obs_evil_trace.json";
+  ASSERT_TRUE(write_chrome_trace(rec, trace_path));
+  std::ifstream tf(trace_path);
+  std::stringstream buf;
+  buf << tf.rdbuf();
+  const std::string t = buf.str();
+  EXPECT_TRUE(test::JsonChecker::valid(t)) << t;
+  EXPECT_NE(t.find("say \\\"hi\\\"\\\\path\\nnext\\u0002"), std::string::npos);
+  std::remove(trace_path.c_str());
+
+  MetricsRegistry reg;
+  reg.add(reg.counter(evil), 1);
+  const std::string j = reg.to_json();
+  EXPECT_TRUE(test::JsonChecker::valid(j)) << j;
+  EXPECT_NE(j.find("\\u0002"), std::string::npos);
+}
+
 TEST(Obs, RecorderSnapshotsDiffTotalsIntoRoundDeltas) {
   Recorder rec;
   rec.note_quant_width(0, 8, 24);   // narrowed
@@ -168,6 +211,47 @@ TEST(Obs, RecorderSnapshotsDiffTotalsIntoRoundDeltas) {
   rec.snapshot_round(t1);
   ASSERT_EQ(rec.rounds().size(), 3u);
   EXPECT_EQ(rec.rounds()[2].round, 1u);
+}
+
+TEST(Obs, BeginRunReArmsDeltaBaselinesAcrossThreeRuns) {
+  // One Recorder across three runs (a bench sweep's lifetime): every
+  // begin_run must reset the cumulative→delta baseline, so a run's
+  // first snapshot reports its own absolute totals as the round delta —
+  // never the previous run's trailing totals leaking through as a
+  // negative or inflated diff.
+  Recorder rec;
+  const std::uint64_t bits_per_run[] = {1000, 700, 1500};
+  for (int run = 0; run < 3; ++run) {
+    if (run > 0) rec.begin_run();
+    RoundTotals t1;
+    t1.rounds_opened = 1;
+    t1.server_time_s = 2.0;
+    t1.uplink_bits = bits_per_run[run];
+    t1.uplink_frames = 2;
+    t1.per_uplink_missed = {0, 0};
+    rec.snapshot_round(t1);
+    RoundTotals t2 = t1;
+    t2.rounds_opened = 2;
+    t2.server_time_s = 4.0;
+    t2.uplink_bits = bits_per_run[run] + 300;
+    rec.snapshot_round(t2);
+  }
+  ASSERT_EQ(rec.rounds().size(), 6u);
+  for (int run = 0; run < 3; ++run) {
+    const RoundSnapshot& first = rec.rounds()[2 * run];
+    const RoundSnapshot& second = rec.rounds()[2 * run + 1];
+    EXPECT_EQ(first.round, 1u) << "run " << run;
+    EXPECT_EQ(second.round, 2u) << "run " << run;
+    const std::string want_first =
+        "\"round.uplink_bits\": " + std::to_string(bits_per_run[run]);
+    EXPECT_NE(first.json_line.find(want_first), std::string::npos)
+        << "run " << run << ": " << first.json_line;
+    EXPECT_NE(second.json_line.find("\"round.uplink_bits\": 300"),
+              std::string::npos)
+        << "run " << run << ": " << second.json_line;
+    EXPECT_TRUE(test::JsonChecker::valid(first.json_line));
+    EXPECT_TRUE(test::JsonChecker::valid(second.json_line));
+  }
 }
 
 TEST(Obs, RecordingIsBitwiseNeutralUnderChurnOverlapAndThreads) {
@@ -258,6 +342,56 @@ TEST(Obs, ExportersWriteValidArtifacts) {
   // Unwritable paths fail cleanly instead of crashing or half-writing.
   EXPECT_FALSE(write_chrome_trace(rec, "no-such-dir/x/trace.json"));
   EXPECT_FALSE(write_metrics_jsonl(rec, "no-such-dir/x/m.jsonl"));
+}
+
+TEST(Obs, ExportersEmitValidJsonOnChurnPipelineTreeScenario) {
+  // The heaviest export shape all at once — churn, cross-round
+  // pipelining, a straggling gateway, hierarchical aggregation — and
+  // both artifacts must still parse end to end (CI re-checks the same
+  // property with python3 -m json.tool): the trace with its flow
+  // arrows, counter tracks, and critical-path spans, the metrics JSONL
+  // with an attribution member on every line.
+  const auto parts = make_parts(12, 1200, 16, 5);
+  const Coordinator coord(parse_scenario(
+      "radio=wifi,deadline=3,retry=giveup,topology=tree,branching=4,"
+      "gateway0.bandwidth=2000,pipeline=on,churn=0.01,event-log=off,seed=5"));
+  PipelineConfig cfg = base_config(5);
+  Recorder rec;
+  cfg.recorder = &rec;
+  const SimReport report = coord.run(PipelineKind::kBklw, parts, cfg);
+
+  const std::string trace_path = "test_obs_tree_trace.json";
+  const std::string metrics_path = "test_obs_tree_metrics.jsonl";
+  ASSERT_TRUE(write_chrome_trace(rec, trace_path));
+  ASSERT_TRUE(write_metrics_jsonl(rec, metrics_path));
+
+  std::ifstream tf(trace_path);
+  std::stringstream trace;
+  trace << tf.rdbuf();
+  const std::string t = trace.str();
+  ASSERT_TRUE(test::JsonChecker::valid(t));
+  // Flow arrows (ph s/f pairs), the two counter tracks, and the
+  // critical-path track all made it in.
+  EXPECT_NE(t.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(t.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(t.find("\"sim.frames_in_flight\""), std::string::npos);
+  EXPECT_NE(t.find("\"sim.queue_high_water\""), std::string::npos);
+  EXPECT_NE(t.find("\"critical path\""), std::string::npos);
+  EXPECT_NE(t.find("\"cp\": 1"), std::string::npos);
+  EXPECT_NE(t.find("\"gateway 0\""), std::string::npos);
+
+  std::ifstream mf(metrics_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(mf, line)) {
+    EXPECT_TRUE(test::JsonChecker::valid(line)) << line;
+    EXPECT_NE(line.find("\"attribution\""), std::string::npos) << line;
+    lines += 1;
+  }
+  EXPECT_EQ(lines, report.rounds);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
 }
 
 TEST(Obs, KernelTimingRecordsOnlyWhenInstalled) {

@@ -80,6 +80,7 @@
 #include "data/loaders.hpp"
 #include "kmeans/cost.hpp"
 #include "kmeans/lloyd.hpp"
+#include "obs/attribution.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace_export.hpp"
 #include "sim/coordinator.hpp"
@@ -112,6 +113,9 @@ struct CliArgs {
   bool pipeline = false;
   std::string trace_out;    // empty = no trace export
   std::string metrics_out;  // empty = no metrics export
+  std::string explain;      // "" = off, else "text" or "json"
+  std::string explain_diff_a;  // both set = standalone diff mode
+  std::string explain_diff_b;
   std::size_t event_log_limit = 0;
   bool event_log_set = false;
   bool help = false;
@@ -272,6 +276,29 @@ std::optional<CliArgs> parse(int argc, char** argv) {
         return std::nullopt;
       }
       a.metrics_out = v;
+    } else if (want("--explain-diff")) {
+      // Two positional values: the A (baseline) and B (candidate)
+      // metrics JSONL files. Checked here so a missing B exits 2
+      // before anything runs.
+      const char* va = next(i);
+      if (va == nullptr) return std::nullopt;
+      const char* vb = next(i);
+      if (vb == nullptr) return std::nullopt;
+      if (*va == '\0' || *vb == '\0') {
+        std::fprintf(stderr,
+                     "--explain-diff needs two non-empty metrics JSONL paths\n");
+        return std::nullopt;
+      }
+      a.explain_diff_a = va;
+      a.explain_diff_b = vb;
+    } else if (want("--explain") ||
+               std::strncmp(flag, "--explain=", 10) == 0) {
+      const char* v = want("--explain") ? "text" : flag + 10;
+      if (std::strcmp(v, "text") != 0 && std::strcmp(v, "json") != 0) {
+        std::fprintf(stderr, "--explain takes =json or =text, got '%s'\n", v);
+        return std::nullopt;
+      }
+      a.explain = v;
     } else if (want("--event-log")) {
       // Grammar shared with the scenario key `event-log=off|N`.
       const char* v = next(i);
@@ -380,7 +407,16 @@ constexpr const char* kUsage =
     "    one track per actor (server, sites, event queue) on the virtual\n"
     "    clock, plus host wall-clock kernel spans; side-effect-free\n"
     "  --metrics-out FILE   per-round JSONL metric snapshots (sim only):\n"
-    "    responders, misses, uplink bits, energy, quantizer widths\n"
+    "    responders, misses, uplink bits, energy, quantizer widths, and\n"
+    "    each round's critical-path attribution\n"
+    "  --explain[=text|json]   critical-path attribution report (sim\n"
+    "    only): per-round blame table (server/site compute, airtime,\n"
+    "    retransmits, stalls, gateway folds, deadline waits), tightest-\n"
+    "    slack actors, slack histograms. =json prints one JSON object as\n"
+    "    the final stdout line; default is the text table\n"
+    "  --explain-diff A.jsonl B.jsonl   standalone: compare two\n"
+    "    --metrics-out files per blame category; exit 0 = no regression,\n"
+    "    1 = B regressed past thresholds, 2 = unusable input\n"
     "  --event-log off|N    cap the retained simulator event trace (same\n"
     "    as scenario key event-log=; the default keeps every event)\n";
 
@@ -391,6 +427,18 @@ int main(int argc, char** argv) {
   if (!args || args->help) {
     std::fputs(kUsage, args ? stdout : stderr);
     return args ? 0 : 2;
+  }
+  if (!args->explain_diff_a.empty()) {
+    // Standalone mode: compare two previously written metrics JSONL
+    // files; no dataset, no simulation. Exit 0 = no regression,
+    // 1 = regression over thresholds, 2 = unusable input.
+    std::string report;
+    const int rc = explain_diff_files(args->explain_diff_a,
+                                      args->explain_diff_b,
+                                      /*rel_threshold=*/0.10,
+                                      /*abs_threshold_s=*/1e-3, report);
+    std::fputs(report.c_str(), rc == 2 ? stderr : stdout);
+    return rc;
   }
   const bool streaming = args->algorithm == "stream";
   std::optional<PipelineKind> kind;
@@ -458,6 +506,11 @@ int main(int argc, char** argv) {
                          "retained event trace)\n");
     return 2;
   }
+  if (!args->explain.empty() && args->sim.empty()) {
+    std::fprintf(stderr, "--explain needs --sim (attribution replays the "
+                         "simulator's recorded server-clock operations)\n");
+    return 2;
+  }
 
   const Dataset data = make_input(*args);
   std::printf("input: %zu points x %zu dims\n", data.size(), data.dim());
@@ -473,6 +526,7 @@ int main(int argc, char** argv) {
   cfg.refine_iters = args->refine;
 
   PipelineResult res;
+  std::string explain_out;  // --explain report; printed last (see below)
   if (!args->sim.empty()) {
     SimScenario scenario;
     try {
@@ -509,8 +563,9 @@ int main(int argc, char** argv) {
     // RNG streams or event ordering, so the run's numbers are
     // bit-identical either way.
     Recorder recorder;
-    const bool recording =
-        !args->trace_out.empty() || !args->metrics_out.empty();
+    const bool recording = !args->trace_out.empty() ||
+                           !args->metrics_out.empty() ||
+                           !args->explain.empty();
     if (recording) {
       cfg.recorder = &recorder;
       install_recorder(&recorder);
@@ -611,6 +666,19 @@ int main(int argc, char** argv) {
       std::printf("metrics written: %s (%zu round snapshot(s))\n",
                   args->metrics_out.c_str(), recorder.rounds().size());
     }
+    if (!args->explain.empty()) {
+      // Rendered now (the recorder dies with this scope) but printed
+      // as the very last stdout of the process, so scripts can take
+      // the report with `tail` — CI pipes the =json line, which is a
+      // single JSON object, straight into a validator.
+      const RunAttribution attribution = attribute_run(recorder);
+      explain_out =
+          args->explain == "json"
+              ? render_explain_json(attribution,
+                                    report.server_critical_path_seconds) +
+                    "\n"
+              : render_explain_text(attribution);
+    }
   } else if (args->sources > 1) {
     Rng rng = make_rng(args->seed, 0x9a87ULL);
     const std::vector<Dataset> parts = partition_random(data, args->sources, rng);
@@ -643,5 +711,6 @@ int main(int argc, char** argv) {
     write_centers_csv(args->output, res.centers);
     std::printf("centers written: %s\n", args->output.c_str());
   }
+  if (!explain_out.empty()) std::fputs(explain_out.c_str(), stdout);
   return 0;
 }

@@ -13,7 +13,7 @@
 #   drift from what --only accepts).
 #   --only SWEEP re-runs a single BENCH_sim.json sweep (cells |
 #   deadline_sweep | realloc_sweep | overlap_sweep | pipeline_sweep |
-#   churn_sweep | fleet_scale_sweep) and splices that section — plus fresh
+#   churn_sweep | fleet_scale_sweep | attribution) and splices that section — plus fresh
 #   provenance — into the existing BENCH_sim.json, leaving every other
 #   section's bytes untouched (each bench cell is independent of which
 #   other sections ran, so the splice equals a full run byte for
@@ -78,11 +78,30 @@ if [[ -n "$compiler" ]] && command -v "$compiler" >/dev/null 2>&1; then
   compiler="$("$compiler" --version 2>/dev/null | head -1 || echo "$compiler")"
 fi
 cxx_flags="$(grep -m1 '^CMAKE_CXX_FLAGS_RELEASE:' "$build_dir/CMakeCache.txt" 2>/dev/null | cut -d= -f2- || true)"
+# Host facts: the CPU model string and the ISA the binary actually runs
+# on. Wall-clock bench numbers (BENCH_assign.json) are meaningless
+# across hosts without them; the sim numbers don't need them but carry
+# them for free. /proc/cpuinfo covers Linux; sysctl covers macOS; both
+# degrade to "unknown" elsewhere.
+cpu_model="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+if [[ -z "$cpu_model" ]] && command -v sysctl >/dev/null 2>&1; then
+  cpu_model="$(sysctl -n machdep.cpu.brand_string 2>/dev/null || true)"
+fi
+isa="$(uname -m 2>/dev/null || true)"
+if [[ "$isa" == "x86_64" ]] && grep -qm1 ' avx2' /proc/cpuinfo 2>/dev/null; then
+  if grep -qm1 ' avx512f' /proc/cpuinfo 2>/dev/null; then
+    isa="x86_64+avx512"
+  else
+    isa="x86_64+avx2"
+  fi
+fi
 meta_args=(
   --meta "git_sha=${git_sha:-unknown}"
   --meta "compiler=${compiler:-unknown}"
   --meta "cxx_flags_release=${cxx_flags:-unknown}"
   --meta "ekm_threads=${EKM_THREADS:-default}"
+  --meta "cpu_model=${cpu_model:-unknown}"
+  --meta "isa=${isa:-unknown}"
 )
 
 run_bench() {
